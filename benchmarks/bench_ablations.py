@@ -1,0 +1,101 @@
+"""ABLATIONS -- the DESIGN.md design-choice studies.
+
+Three knobs of the taint architecture, each toggled to show why the paper
+set it the way it did:
+
+* compare-untaint OFF: Table 4(A) becomes detectable, but benign
+  validated-index code starts false-positiving (the trade-off);
+* XOR-idiom OFF: the compiler's zero idiom would leave registers tainted;
+* cache hierarchy ON: detection verdicts are unchanged when data (and
+  taint) flow through L1/L2 -- section 4.1's memory-hierarchy claim.
+"""
+
+from bench_util import save_report
+
+from repro.apps.spec import workload_by_name
+from repro.apps.synthetic import exp3_scenario, vuln_a_scenario
+from repro.attacks.replay import run_executable, run_minic
+from repro.core.policy import PointerTaintPolicy
+from repro.evalx.reporting import render_table
+
+
+def test_bench_compare_untaint_tradeoff(benchmark):
+    strict = PointerTaintPolicy(untaint_on_compare=False)
+    paper = PointerTaintPolicy()
+    scenario = vuln_a_scenario()
+    gzip = workload_by_name("GZIP")
+
+    def run_ablation():
+        return {
+            "table4a paper": scenario.run_attack(paper),
+            "table4a strict": scenario.run_attack(strict),
+            "gzip paper": run_minic(gzip.source, paper,
+                                    stdin=gzip.make_input()),
+            "gzip strict": run_minic(gzip.source, strict,
+                                     stdin=gzip.make_input()),
+        }
+
+    results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    assert not results["table4a paper"].detected    # paper's false negative
+    assert results["table4a strict"].detected       # caught without the rule
+    assert results["gzip paper"].outcome == "exit"  # no false positive
+    assert results["gzip strict"].detected          # FALSE positive appears
+
+    save_report(
+        "ablation_compare_untaint",
+        render_table(
+            ["run", "verdict"],
+            [(name, result.describe()[:70])
+             for name, result in results.items()],
+            title="Ablation: Table 1 compare-untaint rule on/off",
+        ),
+    )
+
+
+def test_bench_xor_idiom(benchmark):
+    """Without the XOR idiom, zeroing a tainted register leaves it tainted;
+    using it as an index (value 0: in bounds!) then falsely alerts."""
+    source = """
+    int table[4];
+    int main(void) {
+        char line[8];
+        int i;
+        gets(line);
+        i = atoi(line);
+        i = i ^ i;            /* compiler zero idiom */
+        table[i] = 1;
+        return 0;
+    }
+    """
+    with_idiom = run_minic(source, PointerTaintPolicy(), stdin=b"7\n")
+    without = benchmark.pedantic(
+        run_minic,
+        args=(source, PointerTaintPolicy(untaint_xor_idiom=False)),
+        kwargs={"stdin": b"7\n"},
+        rounds=1,
+        iterations=1,
+    )
+    assert with_idiom.outcome == "exit"
+    assert without.detected                        # spurious alert
+
+
+def test_bench_caches_preserve_verdicts(benchmark):
+    """Attack and benign verdicts are identical with the L1/L2 hierarchy."""
+    scenario = exp3_scenario()
+    exe = scenario.build()
+
+    def run_cached():
+        attack = run_executable(
+            exe, PointerTaintPolicy(),
+            use_caches=True, **{"stdin": scenario.attack_input["stdin"]},
+        )
+        benign = run_executable(
+            exe, PointerTaintPolicy(),
+            use_caches=True, **{"stdin": scenario.benign_input["stdin"]},
+        )
+        return attack, benign
+
+    attack, benign = benchmark.pedantic(run_cached, rounds=1, iterations=1)
+    assert attack.detected
+    assert attack.alert.pointer_value == 0x64636261
+    assert benign.outcome == "exit"

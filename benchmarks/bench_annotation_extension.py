@@ -1,0 +1,98 @@
+"""EXTENSION -- section 5.3's proposed annotation mechanism.
+
+The paper's suggested direction for reducing false negatives: annotate
+data that must never become tainted and alert on tainted writes into it.
+The bench shows the Table 4(B) authentication-flag overflow -- invisible
+to the base architecture -- being caught once the flag is annotated,
+while benign sessions (including trusted clean writes to the same flag)
+run unaffected.
+"""
+
+from bench_util import save_report
+
+from repro.apps.synthetic import VULN_B_SOURCE, vuln_b_scenario
+from repro.core.detector import SecurityException
+from repro.core.policy import PointerTaintPolicy
+from repro.cpu.simulator import Simulator
+from repro.evalx.reporting import render_table
+from repro.kernel.syscalls import Kernel
+from repro.libc.build import build_program
+
+_ANNOTATED_SOURCE = VULN_B_SOURCE.replace(
+    "int vuln_b(void) {",
+    "int annotate_range(int *p, int n);\nint vuln_b(void) {",
+).replace(
+    "do_auth(&auth);",
+    "annotate_range(&auth, 4);\n    do_auth(&auth);",
+)
+
+_ANNOTATE_ASM = """
+.text
+annotate_range:
+    lw $a0,0($sp)
+    lw $a1,4($sp)
+    li $v0,90
+    syscall
+    jr $ra
+"""
+
+_ATTACK_INPUT = b"wrongpassword\n" + b"A" * 9 + b"\n"
+_BENIGN_INPUT = b"wrongpassword\nhi\n"
+
+
+def _run_annotated(stdin):
+    exe = build_program(_ANNOTATED_SOURCE, extra_asm=_ANNOTATE_ASM)
+    kernel = Kernel(stdin=stdin)
+
+    def annotate(kern, sim, addr, length, _a2):
+        sim.watchpoints.add(addr, length, "annotated auth flag")
+        return 0
+
+    kernel._handlers = dict(kernel._handlers)
+    kernel._handlers[90] = annotate
+    sim = Simulator(exe, PointerTaintPolicy(), syscall_handler=kernel)
+    kernel.attach(sim)
+    try:
+        sim.run(max_instructions=2_000_000)
+        return kernel.process.stdout_text, None
+    except SecurityException as exc:
+        return kernel.process.stdout_text, exc.alert
+
+
+def test_bench_annotation_catches_table4b(benchmark):
+    stdout, alert = benchmark(_run_annotated, _ATTACK_INPUT)
+    assert alert is not None
+    assert alert.kind == "annotation"
+    assert "access granted" not in stdout     # stopped before the grant
+
+
+def test_bench_annotation_transparent_for_benign(benchmark):
+    stdout, alert = benchmark(_run_annotated, _BENIGN_INPUT)
+    assert alert is None
+    assert "access denied" in stdout
+
+
+def test_bench_annotation_report(benchmark):
+    def run_all():
+        base = vuln_b_scenario().run_attack(PointerTaintPolicy())
+        attacked_stdout, attacked_alert = _run_annotated(_ATTACK_INPUT)
+        benign_stdout, benign_alert = _run_annotated(_BENIGN_INPUT)
+        return base, attacked_alert, benign_alert
+
+    base, attacked_alert, benign_alert = benchmark.pedantic(
+        run_all, rounds=1, iterations=1
+    )
+    assert not base.detected and attacked_alert is not None
+    assert benign_alert is None
+    save_report(
+        "annotation_extension",
+        render_table(
+            ["configuration", "Table 4(B) attack", "benign session"],
+            [
+                ("base architecture", "MISSED (access granted)", "clean"),
+                ("with annotated auth flag",
+                 f"DETECTED ({attacked_alert.detail})", "clean"),
+            ],
+            title="Section 5.3 extension: annotated never-tainted data",
+        ),
+    )

@@ -1,0 +1,25 @@
+"""FIG1 -- Figure 1: CERT advisory breakdown 2000-2003.
+
+Regenerates the vulnerability-class percentages over the 107 analyzed
+advisories and checks the paper's headline: the memory-corruption classes
+account for ~67%, dominated by buffer overflow.
+"""
+
+from bench_util import save_report
+
+from repro.evalx.cert import (
+    BUFFER_OVERFLOW,
+    analyzed_advisories,
+    figure1_rows,
+    memory_corruption_share,
+)
+from repro.evalx.experiments import report_fig1
+
+
+def test_bench_fig1_breakdown(benchmark):
+    rows = benchmark(figure1_rows)
+    assert len(analyzed_advisories()) == 107
+    assert rows[0][0] == BUFFER_OVERFLOW          # dominant class
+    share = memory_corruption_share()
+    assert 66.0 <= share <= 68.5                  # paper: 67%
+    save_report("fig1_cert_breakdown", report_fig1())

@@ -1,0 +1,56 @@
+"""EXTENSION -- globbing heap corruption (Figure 1's fifth class).
+
+The paper's taxonomy counts LibC glob() misuse among the memory-corruption
+advisory classes but evaluates no globbing victim; this bench closes that
+gap with a CA-2001-33 analogue and verifies the expected detection shape:
+the unlink store inside free(), pointer 0x61616161, missed by the
+control-data baseline.
+"""
+
+from bench_util import save_report
+
+from repro.apps.ftpglob import ftpglob_scenario
+from repro.core.policy import ControlDataPolicy, NullPolicy, PointerTaintPolicy
+from repro.evalx.reporting import render_kv
+
+
+def test_bench_ftpglob_detection(benchmark):
+    scenario = ftpglob_scenario()
+    result = benchmark(scenario.run_attack, PointerTaintPolicy())
+    assert result.detected
+    assert result.alert.kind == "store"
+    assert result.alert.pointer_value == 0x61616161
+
+
+def test_bench_ftpglob_baselines_and_report(benchmark):
+    scenario = ftpglob_scenario()
+
+    def run_all():
+        return (
+            scenario.run_attack(PointerTaintPolicy()),
+            scenario.run_attack(ControlDataPolicy()),
+            scenario.run_attack(NullPolicy()),
+            scenario.run_benign(PointerTaintPolicy()),
+        )
+
+    detected, baseline, unprotected, benign = benchmark.pedantic(
+        run_all, rounds=1, iterations=1
+    )
+    assert detected.detected
+    assert not baseline.detected
+    assert unprotected.sim.stats.tainted_dereferences > 0
+    assert benign.outcome == "exit"
+    save_report(
+        "ftpglob_heap",
+        render_kv(
+            [
+                ("attack", "LIST " + "a" * 40 + "/*"),
+                ("pointer-taintedness", detected.describe()),
+                ("control-data-only", baseline.describe()),
+                ("unprotected wild derefs",
+                 unprotected.sim.stats.tainted_dereferences),
+                ("benign LIST sessions", benign.describe()),
+            ],
+            title="globbing heap corruption (CA-2001-33 analogue, extension)",
+        ),
+    )

@@ -1,0 +1,57 @@
+"""GHTTPD -- section 5.1.2: stack overflow redirects the URL pointer.
+
+The paper's non-control-data GHTTPD attack: the overflow stops after
+replacing a URL pointer (no return address touched), redirecting it past
+the "/.." policy check to ``/cgi-bin/../../../../bin/sh``.  Detection fires
+at the first load-byte through the tainted pointer.
+"""
+
+from bench_util import save_report
+
+from repro.apps.ghttpd import ghttpd_scenario, request_buffer_address
+from repro.core.policy import ControlDataPolicy, NullPolicy, PointerTaintPolicy
+from repro.evalx.reporting import render_table
+
+
+def test_bench_ghttpd_detection(benchmark):
+    scenario = ghttpd_scenario()
+    result = benchmark(scenario.run_attack, PointerTaintPolicy())
+    assert result.detected
+    assert result.alert.kind == "load"
+    assert "lbu" in result.alert.disassembly       # the paper's LB
+    # The redirected pointer is a stack address (paper's was 0x7fff3e94).
+    assert 0x7FF00000 < result.alert.pointer_value < 0x7FFF8000
+
+
+def test_bench_ghttpd_baselines_and_report(benchmark):
+    scenario = ghttpd_scenario()
+
+    def run_all():
+        return {
+            "pointer-taintedness": scenario.run_attack(PointerTaintPolicy()),
+            "control-data-only": scenario.run_attack(ControlDataPolicy()),
+            "unprotected": scenario.run_attack(NullPolicy()),
+        }
+
+    results = benchmark(run_all)
+    assert results["pointer-taintedness"].detected
+    assert not results["control-data-only"].detected
+    for name in ("control-data-only", "unprotected"):
+        assert any("/bin/sh" in p for p in results[name].executed_programs)
+
+    rows = [
+        (name, "DETECTED" if result.detected else "missed",
+         ",".join(result.executed_programs) or "-")
+        for name, result in results.items()
+    ]
+    save_report(
+        "ghttpd_url_pointer",
+        render_table(
+            ["policy", "verdict", "programs exec'd"],
+            rows,
+            title=(
+                "GHTTPD URL-pointer attack "
+                f"(request buffer at {request_buffer_address():#x})"
+            ),
+        ),
+    )

@@ -1,0 +1,97 @@
+"""Simulator micro-benchmarks: instruction throughput of the substrates.
+
+Not a paper artifact -- engineering data for the reproduction itself:
+interpreted instructions/second for the functional engine, the cache-backed
+engine, and the pipeline engine, plus toolchain (compile+assemble) cost.
+"""
+
+import pytest
+from bench_util import save_report
+
+from repro.attacks.replay import run_minic
+from repro.core.policy import PointerTaintPolicy
+from repro.cpu.pipeline import Pipeline
+from repro.cpu.simulator import Simulator
+from repro.evalx.reporting import render_kv
+from repro.isa.assembler import assemble
+from repro.kernel.syscalls import Kernel
+from repro.libc.build import build_program
+
+_HOT_LOOP = (
+    ".text\n_start:\n"
+    "li $t0, 20000\nli $t1, 0\n"
+    "loop: addu $t1, $t1, $t0\nxor $t2, $t1, $t0\nsrl $t3, $t2, 3\n"
+    "andi $t4, $t3, 0xFF\naddiu $t0, $t0, -1\nbnez $t0, loop\n"
+    "li $v0, 1\nli $a0, 0\nsyscall\n"
+)
+
+_MINIC_PROGRAM = """
+int main(void) {
+    int i; int s;
+    s = 0;
+    for (i = 0; i < 2000; i++) { s += i * 3 % 7; }
+    printf("%d", s);
+    return 0;
+}
+"""
+
+
+def _run_functional(use_caches=False):
+    exe = assemble(_HOT_LOOP)
+    kernel = Kernel()
+    sim = Simulator(exe, PointerTaintPolicy(), syscall_handler=kernel,
+                    use_caches=use_caches)
+    kernel.attach(sim)
+    sim.run()
+    return sim
+
+
+def _run_pipelined():
+    exe = assemble(_HOT_LOOP)
+    kernel = Kernel()
+    sim = Simulator(exe, PointerTaintPolicy(), syscall_handler=kernel)
+    kernel.attach(sim)
+    Pipeline(sim).run()
+    return sim
+
+
+def test_bench_functional_engine(benchmark):
+    sim = benchmark(_run_functional)
+    assert sim.stats.instructions > 100_000
+
+
+def test_bench_cached_engine(benchmark):
+    sim = benchmark(_run_functional, True)
+    assert sim.stats.instructions > 100_000
+
+
+def test_bench_pipeline_engine(benchmark):
+    sim = benchmark(_run_pipelined)
+    assert sim.stats.instructions > 100_000
+
+
+def test_bench_toolchain(benchmark):
+    from repro.libc.build import _build_cached
+
+    def fresh_build():
+        _build_cached.cache_clear()
+        return build_program(_MINIC_PROGRAM)
+
+    exe = benchmark(fresh_build)
+    assert len(exe.text_words) > 500
+
+
+def test_bench_minic_program(benchmark):
+    result = benchmark(run_minic, _MINIC_PROGRAM)
+    assert result.outcome == "exit"
+    save_report(
+        "simulator_throughput",
+        render_kv(
+            [
+                ("instructions (hot loop)",
+                 f"{_run_functional().stats.instructions:,}"),
+                ("note", "timings in the pytest-benchmark table"),
+            ],
+            title="simulator throughput artifacts",
+        ),
+    )

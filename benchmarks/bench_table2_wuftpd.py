@@ -1,0 +1,49 @@
+"""TAB2 -- Table 2: the WU-FTPD SITE EXEC attack/detection transcript.
+
+Regenerates the paper's session table: banner, USER/PASS, the exact
+``site exec \\x20\\xbc\\x02\\x10%x%x%x%x%x%x%n`` command, and the alert
+whose dereferenced register equals the planted 0x1002bc20.  Also checks
+the unprotected counterfactual: uid overwritten, /etc/passwd backdoored.
+"""
+
+from bench_util import save_report
+
+from repro.apps.wuftpd import (
+    BACKDOOR_PASSWD_ENTRY,
+    site_exec_payload,
+    uid_address,
+    wuftpd_scenario,
+)
+from repro.core.policy import ControlDataPolicy, NullPolicy, PointerTaintPolicy
+from repro.evalx.experiments import report_table2
+
+
+def test_bench_wuftpd_detection(benchmark):
+    scenario = wuftpd_scenario()
+    result = benchmark(scenario.run_attack, PointerTaintPolicy())
+    assert result.detected
+    assert result.alert.kind == "store"
+    assert result.alert.pointer_value == uid_address() == 0x1002BC20
+    assert site_exec_payload().startswith(b"SITE EXEC \x20\xbc\x02\x10")
+
+
+def test_bench_wuftpd_baselines(benchmark):
+    scenario = wuftpd_scenario()
+
+    def run_baselines():
+        return (
+            scenario.run_attack(ControlDataPolicy()),
+            scenario.run_attack(NullPolicy()),
+        )
+
+    control_data, unprotected = benchmark(run_baselines)
+    assert not control_data.detected            # non-control data: missed
+    passwd = unprotected.kernel.fs.read_file("/etc/passwd")
+    assert BACKDOOR_PASSWD_ENTRY.encode() in passwd
+
+
+def test_bench_table2_report(benchmark):
+    text = benchmark(report_table2)
+    assert "site exec \\x20\\xbc\\x02\\x10%x%x%x%x%x%x%n" in text
+    assert "0x1002bc20" in text
+    save_report("table2_wuftpd", text)

@@ -1,0 +1,51 @@
+"""TAB4 -- Table 4: the false-negative scenarios (section 5.3).
+
+All three scenarios must evade detection while doing real damage:
+(A) integer overflow past a flawed bound check corrupts the frame,
+(B) a buffer overflow flips the authentication flag,
+(C) ``%x`` format directives leak the stack secret.
+The companion check: the ``%n`` variant of (C) IS caught.
+"""
+
+import pytest
+from bench_util import save_report
+
+from repro.apps.synthetic import (
+    LEAK_SOURCE,
+    leak_scenario,
+    vuln_a_scenario,
+    vuln_b_scenario,
+)
+from repro.attacks.replay import run_minic
+from repro.core.policy import PointerTaintPolicy
+from repro.evalx.experiments import report_table4, run_table4
+
+
+@pytest.mark.parametrize(
+    "make_scenario, evidence",
+    [
+        (vuln_a_scenario, "corrupted"),
+        (vuln_b_scenario, "access granted"),
+        (leak_scenario, "1337c0de"),
+    ],
+    ids=["A-integer-overflow", "B-auth-flag", "C-format-leak"],
+)
+def test_bench_false_negative(benchmark, make_scenario, evidence):
+    scenario = make_scenario()
+    result = benchmark(scenario.run_attack, PointerTaintPolicy())
+    assert not result.detected             # escapes the paper's defense
+    assert evidence in result.stdout       # ...but the damage is real
+
+
+def test_bench_percent_n_variant_is_caught(benchmark):
+    result = benchmark(
+        run_minic, LEAK_SOURCE, PointerTaintPolicy(), stdin=b"abcd%n"
+    )
+    assert result.detected
+    assert result.alert.pointer_value == 0x64636261
+
+
+def test_bench_table4_report(benchmark):
+    rows = benchmark.pedantic(run_table4, rounds=1, iterations=1)
+    assert len(rows) == 3 and not any(r.detected for r in rows)
+    save_report("table4_false_negatives", report_table4())

@@ -1,0 +1,56 @@
+"""TRACEROUTE -- section 5.1.2: the -g x -g y double-free attack.
+
+``traceroute -g 123 -g 5.6.7.8``: savestr() reuses a freed block, the
+second free() reads the tainted argv string "123" (0x00333231) as chunk
+metadata, and the detector raises at a store-word inside free() whose
+pointer derives from that tainted word.
+"""
+
+from bench_util import save_report
+
+from repro.apps.traceroute import traceroute_scenario
+from repro.core.policy import ControlDataPolicy, NullPolicy, PointerTaintPolicy
+from repro.evalx.reporting import render_kv
+
+
+def test_bench_traceroute_detection(benchmark):
+    scenario = traceroute_scenario()
+    result = benchmark(scenario.run_attack, PointerTaintPolicy())
+    assert result.detected
+    assert result.alert.kind == "store"
+    assert "sw" in result.alert.disassembly
+    chunk_base = result.alert.pointer_value - (0x00333230 - 4)
+    assert 0x10000000 <= chunk_base < 0x10400000
+
+
+def test_bench_traceroute_baselines_and_report(benchmark):
+    scenario = traceroute_scenario()
+
+    def run_all():
+        return (
+            scenario.run_attack(PointerTaintPolicy()),
+            scenario.run_attack(ControlDataPolicy()),
+            scenario.run_attack(NullPolicy()),
+            scenario.run_benign(PointerTaintPolicy()),
+        )
+
+    detected, control_data, unprotected, benign = benchmark(run_all)
+    assert detected.detected
+    assert not control_data.detected
+    assert unprotected.sim.stats.tainted_dereferences > 0
+    assert benign.outcome == "exit"
+
+    save_report(
+        "traceroute_double_free",
+        render_kv(
+            [
+                ("attack argv", "traceroute -g 123 -g 5.6.7.8"),
+                ("pointer-taintedness", detected.describe()),
+                ("control-data-only", control_data.describe()),
+                ("unprotected wild derefs",
+                 unprotected.sim.stats.tainted_dereferences),
+                ("benign -g 10.0.0.1", benign.describe()),
+            ],
+            title="traceroute double free (BID-1739 analogue)",
+        ),
+    )

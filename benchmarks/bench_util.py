@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one paper artifact (table or figure): it runs the
+experiment under ``pytest-benchmark`` timing, asserts the paper's *shape*
+claims, and writes the rendered artifact to ``benchmarks/results/`` so the
+reproduced tables exist as files after a bench run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_report(name: str, text: str) -> pathlib.Path:
+    """Persist a rendered table/figure under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path

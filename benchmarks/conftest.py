@@ -1,0 +1,7 @@
+"""Benchmark-suite configuration: calmer rounds for whole-program replays."""
+
+import sys
+import pathlib
+
+# Allow `from bench_util import ...` regardless of invocation directory.
+sys.path.insert(0, str(pathlib.Path(__file__).parent))

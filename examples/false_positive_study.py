@@ -1,0 +1,28 @@
+#!/usr/bin/env python3
+"""Table 3: the false-positive study on SPEC-2000-like workloads.
+
+Runs six benign compute workloads (named after the paper's SPEC INT
+programs) on the taint-tracking architecture with full input tainting and
+reports program size, input bytes, instructions executed, and alerts --
+the reproduction target is the all-zero alert column.
+
+Run:  python examples/false_positive_study.py
+"""
+
+from repro.evalx.experiments import report_sec54, report_table3
+
+
+def main() -> None:
+    print(report_table3())
+    print()
+    print("Why zero alerts? Input-derived values flow through these")
+    print("programs constantly, but every value used as an address was")
+    print("either computed from clean pointers or validated first -- and")
+    print("the Table 1 compare rule untaints validated values, exactly as")
+    print("on the paper's hardware.")
+    print()
+    print(report_sec54())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Evaluation applications: synthetic victims, servers, benign workloads."""
+
+from .ftpglob import FTPGLOB_SOURCE, build_ftpglob, ftpglob_scenario
+from .ghttpd import GHTTPD_SOURCE, build_ghttpd, ghttpd_scenario
+from .nullhttpd import NULLHTTPD_SOURCE, build_nullhttpd, nullhttpd_scenario
+from .spec import SPEC_WORKLOADS, SpecWorkload, workload_by_name
+from .synthetic import (
+    EXP1_SOURCE,
+    EXP2_SOURCE,
+    EXP3_SOURCE,
+    LEAK_SOURCE,
+    VULN_A_SOURCE,
+    VULN_B_SOURCE,
+    all_synthetic_scenarios,
+    exp1_scenario,
+    exp2_scenario,
+    exp3_scenario,
+    leak_scenario,
+    vuln_a_scenario,
+    vuln_b_scenario,
+)
+from .traceroute import TRACEROUTE_SOURCE, build_traceroute, traceroute_scenario
+from .wuftpd import (
+    BACKDOOR_PASSWD_ENTRY,
+    build_wuftpd,
+    site_exec_payload,
+    uid_address,
+    wuftpd_scenario,
+    wuftpd_source,
+)
+
+__all__ = [
+    "FTPGLOB_SOURCE",
+    "build_ftpglob",
+    "ftpglob_scenario",
+    "GHTTPD_SOURCE",
+    "build_ghttpd",
+    "ghttpd_scenario",
+    "NULLHTTPD_SOURCE",
+    "build_nullhttpd",
+    "nullhttpd_scenario",
+    "SPEC_WORKLOADS",
+    "SpecWorkload",
+    "workload_by_name",
+    "EXP1_SOURCE",
+    "EXP2_SOURCE",
+    "EXP3_SOURCE",
+    "LEAK_SOURCE",
+    "VULN_A_SOURCE",
+    "VULN_B_SOURCE",
+    "all_synthetic_scenarios",
+    "exp1_scenario",
+    "exp2_scenario",
+    "exp3_scenario",
+    "leak_scenario",
+    "vuln_a_scenario",
+    "vuln_b_scenario",
+    "TRACEROUTE_SOURCE",
+    "build_traceroute",
+    "traceroute_scenario",
+    "BACKDOOR_PASSWD_ENTRY",
+    "build_wuftpd",
+    "site_exec_payload",
+    "uid_address",
+    "wuftpd_scenario",
+    "wuftpd_source",
+]

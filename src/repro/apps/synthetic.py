@@ -1,0 +1,296 @@
+"""Synthetic vulnerable programs: Figure 2 (exp1/exp2/exp3) and Table 4.
+
+These are the paper's section 5.1.1 micro-victims, transcribed to MiniC:
+
+* ``exp1`` -- stack buffer overflow via an unbounded ``scanf("%s", buf)``;
+* ``exp2`` -- heap overflow into an adjacent free chunk's fd/bk links,
+  detonated by ``free()``'s unlink;
+* ``exp3`` -- format-string ``%n`` write through a user-supplied format;
+
+and the section 5.3 false-negative scenarios of Table 4:
+
+* ``vuln_a`` -- integer overflow past a flawed (upper-bound-only) index
+  check; the compare untaints the index, so the wild store goes undetected;
+* ``vuln_b`` -- buffer overflow corrupting an authentication flag: no
+  pointer is tainted, so access is granted silently;
+* ``leak``   -- format-string ``%x`` information leak: only reads through a
+  clean pointer, so the secret escapes undetected (while the ``%n`` variant
+  of the same program is caught).
+"""
+
+from __future__ import annotations
+
+from ..attacks.payloads import format_write_payload, stack_smash_payload
+from ..attacks.scenarios import (
+    AttackScenario,
+    CONTROL_DATA,
+    FALSE_NEGATIVE,
+    NON_CONTROL_DATA,
+)
+
+# ---------------------------------------------------------------------------
+# Figure 2: exp1 -- stack buffer overflow
+# ---------------------------------------------------------------------------
+
+EXP1_SOURCE = r"""
+void exp1(void) {
+    char buf[10];
+    scan_string(buf);          /* scanf("%s", buf): unbounded */
+}
+
+int main(void) {
+    exp1();
+    puts("exp1 returned");
+    return 0;
+}
+"""
+
+
+def exp1_scenario() -> AttackScenario:
+    """24 x 'a' rolls over the saved frame pointer and return address;
+    the tainted return address 0x61616161 is caught at ``jr $ra``."""
+    return AttackScenario(
+        name="exp1-stack-smash",
+        category=CONTROL_DATA,
+        description="Figure 2 stack buffer overflow (return address)",
+        source=EXP1_SOURCE,
+        attack_input={"stdin": stack_smash_payload(24)},
+        benign_input={"stdin": b"short\n"},
+        expected_alert_kind="jump",
+        detected_by_control_data=True,
+        paper_ref="Figure 2 / section 5.1.1",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 2: exp2 -- heap corruption via free-chunk unlink
+# ---------------------------------------------------------------------------
+
+EXP2_SOURCE = r"""
+void exp2(void) {
+    char *x;
+    char *y;
+    char *buf;
+    x = malloc(32);            /* seed ... */
+    y = malloc(16);            /* ... a bin chunk not adjacent to the top */
+    free(x);
+    buf = malloc(8);           /* splits x: free remainder B sits after buf */
+    scan_string(buf);          /* overflow taints B's size/fd/bk */
+    free(buf);                 /* unlink(B): B->fd->bk = B->bk  -> alert */
+}
+
+int main(void) {
+    exp2();
+    puts("exp2 returned");
+    return 0;
+}
+"""
+
+
+def exp2_scenario() -> AttackScenario:
+    """Overflow into the adjacent free chunk; ``free(buf)`` dereferences the
+    tainted forward link (0x61616161) inside the allocator."""
+    return AttackScenario(
+        name="exp2-heap-corruption",
+        category=NON_CONTROL_DATA,
+        description="Figure 2 heap corruption (free-chunk fd/bk unlink)",
+        source=EXP2_SOURCE,
+        # 12 usable bytes + size word + fd + bk, all 'a' like the paper.
+        attack_input={"stdin": stack_smash_payload(24)},
+        benign_input={"stdin": b"ok\n"},
+        expected_alert_kind="store",
+        detected_by_control_data=False,
+        paper_ref="Figure 2 / section 5.1.1",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 2: exp3 -- format string %n
+# ---------------------------------------------------------------------------
+
+EXP3_SOURCE = r"""
+void exp3(void) {
+    char buf[104];
+    read(0, buf, 100);         /* recv(s, buf, 100, 0) in the paper */
+    printf(buf);               /* the vulnerability: user data as format */
+}
+
+int main(void) {
+    exp3();
+    puts("exp3 returned");
+    return 0;
+}
+"""
+
+
+def exp3_scenario() -> AttackScenario:
+    """The planted word 0x64636261 ("abcd") is dereferenced by ``%n``'s
+    ``*ap = count`` store inside the formatting engine."""
+    return AttackScenario(
+        name="exp3-format-string",
+        category=NON_CONTROL_DATA,
+        description="Figure 2 format string attack (%n arbitrary write)",
+        source=EXP3_SOURCE,
+        attack_input={"stdin": format_write_payload(0x64636261, skid_words=0)},
+        benign_input={"stdin": b"plain text, no directives"},
+        expected_alert_kind="store",
+        detected_by_control_data=False,
+        paper_ref="Figure 2 / section 5.1.1",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 4 (A): integer overflow -> out-of-bounds array index
+# ---------------------------------------------------------------------------
+
+VULN_A_SOURCE = r"""
+int smashed = 0;
+
+void vuln_a(char *input) {
+    int array[10];
+    int canary[2];             /* lives just below array in the frame */
+    int i;
+    canary[0] = 42;
+    i = atoi(input);
+    if (i > 9) {               /* flawed check: no lower bound...      */
+        return;                /* ...and the compare untaints i        */
+    }
+    array[i] = 777;            /* i < 0 writes below array: undetected */
+    smashed = canary[0];
+}
+
+int main(void) {
+    char line[32];
+    gets(line);
+    vuln_a(line);
+    if (smashed != 42) {
+        puts("corrupted");
+    } else {
+        puts("intact");
+    }
+    return 0;
+}
+"""
+
+
+def vuln_a_scenario() -> AttackScenario:
+    """A negative index passes the upper-bound-only check; the check's
+    compare instruction untainted the index, so the wild store is silent."""
+    return AttackScenario(
+        name="table4a-integer-overflow",
+        category=FALSE_NEGATIVE,
+        description="Table 4(A): flawed bound check, negative array index",
+        source=VULN_A_SOURCE,
+        attack_input={"stdin": b"-2\n"},
+        benign_input={"stdin": b"5\n"},
+        expected_alert_kind=None,
+        detected_by_control_data=False,
+        paper_ref="Table 4(A) / section 5.3",
+        compromise_check=lambda result: "corrupted" in result.stdout,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 4 (B): buffer overflow corrupting a critical flag
+# ---------------------------------------------------------------------------
+
+VULN_B_SOURCE = r"""
+void do_auth(int *flag) {
+    char password[32];
+    gets(password);
+    if (strcmp(password, "secret") == 0) {
+        *flag = 1;
+    }
+}
+
+int vuln_b(void) {
+    int auth;
+    char buf[8];
+    auth = 0;
+    do_auth(&auth);            /* line 1 of input: the password   */
+    gets(buf);                 /* line 2: overflows into auth     */
+    if (auth) {
+        return 1;
+    }
+    return 0;
+}
+
+int main(void) {
+    if (vuln_b()) {
+        puts("access granted");
+    } else {
+        puts("access denied");
+    }
+    return 0;
+}
+"""
+
+
+def vuln_b_scenario() -> AttackScenario:
+    """Overflowing ``buf`` taints the integer ``auth`` but no pointer; the
+    flag test reads a tainted value, which is legal, and access is granted."""
+    return AttackScenario(
+        name="table4b-auth-flag",
+        category=FALSE_NEGATIVE,
+        description="Table 4(B): overflow corrupts the authenticated flag",
+        source=VULN_B_SOURCE,
+        attack_input={"stdin": b"wrongpassword\n" + b"A" * 9 + b"\n"},
+        benign_input={"stdin": b"wrongpassword\nhi\n"},
+        expected_alert_kind=None,
+        detected_by_control_data=False,
+        paper_ref="Table 4(B) / section 5.3",
+        compromise_check=lambda result: "access granted" in result.stdout,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 4 (C): format string information leak
+# ---------------------------------------------------------------------------
+
+LEAK_SOURCE = r"""
+void leak(void) {
+    int secret_key[1];
+    char buf[64];
+    secret_key[0] = 0x1337c0de;
+    read(0, buf, 60);
+    buf[59] = 0;
+    printf(buf);
+}
+
+int main(void) {
+    leak();
+    return 0;
+}
+"""
+
+#: %x directives needed to walk ap across buf (64 bytes) up to the secret.
+LEAK_SKID_WORDS = 17
+
+
+def leak_scenario() -> AttackScenario:
+    """``%x`` directives walk ``ap`` through the frame and print the secret;
+    no tainted pointer is dereferenced, so nothing is detected."""
+    return AttackScenario(
+        name="table4c-format-leak",
+        category=FALSE_NEGATIVE,
+        description="Table 4(C): format-string information leak (%x...)",
+        source=LEAK_SOURCE,
+        attack_input={"stdin": b"%x" * LEAK_SKID_WORDS},
+        benign_input={"stdin": b"hello"},
+        expected_alert_kind=None,
+        detected_by_control_data=False,
+        paper_ref="Table 4(C) / section 5.3",
+        compromise_check=lambda result: "1337c0de" in result.stdout,
+    )
+
+
+def all_synthetic_scenarios() -> list:
+    """The Figure 2 trio plus the Table 4 false-negative trio."""
+    return [
+        exp1_scenario(),
+        exp2_scenario(),
+        exp3_scenario(),
+        vuln_a_scenario(),
+        vuln_b_scenario(),
+        leak_scenario(),
+    ]

@@ -1,0 +1,80 @@
+"""Mini LBNL traceroute: the double-free attack of section 5.1.2.
+
+The published vulnerability (BID-1739): ``savestr()`` hands out pointers
+into a pre-allocated block, the ``-g`` gateway parser frees the returned
+pointer anyway, ``savestr`` keeps writing into the freed block, and the
+second ``-g`` frees a pointer *into the middle* of the block -- a free of
+memory "not allocated by malloc".
+
+With ``traceroute -g 123 -g 5.6.7.8`` the second ``free()`` interprets the
+tainted command-line string ``"123"`` (0x00333231) as chunk metadata; the
+paper's detector raises at a store-word inside ``free()`` whose pointer
+derives from that tainted word.  Command-line arguments are tainted at
+process setup, exactly like network input (section 4.4).
+"""
+
+from __future__ import annotations
+
+from ..attacks.payloads import double_free_args
+from ..attacks.scenarios import AttackScenario, NON_CONTROL_DATA
+from ..isa.program import Executable
+from ..libc.build import build_program
+
+TRACEROUTE_SOURCE = r"""
+char *gw_block = 0;
+int gw_off = 0;
+int gw_count = 0;
+
+/* savestr(): amortizes malloc by carving strings out of one block
+   (the real savestr in LBNL traceroute does exactly this). */
+char *savestr(char *s) {
+    char *p;
+    if (gw_block == 0) {
+        gw_block = malloc(64);
+        gw_off = 0;
+    }
+    p = gw_block + gw_off;
+    strcpy(p, s);
+    gw_off = gw_off + strlen(s) + 1;
+    return p;
+}
+
+int main(int argc, char **argv) {
+    int i;
+    char *gateway;
+    gateway = 0;
+    for (i = 1; i < argc; i++) {
+        if (strcmp(argv[i], "-g") == 0) {
+            i++;
+            if (i < argc) {
+                gateway = savestr(argv[i]);
+                gw_count++;
+                /* BID-1739: the parser frees savestr's storage; the second
+                   -g frees a pointer into the middle of the (already
+                   freed) block. */
+                free(gateway);
+            }
+        }
+    }
+    printf("traceroute: %d gateways parsed\n", gw_count);
+    return 0;
+}
+"""
+
+
+def build_traceroute() -> Executable:
+    return build_program(TRACEROUTE_SOURCE)
+
+
+def traceroute_scenario() -> AttackScenario:
+    return AttackScenario(
+        name="traceroute-double-free",
+        category=NON_CONTROL_DATA,
+        description="traceroute -g x -g y double free (BID-1739)",
+        source=TRACEROUTE_SOURCE,
+        attack_input={"argv": double_free_args("123", "5.6.7.8")},
+        benign_input={"argv": ["traceroute", "-g", "10.0.0.1"]},
+        expected_alert_kind="store",
+        detected_by_control_data=False,
+        paper_ref="section 5.1.2 (traceroute)",
+    )

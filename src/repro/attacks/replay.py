@@ -1,0 +1,133 @@
+"""Attack replay harness: run a program under a policy, observe the verdict.
+
+Each experiment run produces a :class:`RunResult` describing how the process
+ended: clean exit, detector alert (the paper's security exception), machine
+fault (what a successful corruption often ends in on an unprotected CPU),
+or instruction-budget exhaustion.  The result also exposes the kernel's
+compromise indicators (programs exec'd, privilege changes) so benchmarks can
+report whether an *undetected* attack actually succeeded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..core.detector import Alert, SecurityException
+from ..core.policy import DetectionPolicy, PointerTaintPolicy
+from ..cpu.pipeline import Pipeline
+from ..cpu.simulator import ExecutionLimit, Simulator, SimulatorFault
+from ..isa.program import Executable
+from ..kernel.filesystem import SimFileSystem
+from ..kernel.network import ScriptedClient, SimNetwork
+from ..kernel.syscalls import Kernel
+from ..libc.build import build_program
+from ..mem.tainted_memory import MemoryFault
+
+#: Run outcome labels.
+OUTCOME_EXIT = "exit"
+OUTCOME_ALERT = "alert"
+OUTCOME_FAULT = "fault"
+OUTCOME_LIMIT = "limit"
+
+
+@dataclass
+class RunResult:
+    """Everything observable about one simulated process run."""
+
+    outcome: str
+    exit_status: Optional[int] = None
+    alert: Optional[Alert] = None
+    fault: str = ""
+    sim: Optional[Simulator] = None
+    kernel: Optional[Kernel] = None
+    clients: List[ScriptedClient] = field(default_factory=list)
+
+    @property
+    def detected(self) -> bool:
+        """True when the detector stopped the run with a security alert."""
+        return self.outcome == OUTCOME_ALERT
+
+    @property
+    def stdout(self) -> str:
+        return self.kernel.process.stdout_text if self.kernel else ""
+
+    @property
+    def executed_programs(self) -> List[str]:
+        """Programs the process exec'd (attacker shells show up here)."""
+        return self.kernel.process.executed_programs() if self.kernel else []
+
+    @property
+    def compromised(self) -> bool:
+        """Heuristic success indicator for an *undetected* attack:
+        the process exec'd a shell-like program."""
+        return any("sh" in path for path in self.executed_programs)
+
+    def describe(self) -> str:
+        if self.outcome == OUTCOME_ALERT and self.alert is not None:
+            return f"ALERT {self.alert}"
+        if self.outcome == OUTCOME_FAULT:
+            return f"FAULT {self.fault}"
+        if self.outcome == OUTCOME_LIMIT:
+            return "LIMIT instruction budget exhausted"
+        return f"EXIT status={self.exit_status}"
+
+
+def run_executable(
+    exe: Executable,
+    policy: Optional[DetectionPolicy] = None,
+    stdin: bytes = b"",
+    argv: Optional[Sequence[str]] = None,
+    env: Optional[Sequence[str]] = None,
+    clients: Optional[Sequence[ScriptedClient]] = None,
+    filesystem: Optional[SimFileSystem] = None,
+    max_instructions: int = 20_000_000,
+    use_caches: bool = False,
+    use_pipeline: bool = False,
+    taint_inputs: bool = True,
+) -> RunResult:
+    """Run an executable image under a policy; never raises for outcomes."""
+    policy = policy if policy is not None else PointerTaintPolicy()
+    network = SimNetwork()
+    client_list = list(clients or [])
+    for client in client_list:
+        network.connect_client(client)
+    kernel = Kernel(
+        argv=argv,
+        env=env,
+        stdin=stdin,
+        filesystem=filesystem,
+        network=network,
+        taint_inputs=taint_inputs,
+    )
+    sim = Simulator(
+        exe, policy, syscall_handler=kernel, use_caches=use_caches
+    )
+    kernel.attach(sim)
+    result = RunResult(
+        outcome=OUTCOME_EXIT, sim=sim, kernel=kernel, clients=client_list
+    )
+    try:
+        if use_pipeline:
+            result.exit_status = Pipeline(sim).run()
+        else:
+            result.exit_status = sim.run(max_instructions=max_instructions)
+    except SecurityException as exc:
+        result.outcome = OUTCOME_ALERT
+        result.alert = exc.alert
+    except (SimulatorFault, MemoryFault) as exc:
+        result.outcome = OUTCOME_FAULT
+        result.fault = str(exc)
+    except ExecutionLimit as exc:
+        result.outcome = OUTCOME_LIMIT
+        result.fault = str(exc)
+    return result
+
+
+def run_minic(
+    source: str,
+    policy: Optional[DetectionPolicy] = None,
+    **kwargs,
+) -> RunResult:
+    """Compile a MiniC program against the libc and run it."""
+    return run_executable(build_program(source), policy, **kwargs)

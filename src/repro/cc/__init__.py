@@ -1,0 +1,17 @@
+"""MiniC: a small C-subset compiler targeting the simulated RISC ISA."""
+
+from .compiler import compile_minic, compile_units
+from .errors import CompileError
+from .lexer import Lexer, Token, tokenize
+from .parser import Parser, parse
+
+__all__ = [
+    "compile_minic",
+    "compile_units",
+    "CompileError",
+    "Lexer",
+    "Token",
+    "tokenize",
+    "Parser",
+    "parse",
+]

@@ -1,0 +1,299 @@
+"""Types and AST node definitions for MiniC."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+
+# ---------------------------------------------------------------------------
+# Types
+# ---------------------------------------------------------------------------
+
+class CType:
+    """Base class for MiniC types."""
+
+    size = 4
+
+    def is_pointer(self) -> bool:
+        return False
+
+    def is_array(self) -> bool:
+        return False
+
+    def is_void(self) -> bool:
+        return False
+
+    def is_char(self) -> bool:
+        return False
+
+    def decayed(self) -> "CType":
+        """Array-to-pointer decay; identity for everything else."""
+        return self
+
+
+class IntType(CType):
+    size = 4
+
+    def __repr__(self) -> str:
+        return "int"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, IntType)
+
+    def __hash__(self) -> int:
+        return hash("int")
+
+
+class CharType(CType):
+    size = 1
+
+    def is_char(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "char"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, CharType)
+
+    def __hash__(self) -> int:
+        return hash("char")
+
+
+class VoidType(CType):
+    size = 0
+
+    def is_void(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "void"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, VoidType)
+
+    def __hash__(self) -> int:
+        return hash("void")
+
+
+class PointerType(CType):
+    size = 4
+
+    def __init__(self, base: CType) -> None:
+        self.base = base
+
+    def is_pointer(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"{self.base!r}*"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PointerType) and self.base == other.base
+
+    def __hash__(self) -> int:
+        return hash(("ptr", self.base))
+
+
+class ArrayType(CType):
+    def __init__(self, base: CType, count: int) -> None:
+        self.base = base
+        self.count = count
+
+    @property
+    def size(self) -> int:  # type: ignore[override]
+        return self.base.size * self.count
+
+    def is_array(self) -> bool:
+        return True
+
+    def decayed(self) -> CType:
+        return PointerType(self.base)
+
+    def __repr__(self) -> str:
+        return f"{self.base!r}[{self.count}]"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ArrayType)
+            and self.base == other.base
+            and self.count == other.count
+        )
+
+    def __hash__(self) -> int:
+        return hash(("array", self.base, self.count))
+
+
+INT = IntType()
+CHAR = CharType()
+VOID = VoidType()
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Expr:
+    """Base expression node; ``ctype`` is filled by the code generator."""
+
+    line: int = 0
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int = 0
+
+
+@dataclass
+class StringLiteral(Expr):
+    value: bytes = b""
+
+
+@dataclass
+class VarRef(Expr):
+    name: str = ""
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""          # "-" "!" "~" "*" "&" "++" "--"
+    operand: Optional[Expr] = None
+    postfix: bool = False  # for ++/--
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    left: Optional[Expr] = None
+    right: Optional[Expr] = None
+
+
+@dataclass
+class Assign(Expr):
+    op: str = "="          # "=" "+=" "-=" "*=" "/=" "%=" "&=" "|=" "^=" "<<=" ">>="
+    target: Optional[Expr] = None
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Conditional(Expr):
+    condition: Optional[Expr] = None
+    then_value: Optional[Expr] = None
+    else_value: Optional[Expr] = None
+
+
+@dataclass
+class Call(Expr):
+    name: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Index(Expr):
+    base: Optional[Expr] = None
+    index: Optional[Expr] = None
+
+
+@dataclass
+class SizeOf(Expr):
+    ctype: Optional[CType] = None
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class LocalDecl(Stmt):
+    name: str = ""
+    ctype: Optional[CType] = None
+    init: Optional[Expr] = None
+
+
+@dataclass
+class Block(Stmt):
+    statements: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class If(Stmt):
+    condition: Optional[Expr] = None
+    then_branch: Optional[Stmt] = None
+    else_branch: Optional[Stmt] = None
+
+
+@dataclass
+class While(Stmt):
+    condition: Optional[Expr] = None
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt] = None
+    condition: Optional[Expr] = None
+    step: Optional[Expr] = None
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+# ---------------------------------------------------------------------------
+# Top level
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Param:
+    name: str
+    ctype: CType
+
+
+@dataclass
+class FuncDef:
+    name: str
+    return_type: CType
+    params: List[Param]
+    varargs: bool
+    body: Block
+    line: int = 0
+
+
+@dataclass
+class GlobalDecl:
+    name: str
+    ctype: CType
+    #: Initializer: an int, bytes (for char arrays from string literals),
+    #: a list of ints (for arrays), or None.
+    init: Union[int, bytes, List[int], str, None] = None
+    line: int = 0
+
+
+@dataclass
+class TranslationUnit:
+    functions: List[FuncDef] = field(default_factory=list)
+    globals: List[GlobalDecl] = field(default_factory=list)

@@ -1,0 +1,1046 @@
+"""MiniC code generator targeting the simulated RISC ISA.
+
+ABI (shared with the hand-written assembly runtime):
+
+* all arguments are passed on the stack, pushed right-to-left, so a callee
+  sees argument ``i`` at ``fp + 8 + 4*i``; variadic functions walk the
+  argument area with ``&last_named + 1`` exactly like a classic ``va_list``;
+* return value in ``$v0``;
+* frame layout (high to low): args | saved ``$ra`` at fp+4 | saved ``$fp``
+  at fp+0 | locals (first declared highest) | saved ``$s`` registers.
+  A local buffer therefore sits *below* the frame pointer and return
+  address, giving the exact Figure 2 stack-smash geometry;
+* scalar locals/params whose address is never taken are promoted to
+  callee-saved ``$s0..$s7`` registers.
+
+The promotion plus one code-shape rule -- comparisons are emitted **on the
+variable's home register** -- is what makes the paper's compare-untaint
+hardware rule behave correctly: after ``if (i < limit)`` the home register
+of ``i`` has been an operand of a real compare instruction, so validated
+values become trusted while unvalidated tainted values keep their taint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from .ast_nodes import (
+    ArrayType,
+    Assign,
+    Binary,
+    Block,
+    Break,
+    CHAR,
+    CType,
+    Call,
+    Conditional,
+    Continue,
+    Expr,
+    ExprStmt,
+    For,
+    FuncDef,
+    GlobalDecl,
+    If,
+    INT,
+    Index,
+    IntLiteral,
+    LocalDecl,
+    PointerType,
+    Return,
+    SizeOf,
+    Stmt,
+    StringLiteral,
+    TranslationUnit,
+    Unary,
+    VarRef,
+    While,
+)
+from .errors import CompileError
+
+# Register conventions used by generated code.
+_ACC = "$t0"     # expression accumulator
+_SEC = "$t1"     # second operand
+_SCR = "$t2"     # scratch (read-modify-write)
+_SREGS = ["$s0", "$s1", "$s2", "$s3", "$s4", "$s5", "$s6", "$s7"]
+
+_COMPARISON_OPS = frozenset({"<", ">", "<=", ">=", "==", "!="})
+
+
+@dataclass
+class _Slot:
+    """Where a variable lives."""
+
+    kind: str            # "frame" | "param" | "sreg" | "global"
+    ctype: CType
+    offset: int = 0      # frame/param: offset from $fp
+    reg: str = ""        # sreg: home register
+    label: str = ""      # global: data label
+
+
+class _FrameLayout:
+    """Pre-pass results for one function: slots, frame size, s-reg usage."""
+
+    def __init__(self) -> None:
+        self.slots_by_node: Dict[int, _Slot] = {}
+        self.param_slots: Dict[str, _Slot] = {}
+        self.locals_size = 0
+        self.used_sregs: List[str] = []
+
+
+def _align4(size: int) -> int:
+    return (size + 3) & ~3
+
+
+class CodeGenerator:
+    """Generates assembly for a MiniC translation unit."""
+
+    def __init__(self, unit: TranslationUnit, prefix: str = "") -> None:
+        self.unit = unit
+        #: Prefix for internal labels, to keep multi-unit builds collision-free.
+        self.prefix = prefix
+        self._text: List[str] = []
+        self._data: List[str] = []
+        self._strings: Dict[bytes, str] = {}
+        self._label_counter = 0
+        self._globals: Dict[str, _Slot] = {}
+        self._functions: Dict[str, FuncDef] = {
+            f.name: f for f in unit.functions
+        }
+        # Per-function state:
+        self._scopes: List[Dict[str, _Slot]] = []
+        self._layout = _FrameLayout()
+        self._function: Optional[FuncDef] = None
+        self._epilogue_label = ""
+        self._loop_stack: List[Tuple[str, str]] = []  # (break, continue)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def generate(self) -> str:
+        """Produce the assembly for the whole translation unit."""
+        for decl in self.unit.globals:
+            self._emit_global(decl)
+        for func in self.unit.functions:
+            self._emit_function(func)
+        lines = [".text"]
+        lines.extend(self._text)
+        if self._data:
+            lines.append(".data")
+            lines.extend(self._data)
+        return "\n".join(lines) + "\n"
+
+    # ------------------------------------------------------------------
+    # emission helpers
+    # ------------------------------------------------------------------
+
+    def _emit(self, line: str) -> None:
+        self._text.append("    " + line)
+
+    def _emit_label(self, label: str) -> None:
+        self._text.append(f"{label}:")
+
+    def _new_label(self, hint: str) -> str:
+        self._label_counter += 1
+        return f".L{self.prefix}{hint}{self._label_counter}"
+
+    def _string_label(self, data: bytes) -> str:
+        label = self._strings.get(data)
+        if label is None:
+            label = f"_str{self.prefix}{len(self._strings)}"
+            self._strings[data] = label
+            escaped = "".join(
+                ch if 32 <= ord(ch) < 127 and ch not in '"\\'
+                else f"\\x{ord(ch):02x}"
+                for ch in data.decode("latin-1")
+            )
+            # Data is emitted NUL-terminated already (parser appends \0),
+            # so use .ascii to avoid a second terminator.
+            self._data.append(f"{label}: .ascii \"{escaped}\"")
+        return label
+
+    def _push(self, reg: str = _ACC) -> None:
+        self._emit("addiu $sp,$sp,-4")
+        self._emit(f"sw {reg},0($sp)")
+
+    def _pop(self, reg: str) -> None:
+        self._emit(f"lw {reg},0($sp)")
+        self._emit("addiu $sp,$sp,4")
+
+    # ------------------------------------------------------------------
+    # globals
+    # ------------------------------------------------------------------
+
+    def _global_label(self, name: str) -> str:
+        return f"_g_{name}"
+
+    def _emit_global(self, decl: GlobalDecl) -> None:
+        label = self._global_label(decl.name)
+        self._globals[decl.name] = _Slot(
+            kind="global", ctype=decl.ctype, label=label
+        )
+        ctype = decl.ctype
+        init = decl.init
+        if isinstance(ctype, ArrayType):
+            if init is None:
+                self._data.append(f"{label}: .space {ctype.size}")
+            elif isinstance(init, bytes):
+                if len(init) > ctype.size:
+                    raise CompileError(
+                        f"initializer too long for {decl.name}", decl.line
+                    )
+                escaped = "".join(f"\\x{b:02x}" for b in init)
+                self._data.append(f'{label}: .ascii "{escaped}"')
+                if ctype.size > len(init):
+                    self._data.append(f".space {ctype.size - len(init)}")
+            elif isinstance(init, list):
+                if ctype.base.size == 1:
+                    values = ",".join(str(v & 0xFF) for v in init)
+                    self._data.append(f"{label}: .byte {values}")
+                    pad = ctype.size - len(init)
+                else:
+                    values = ",".join(str(v) for v in init)
+                    self._data.append(f"{label}: .word {values}")
+                    pad = ctype.size - 4 * len(init)
+                if pad > 0:
+                    self._data.append(f".space {pad}")
+            else:
+                raise CompileError(
+                    f"bad array initializer for {decl.name}", decl.line
+                )
+        elif ctype.size == 1:
+            value = init if isinstance(init, int) else 0
+            self._data.append(f"{label}: .byte {value & 0xFF}")
+        else:
+            value = init if isinstance(init, int) else 0
+            self._data.append(f"{label}: .word {value}")
+
+    # ------------------------------------------------------------------
+    # function layout pre-pass
+    # ------------------------------------------------------------------
+
+    def _collect_address_taken(self, func: FuncDef) -> Set[str]:
+        """Names whose address is taken anywhere in the function."""
+        taken: Set[str] = set()
+
+        def walk_expr(expr: Optional[Expr]) -> None:
+            if expr is None:
+                return
+            if isinstance(expr, Unary):
+                if expr.op == "&" and isinstance(expr.operand, VarRef):
+                    taken.add(expr.operand.name)
+                walk_expr(expr.operand)
+            elif isinstance(expr, Binary):
+                walk_expr(expr.left)
+                walk_expr(expr.right)
+            elif isinstance(expr, Assign):
+                walk_expr(expr.target)
+                walk_expr(expr.value)
+            elif isinstance(expr, Conditional):
+                walk_expr(expr.condition)
+                walk_expr(expr.then_value)
+                walk_expr(expr.else_value)
+            elif isinstance(expr, Call):
+                for arg in expr.args:
+                    walk_expr(arg)
+            elif isinstance(expr, Index):
+                walk_expr(expr.base)
+                walk_expr(expr.index)
+
+        def walk_stmt(stmt: Optional[Stmt]) -> None:
+            if stmt is None:
+                return
+            if isinstance(stmt, Block):
+                for inner in stmt.statements:
+                    walk_stmt(inner)
+            elif isinstance(stmt, ExprStmt):
+                walk_expr(stmt.expr)
+            elif isinstance(stmt, LocalDecl):
+                walk_expr(stmt.init)
+            elif isinstance(stmt, If):
+                walk_expr(stmt.condition)
+                walk_stmt(stmt.then_branch)
+                walk_stmt(stmt.else_branch)
+            elif isinstance(stmt, While):
+                walk_expr(stmt.condition)
+                walk_stmt(stmt.body)
+            elif isinstance(stmt, For):
+                walk_stmt(stmt.init)
+                walk_expr(stmt.condition)
+                walk_expr(stmt.step)
+                walk_stmt(stmt.body)
+            elif isinstance(stmt, Return):
+                walk_expr(stmt.value)
+
+        walk_stmt(func.body)
+        return taken
+
+    def _layout_function(self, func: FuncDef) -> _FrameLayout:
+        """Assign every local a slot and pick register promotions."""
+        layout = _FrameLayout()
+        address_taken = self._collect_address_taken(func)
+
+        # Count declarations per name; shadowed names are not promoted.
+        decl_counts: Dict[str, int] = {}
+        decls_in_order: List[Tuple[LocalDecl, bool]] = []  # (node, top_level)
+
+        def scan(stmt: Stmt, top_level: bool) -> None:
+            if isinstance(stmt, Block):
+                for inner in stmt.statements:
+                    scan(inner, top_level)
+            elif isinstance(stmt, LocalDecl):
+                decl_counts[stmt.name] = decl_counts.get(stmt.name, 0) + 1
+                decls_in_order.append((stmt, top_level))
+            elif isinstance(stmt, If):
+                if stmt.then_branch is not None:
+                    scan(stmt.then_branch, False)
+                if stmt.else_branch is not None:
+                    scan(stmt.else_branch, False)
+            elif isinstance(stmt, While):
+                if stmt.body is not None:
+                    scan(stmt.body, False)
+            elif isinstance(stmt, For):
+                if stmt.init is not None:
+                    scan(stmt.init, False)
+                if stmt.body is not None:
+                    scan(stmt.body, False)
+
+        for stmt in func.body.statements:
+            scan(stmt, True)
+        for param in func.params:
+            decl_counts[param.name] = decl_counts.get(param.name, 0) + 1
+
+        available = list(_SREGS)
+
+        def promotable(name: str, ctype: CType, is_param: bool) -> bool:
+            if not available:
+                return False
+            if isinstance(ctype, ArrayType):
+                return False
+            if name in address_taken:
+                return False
+            if decl_counts.get(name, 0) != 1:
+                return False
+            if is_param and func.varargs:
+                return False  # varargs walk the parameter area in memory
+            return True
+
+        # Parameters first: validated-input indices are usually parameters.
+        for i, param in enumerate(func.params):
+            if promotable(param.name, param.ctype, is_param=True):
+                reg = available.pop(0)
+                layout.used_sregs.append(reg)
+                layout.param_slots[param.name] = _Slot(
+                    kind="sreg", ctype=param.ctype, reg=reg, offset=8 + 4 * i
+                )
+            else:
+                layout.param_slots[param.name] = _Slot(
+                    kind="param", ctype=param.ctype, offset=8 + 4 * i
+                )
+
+        cursor = 0
+        for node, top_level in decls_in_order:
+            ctype = node.ctype
+            assert ctype is not None
+            if top_level and promotable(node.name, ctype, is_param=False):
+                reg = available.pop(0)
+                layout.used_sregs.append(reg)
+                layout.slots_by_node[id(node)] = _Slot(
+                    kind="sreg", ctype=ctype, reg=reg
+                )
+            else:
+                cursor += _align4(ctype.size)
+                layout.slots_by_node[id(node)] = _Slot(
+                    kind="frame", ctype=ctype, offset=-cursor
+                )
+        layout.locals_size = cursor
+        return layout
+
+    # ------------------------------------------------------------------
+    # function emission
+    # ------------------------------------------------------------------
+
+    def _emit_function(self, func: FuncDef) -> None:
+        self._function = func
+        self._layout = self._layout_function(func)
+        self._epilogue_label = self._new_label(f"epi_{func.name}_")
+        self._scopes = [dict(self._layout.param_slots)]
+        self._loop_stack = []
+        layout = self._layout
+
+        save_area = 4 * len(layout.used_sregs)
+        frame = layout.locals_size + save_area
+
+        self._emit_label(func.name)
+        self._emit("addiu $sp,$sp,-8")
+        self._emit("sw $ra,4($sp)")
+        self._emit("sw $fp,0($sp)")
+        self._emit("move $fp,$sp")
+        if frame:
+            self._emit(f"addiu $sp,$sp,-{frame}")
+        for i, reg in enumerate(layout.used_sregs):
+            self._emit(f"sw {reg},{-(layout.locals_size + 4 * (i + 1))}($fp)")
+        # Copy promoted parameters into their home registers.
+        for name, slot in layout.param_slots.items():
+            if slot.kind == "sreg":
+                self._emit(f"lw {slot.reg},{slot.offset}($fp)")
+
+        self._gen_block(func.body, new_scope=False)
+
+        self._emit_label(self._epilogue_label)
+        for i, reg in enumerate(layout.used_sregs):
+            self._emit(f"lw {reg},{-(layout.locals_size + 4 * (i + 1))}($fp)")
+        self._emit("move $sp,$fp")
+        self._emit("lw $fp,0($sp)")
+        self._emit("lw $ra,4($sp)")
+        self._emit("addiu $sp,$sp,8")
+        self._emit("jr $ra")
+        self._function = None
+
+    # ------------------------------------------------------------------
+    # scopes
+    # ------------------------------------------------------------------
+
+    def _lookup(self, name: str, line: int) -> _Slot:
+        for scope in reversed(self._scopes):
+            if name in scope:
+                return scope[name]
+        slot = self._globals.get(name)
+        if slot is not None:
+            return slot
+        raise CompileError(f"undefined variable {name!r}", line)
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+
+    def _gen_block(self, block: Block, new_scope: bool = True) -> None:
+        if new_scope:
+            self._scopes.append({})
+        for stmt in block.statements:
+            self._gen_stmt(stmt)
+        if new_scope:
+            self._scopes.pop()
+
+    def _gen_stmt(self, stmt: Stmt) -> None:
+        if isinstance(stmt, Block):
+            self._gen_block(stmt)
+        elif isinstance(stmt, ExprStmt):
+            if stmt.expr is not None:
+                self._gen_expr(stmt.expr)
+        elif isinstance(stmt, LocalDecl):
+            self._gen_local_decl(stmt)
+        elif isinstance(stmt, If):
+            self._gen_if(stmt)
+        elif isinstance(stmt, While):
+            self._gen_while(stmt)
+        elif isinstance(stmt, For):
+            self._gen_for(stmt)
+        elif isinstance(stmt, Return):
+            if stmt.value is not None:
+                self._gen_expr(stmt.value)
+                self._emit(f"move $v0,{_ACC}")
+            self._emit(f"b {self._epilogue_label}")
+        elif isinstance(stmt, Break):
+            if not self._loop_stack:
+                raise CompileError("break outside loop", stmt.line)
+            self._emit(f"b {self._loop_stack[-1][0]}")
+        elif isinstance(stmt, Continue):
+            if not self._loop_stack:
+                raise CompileError("continue outside loop", stmt.line)
+            self._emit(f"b {self._loop_stack[-1][1]}")
+        else:  # pragma: no cover
+            raise CompileError(f"unhandled statement {type(stmt).__name__}")
+
+    def _gen_local_decl(self, stmt: LocalDecl) -> None:
+        slot = self._layout.slots_by_node.get(id(stmt))
+        if slot is None:  # declaration inside a for-init of a nested scan
+            raise CompileError(
+                f"internal: no slot for local {stmt.name!r}", stmt.line
+            )
+        self._scopes[-1][stmt.name] = slot
+        if stmt.init is None:
+            return
+        if isinstance(slot.ctype, ArrayType):
+            raise CompileError(
+                "array local initializers are not supported", stmt.line
+            )
+        self._gen_expr(stmt.init)
+        self._store_to_slot(slot)
+
+    def _store_to_slot(self, slot: _Slot) -> None:
+        """Store the accumulator into a scalar variable slot."""
+        if slot.kind == "sreg":
+            if slot.ctype.size == 1:
+                # char variables truncate on assignment even in registers.
+                self._emit(f"andi {slot.reg},{_ACC},0xff")
+            else:
+                self._emit(f"move {slot.reg},{_ACC}")
+        elif slot.kind in ("frame", "param"):
+            op = "sb" if slot.ctype.size == 1 else "sw"
+            self._emit(f"{op} {_ACC},{slot.offset}($fp)")
+        else:  # global
+            self._emit(f"la {_SEC},{slot.label}")
+            op = "sb" if slot.ctype.size == 1 else "sw"
+            self._emit(f"{op} {_ACC},0({_SEC})")
+
+    def _gen_if(self, stmt: If) -> None:
+        else_label = self._new_label("else")
+        end_label = self._new_label("endif")
+        target = else_label if stmt.else_branch is not None else end_label
+        self._gen_cond_branch(stmt.condition, target, jump_if_true=False)
+        if stmt.then_branch is not None:
+            self._gen_stmt(stmt.then_branch)
+        if stmt.else_branch is not None:
+            self._emit(f"b {end_label}")
+            self._emit_label(else_label)
+            self._gen_stmt(stmt.else_branch)
+        self._emit_label(end_label)
+
+    def _gen_while(self, stmt: While) -> None:
+        head = self._new_label("while")
+        end = self._new_label("endwhile")
+        self._emit_label(head)
+        self._gen_cond_branch(stmt.condition, end, jump_if_true=False)
+        self._loop_stack.append((end, head))
+        if stmt.body is not None:
+            self._gen_stmt(stmt.body)
+        self._loop_stack.pop()
+        self._emit(f"b {head}")
+        self._emit_label(end)
+
+    def _gen_for(self, stmt: For) -> None:
+        head = self._new_label("for")
+        step_label = self._new_label("forstep")
+        end = self._new_label("endfor")
+        self._scopes.append({})
+        if stmt.init is not None:
+            self._gen_stmt(stmt.init)
+        self._emit_label(head)
+        if stmt.condition is not None:
+            self._gen_cond_branch(stmt.condition, end, jump_if_true=False)
+        self._loop_stack.append((end, step_label))
+        if stmt.body is not None:
+            self._gen_stmt(stmt.body)
+        self._loop_stack.pop()
+        self._emit_label(step_label)
+        if stmt.step is not None:
+            self._gen_expr(stmt.step)
+        self._emit(f"b {head}")
+        self._emit_label(end)
+        self._scopes.pop()
+
+    # ------------------------------------------------------------------
+    # conditions: branch form, comparing home registers directly
+    # ------------------------------------------------------------------
+
+    def _home_register(self, expr: Expr) -> Optional[str]:
+        """Home register of a promoted variable, else None."""
+        if isinstance(expr, VarRef):
+            for scope in reversed(self._scopes):
+                if expr.name in scope:
+                    slot = scope[expr.name]
+                    return slot.reg if slot.kind == "sreg" else None
+        if isinstance(expr, IntLiteral) and expr.value == 0:
+            return "$0"
+        return None
+
+    def _gen_operand_pair(
+        self, left: Expr, right: Expr
+    ) -> Tuple[str, str, CType, CType]:
+        """Evaluate a binary pair, preferring home registers.
+
+        Returns ``(left_reg, right_reg, left_type, right_type)``.  Using the
+        home register directly matters for taint fidelity: the compare
+        instruction then untaints the *variable*, not a temporary copy.
+        """
+        left_home = self._home_register(left)
+        right_home = self._home_register(right)
+        if left_home is not None and right_home is not None:
+            lt = self._expr_type(left)
+            rt = self._expr_type(right)
+            return left_home, right_home, lt, rt
+        if left_home is not None:
+            rt = self._gen_expr(right)
+            return left_home, _ACC, self._expr_type(left), rt
+        if right_home is not None:
+            lt = self._gen_expr(left)
+            return _ACC, right_home, lt, self._expr_type(right)
+        lt = self._gen_expr(left)
+        self._push()
+        rt = self._gen_expr(right)
+        self._pop(_SEC)
+        return _SEC, _ACC, lt, rt
+
+    def _gen_cond_branch(
+        self, expr: Optional[Expr], target: str, jump_if_true: bool
+    ) -> None:
+        """Branch to ``target`` when the condition matches ``jump_if_true``."""
+        if expr is None:
+            return
+        if isinstance(expr, Unary) and expr.op == "!" and not expr.postfix:
+            assert expr.operand is not None
+            self._gen_cond_branch(expr.operand, target, not jump_if_true)
+            return
+        if isinstance(expr, Binary) and expr.op == "&&":
+            assert expr.left is not None and expr.right is not None
+            if jump_if_true:
+                skip = self._new_label("and")
+                self._gen_cond_branch(expr.left, skip, jump_if_true=False)
+                self._gen_cond_branch(expr.right, target, jump_if_true=True)
+                self._emit_label(skip)
+            else:
+                self._gen_cond_branch(expr.left, target, jump_if_true=False)
+                self._gen_cond_branch(expr.right, target, jump_if_true=False)
+            return
+        if isinstance(expr, Binary) and expr.op == "||":
+            assert expr.left is not None and expr.right is not None
+            if jump_if_true:
+                self._gen_cond_branch(expr.left, target, jump_if_true=True)
+                self._gen_cond_branch(expr.right, target, jump_if_true=True)
+            else:
+                skip = self._new_label("or")
+                self._gen_cond_branch(expr.left, skip, jump_if_true=True)
+                self._gen_cond_branch(expr.right, target, jump_if_true=False)
+                self._emit_label(skip)
+            return
+        if isinstance(expr, Binary) and expr.op in _COMPARISON_OPS:
+            assert expr.left is not None and expr.right is not None
+            left, right, lt, rt = self._gen_operand_pair(expr.left, expr.right)
+            op = expr.op
+            if op in ("==", "!="):
+                want_eq = (op == "==") == jump_if_true
+                branch = "beq" if want_eq else "bne"
+                self._emit(f"{branch} {left},{right},{target}")
+                return
+            unsigned = lt.decayed().is_pointer() or rt.decayed().is_pointer()
+            slt = "sltu" if unsigned else "slt"
+            # Reduce to "x < y" / "not (x < y)" in terms of slt.
+            if op == "<":
+                self._emit(f"{slt} {_ACC},{left},{right}")
+                true_when_set = True
+            elif op == ">":
+                self._emit(f"{slt} {_ACC},{right},{left}")
+                true_when_set = True
+            elif op == "<=":
+                self._emit(f"{slt} {_ACC},{right},{left}")
+                true_when_set = False
+            else:  # ">="
+                self._emit(f"{slt} {_ACC},{left},{right}")
+                true_when_set = False
+            branch = "bnez" if true_when_set == jump_if_true else "beqz"
+            self._emit(f"{branch} {_ACC},{target}")
+            return
+        # Fallback: evaluate as a value, compare against zero -- using the
+        # home register directly for promoted variables.
+        home = self._home_register(expr)
+        reg = home if home is not None else (self._gen_expr(expr), _ACC)[1]
+        branch = "bnez" if jump_if_true else "beqz"
+        self._emit(f"{branch} {reg},{target}")
+
+    # ------------------------------------------------------------------
+    # expression type computation (best-effort, C-permissive)
+    # ------------------------------------------------------------------
+
+    def _expr_type(self, expr: Expr) -> CType:
+        if isinstance(expr, IntLiteral):
+            return INT
+        if isinstance(expr, SizeOf):
+            return INT
+        if isinstance(expr, StringLiteral):
+            return PointerType(CHAR)
+        if isinstance(expr, VarRef):
+            try:
+                return self._lookup(expr.name, expr.line).ctype.decayed()
+            except CompileError:
+                return INT
+        if isinstance(expr, Unary):
+            assert expr.operand is not None
+            if expr.op == "*":
+                base = self._expr_type(expr.operand)
+                if isinstance(base, PointerType):
+                    return base.base if base.base.size else INT
+                return INT
+            if expr.op == "&":
+                return PointerType(self._expr_type(expr.operand))
+            if expr.op in ("++", "--"):
+                return self._expr_type(expr.operand)
+            return INT
+        if isinstance(expr, Binary):
+            if expr.op in ("+", "-"):
+                assert expr.left is not None and expr.right is not None
+                lt = self._expr_type(expr.left)
+                rt = self._expr_type(expr.right)
+                if lt.is_pointer() and rt.is_pointer():
+                    return INT
+                if lt.is_pointer():
+                    return lt
+                if rt.is_pointer():
+                    return rt
+                return INT
+            if expr.op == ",":
+                assert expr.right is not None
+                return self._expr_type(expr.right)
+            return INT
+        if isinstance(expr, Assign):
+            assert expr.target is not None
+            return self._expr_type(expr.target)
+        if isinstance(expr, Conditional):
+            assert expr.then_value is not None
+            return self._expr_type(expr.then_value)
+        if isinstance(expr, Call):
+            func = self._functions.get(expr.name)
+            return func.return_type if func is not None else INT
+        if isinstance(expr, Index):
+            assert expr.base is not None
+            base = self._expr_type(expr.base)
+            if isinstance(base, PointerType):
+                return base.base
+            return INT
+        return INT
+
+    # ------------------------------------------------------------------
+    # lvalues
+    # ------------------------------------------------------------------
+
+    def _gen_addr(self, expr: Expr) -> CType:
+        """Leave the address of an lvalue in the accumulator.
+
+        Returns the element type stored at that address.
+        """
+        if isinstance(expr, VarRef):
+            slot = self._lookup(expr.name, expr.line)
+            if slot.kind == "sreg":
+                raise CompileError(
+                    f"cannot take the address of register variable "
+                    f"{expr.name!r}",
+                    expr.line,
+                )
+            if slot.kind == "global":
+                self._emit(f"la {_ACC},{slot.label}")
+            else:
+                self._emit(f"addiu {_ACC},$fp,{slot.offset}")
+            return slot.ctype
+        if isinstance(expr, Unary) and expr.op == "*":
+            assert expr.operand is not None
+            ptype = self._gen_expr(expr.operand)
+            if isinstance(ptype, PointerType) and ptype.base.size:
+                return ptype.base
+            return INT
+        if isinstance(expr, Index):
+            assert expr.base is not None and expr.index is not None
+            base_type = self._gen_expr(expr.base)
+            if not isinstance(base_type, PointerType):
+                base_type = PointerType(INT)
+            elem = base_type.base if base_type.base.size else INT
+            self._push()
+            self._gen_expr(expr.index)
+            if elem.size == 4:
+                self._emit(f"sll {_ACC},{_ACC},2")
+            elif elem.size == 2:
+                self._emit(f"sll {_ACC},{_ACC},1")
+            self._pop(_SEC)
+            self._emit(f"addu {_ACC},{_SEC},{_ACC}")
+            return elem
+        raise CompileError(
+            f"expression is not an lvalue ({type(expr).__name__})", expr.line
+        )
+
+    def _load_from_addr(self, elem: CType, addr_reg: str = _ACC) -> CType:
+        """Load the value at ``addr_reg`` into the accumulator."""
+        if isinstance(elem, ArrayType):
+            # Arrays decay: the address itself is the value.
+            if addr_reg != _ACC:
+                self._emit(f"move {_ACC},{addr_reg}")
+            return PointerType(elem.base)
+        op = "lbu" if elem.size == 1 else "lw"
+        self._emit(f"{op} {_ACC},0({addr_reg})")
+        return elem if elem.size == 4 else INT
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+
+    def _gen_expr(self, expr: Expr) -> CType:
+        """Evaluate ``expr`` into the accumulator; returns its type."""
+        if isinstance(expr, IntLiteral):
+            self._emit(f"li {_ACC},{expr.value}")
+            return INT
+        if isinstance(expr, SizeOf):
+            assert expr.ctype is not None
+            self._emit(f"li {_ACC},{expr.ctype.size}")
+            return INT
+        if isinstance(expr, StringLiteral):
+            label = self._string_label(expr.value)
+            self._emit(f"la {_ACC},{label}")
+            return PointerType(CHAR)
+        if isinstance(expr, VarRef):
+            slot = self._lookup(expr.name, expr.line)
+            if slot.kind == "sreg":
+                self._emit(f"move {_ACC},{slot.reg}")
+                return slot.ctype.decayed()
+            elem = self._gen_addr(expr)
+            result = self._load_from_addr(elem)
+            return result if not isinstance(elem, ArrayType) else result
+        if isinstance(expr, Unary):
+            return self._gen_unary(expr)
+        if isinstance(expr, Binary):
+            return self._gen_binary(expr)
+        if isinstance(expr, Assign):
+            return self._gen_assign(expr)
+        if isinstance(expr, Conditional):
+            return self._gen_conditional(expr)
+        if isinstance(expr, Call):
+            return self._gen_call(expr)
+        if isinstance(expr, Index):
+            elem = self._gen_addr(expr)
+            return self._load_from_addr(elem)
+        raise CompileError(
+            f"unhandled expression {type(expr).__name__}", expr.line
+        )
+
+    def _gen_unary(self, expr: Unary) -> CType:
+        assert expr.operand is not None
+        op = expr.op
+        if op in ("++", "--"):
+            return self._gen_incdec(expr)
+        if op == "&":
+            elem = self._gen_addr(expr.operand)
+            return PointerType(elem)
+        if op == "*":
+            elem = self._gen_addr(expr)
+            return self._load_from_addr(elem)
+        ctype = self._gen_expr(expr.operand)
+        if op == "-":
+            self._emit(f"sub {_ACC},$0,{_ACC}")
+            return INT
+        if op == "~":
+            self._emit(f"nor {_ACC},{_ACC},$0")
+            return INT
+        if op == "!":
+            self._emit(f"sltiu {_ACC},{_ACC},1")
+            return INT
+        raise CompileError(f"unhandled unary {op!r}", expr.line)
+
+    def _pointer_scale(self, ctype: CType) -> int:
+        decayed = ctype.decayed()
+        if isinstance(decayed, PointerType) and decayed.base.size > 1:
+            return decayed.base.size
+        return 1
+
+    def _gen_incdec(self, expr: Unary) -> CType:
+        assert expr.operand is not None
+        target = expr.operand
+        ctype = self._expr_type(target)
+        step = self._pointer_scale(ctype)
+        delta = step if expr.op == "++" else -step
+        home = self._home_register(target)
+        if home is not None and home != "$0":
+            if expr.postfix:
+                self._emit(f"move {_ACC},{home}")
+                self._emit(f"addiu {home},{home},{delta}")
+            else:
+                self._emit(f"addiu {home},{home},{delta}")
+                self._emit(f"move {_ACC},{home}")
+            return ctype
+        elem = self._gen_addr(target)
+        load = "lbu" if elem.size == 1 else "lw"
+        store = "sb" if elem.size == 1 else "sw"
+        self._emit(f"move {_SEC},{_ACC}")
+        self._emit(f"{load} {_ACC},0({_SEC})")
+        self._emit(f"addiu {_SCR},{_ACC},{delta}")
+        self._emit(f"{store} {_SCR},0({_SEC})")
+        if not expr.postfix:
+            self._emit(f"move {_ACC},{_SCR}")
+        return ctype
+
+    def _gen_binary(self, expr: Binary) -> CType:
+        assert expr.left is not None and expr.right is not None
+        op = expr.op
+        if op == ",":
+            self._gen_expr(expr.left)
+            return self._gen_expr(expr.right)
+        if op in ("&&", "||"):
+            true_label = self._new_label("btrue")
+            end_label = self._new_label("bend")
+            self._gen_cond_branch(expr, true_label, jump_if_true=True)
+            self._emit(f"li {_ACC},0")
+            self._emit(f"b {end_label}")
+            self._emit_label(true_label)
+            self._emit(f"li {_ACC},1")
+            self._emit_label(end_label)
+            return INT
+        if op in _COMPARISON_OPS:
+            left, right, lt, rt = self._gen_operand_pair(expr.left, expr.right)
+            unsigned = lt.decayed().is_pointer() or rt.decayed().is_pointer()
+            slt = "sltu" if unsigned else "slt"
+            if op == "<":
+                self._emit(f"{slt} {_ACC},{left},{right}")
+            elif op == ">":
+                self._emit(f"{slt} {_ACC},{right},{left}")
+            elif op == "<=":
+                self._emit(f"{slt} {_ACC},{right},{left}")
+                self._emit(f"xori {_ACC},{_ACC},1")
+            elif op == ">=":
+                self._emit(f"{slt} {_ACC},{left},{right}")
+                self._emit(f"xori {_ACC},{_ACC},1")
+            elif op == "==":
+                self._emit(f"xor {_ACC},{left},{right}")
+                self._emit(f"sltiu {_ACC},{_ACC},1")
+            else:  # "!="
+                self._emit(f"xor {_ACC},{left},{right}")
+                self._emit(f"sltu {_ACC},$0,{_ACC}")
+            return INT
+
+        left, right, lt, rt = self._gen_operand_pair(expr.left, expr.right)
+        if op == "+":
+            lscale = self._pointer_scale(lt)
+            rscale = self._pointer_scale(rt)
+            if lscale > 1 and rscale == 1:
+                self._scale_into(right, lscale)
+                right = _SCR
+            elif rscale > 1 and lscale == 1:
+                self._scale_into(left, rscale)
+                left = _SCR
+            self._emit(f"addu {_ACC},{left},{right}")
+            return lt if lscale > 1 else (rt if rscale > 1 else INT)
+        if op == "-":
+            lscale = self._pointer_scale(lt)
+            rscale = self._pointer_scale(rt)
+            if lscale > 1 and rscale > 1:
+                self._emit(f"subu {_ACC},{left},{right}")
+                shift = {4: 2, 2: 1}.get(lscale)
+                if shift:
+                    self._emit(f"sra {_ACC},{_ACC},{shift}")
+                return INT
+            if lscale > 1:
+                self._scale_into(right, lscale)
+                right = _SCR
+            self._emit(f"subu {_ACC},{left},{right}")
+            return lt if lscale > 1 else INT
+        if op == "*":
+            self._emit(f"mult {left},{right}")
+            self._emit(f"mflo {_ACC}")
+            return INT
+        if op in ("/", "%"):
+            self._emit(f"div {left},{right}")
+            self._emit(f"mflo {_ACC}" if op == "/" else f"mfhi {_ACC}")
+            return INT
+        if op == "&":
+            self._emit(f"and {_ACC},{left},{right}")
+            return INT
+        if op == "|":
+            self._emit(f"or {_ACC},{left},{right}")
+            return INT
+        if op == "^":
+            self._emit(f"xor {_ACC},{left},{right}")
+            return INT
+        if op == "<<":
+            self._emit(f"sllv {_ACC},{left},{right}")
+            return INT
+        if op == ">>":
+            self._emit(f"srav {_ACC},{left},{right}")
+            return INT
+        raise CompileError(f"unhandled binary {op!r}", expr.line)
+
+    def _scale_into(self, reg: str, scale: int) -> None:
+        """Scale ``reg`` by an element size into the scratch register."""
+        shift = {4: 2, 2: 1}.get(scale)
+        if shift is None:
+            raise CompileError(f"unsupported pointer element size {scale}")
+        self._emit(f"sll {_SCR},{reg},{shift}")
+
+    _COMPOUND_BASE = {
+        "+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%",
+        "&=": "&", "|=": "|", "^=": "^", "<<=": "<<", ">>=": ">>",
+    }
+
+    def _gen_assign(self, expr: Assign) -> CType:
+        assert expr.target is not None and expr.value is not None
+        target = expr.target
+        # Register-resident scalar.
+        if isinstance(target, VarRef):
+            slot = self._lookup(target.name, target.line)
+            if slot.kind == "sreg":
+                self._gen_expr(expr.value)
+                if expr.op != "=":
+                    self._apply_compound(
+                        self._COMPOUND_BASE[expr.op], slot.reg, slot.ctype
+                    )
+                self._store_to_slot(slot)
+                self._emit(f"move {_ACC},{slot.reg}")
+                return slot.ctype.decayed()
+        # Memory-resident lvalue.
+        elem = self._gen_addr(target)
+        self._push()  # address
+        self._gen_expr(expr.value)
+        self._pop(_SEC)  # address in _SEC, value in _ACC
+        store = "sb" if elem.size == 1 else "sw"
+        if expr.op != "=":
+            load = "lbu" if elem.size == 1 else "lw"
+            self._emit(f"{load} {_SCR},0({_SEC})")
+            self._apply_compound(self._COMPOUND_BASE[expr.op], _SCR, elem)
+        self._emit(f"{store} {_ACC},0({_SEC})")
+        return elem.decayed() if not isinstance(elem, ArrayType) else INT
+
+    def _apply_compound(self, op: str, current_reg: str, ctype: CType) -> None:
+        """Accumulator := current_reg (op) accumulator, with pointer scaling."""
+        scale = self._pointer_scale(ctype)
+        if op in ("+", "-") and scale > 1:
+            self._scale_into(_ACC, scale)
+            self._emit(f"move {_ACC},{_SCR}")
+        if op == "+":
+            self._emit(f"addu {_ACC},{current_reg},{_ACC}")
+        elif op == "-":
+            self._emit(f"subu {_ACC},{current_reg},{_ACC}")
+        elif op == "*":
+            self._emit(f"mult {current_reg},{_ACC}")
+            self._emit(f"mflo {_ACC}")
+        elif op == "/":
+            self._emit(f"div {current_reg},{_ACC}")
+            self._emit(f"mflo {_ACC}")
+        elif op == "%":
+            self._emit(f"div {current_reg},{_ACC}")
+            self._emit(f"mfhi {_ACC}")
+        elif op == "&":
+            self._emit(f"and {_ACC},{current_reg},{_ACC}")
+        elif op == "|":
+            self._emit(f"or {_ACC},{current_reg},{_ACC}")
+        elif op == "^":
+            self._emit(f"xor {_ACC},{current_reg},{_ACC}")
+        elif op == "<<":
+            self._emit(f"sllv {_ACC},{current_reg},{_ACC}")
+        elif op == ">>":
+            self._emit(f"srav {_ACC},{current_reg},{_ACC}")
+        else:  # pragma: no cover
+            raise CompileError(f"unhandled compound op {op!r}")
+
+    def _gen_conditional(self, expr: Conditional) -> CType:
+        assert expr.condition is not None
+        assert expr.then_value is not None and expr.else_value is not None
+        else_label = self._new_label("celse")
+        end_label = self._new_label("cend")
+        self._gen_cond_branch(expr.condition, else_label, jump_if_true=False)
+        ctype = self._gen_expr(expr.then_value)
+        self._emit(f"b {end_label}")
+        self._emit_label(else_label)
+        self._gen_expr(expr.else_value)
+        self._emit_label(end_label)
+        return ctype
+
+    def _gen_call(self, expr: Call) -> CType:
+        for arg in reversed(expr.args):
+            self._gen_expr(arg)
+            self._push()
+        self._emit(f"jal {expr.name}")
+        if expr.args:
+            self._emit(f"addiu $sp,$sp,{4 * len(expr.args)}")
+        self._emit(f"move {_ACC},$v0")
+        func = self._functions.get(expr.name)
+        return func.return_type if func is not None else INT
+
+
+def generate(unit: TranslationUnit, prefix: str = "") -> str:
+    """Generate assembly for a parsed translation unit."""
+    return CodeGenerator(unit, prefix).generate()

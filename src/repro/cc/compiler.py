@@ -1,0 +1,30 @@
+"""MiniC compilation driver: source text -> assembly text."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from .codegen import generate
+from .errors import CompileError
+from .parser import parse
+
+
+def compile_minic(source: str, prefix: str = "") -> str:
+    """Compile one MiniC translation unit to assembly.
+
+    ``prefix`` namespaces compiler-internal labels (string literals, control
+    flow) so several units can be concatenated into one assembly file.
+    """
+    unit = parse(source)
+    return generate(unit, prefix)
+
+
+def compile_units(units: Sequence[Tuple[str, str]]) -> str:
+    """Compile ``(name, source)`` units and concatenate their assembly."""
+    parts: List[str] = []
+    for name, source in units:
+        try:
+            parts.append(compile_minic(source, prefix=f"{name}_"))
+        except CompileError as exc:
+            raise CompileError(f"in unit {name!r}: {exc}") from exc
+    return "\n".join(parts)

@@ -1,0 +1,15 @@
+"""Diagnostics for the MiniC toolchain."""
+
+from __future__ import annotations
+
+
+class CompileError(Exception):
+    """Any MiniC front-end or code-generation error, with source location."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        location = f" at line {line}" if line else ""
+        if line and column:
+            location += f", column {column}"
+        super().__init__(message + location)
+        self.line = line
+        self.column = column

@@ -1,0 +1,199 @@
+"""Lexer for MiniC, the C subset our toolchain compiles to the simulated ISA.
+
+Token kinds: ``ident``, ``number``, ``string``, ``punct``, ``eof``.
+Keywords are returned as ``ident`` tokens; the parser distinguishes them.
+Comments (``//`` and ``/* */``) and whitespace are skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .errors import CompileError
+
+#: Multi-character punctuators, longest first so maximal munch works.
+_PUNCTUATORS = [
+    "<<=", ">>=", "...",
+    "&&", "||", "==", "!=", "<=", ">=", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--", "->",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&", "|", "^",
+    "(", ")", "{", "}", "[", "]", ";", ",", "?", ":",
+]
+
+_ESCAPES = {
+    "n": 10, "t": 9, "r": 13, "0": 0, "\\": 92, "'": 39, '"': 34,
+    "a": 7, "b": 8, "f": 12, "v": 11,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token."""
+
+    kind: str       # "ident" | "number" | "string" | "punct" | "eof"
+    text: str       # raw or canonical text (punct spelling, identifier name)
+    value: int = 0  # numeric value for "number" tokens
+    line: int = 0
+    column: int = 0
+
+    def is_punct(self, spelling: str) -> bool:
+        return self.kind == "punct" and self.text == spelling
+
+    def is_ident(self, name: str) -> bool:
+        return self.kind == "ident" and self.text == name
+
+
+def _decode_escape(text: str, index: int, line: int) -> "tuple[int, int]":
+    """Decode the escape starting at ``text[index]`` (after the backslash).
+
+    Returns ``(byte_value, next_index)``.
+    """
+    ch = text[index]
+    if ch == "x":
+        digits = ""
+        index += 1
+        while index < len(text) and text[index] in "0123456789abcdefABCDEF":
+            digits += text[index]
+            index += 1
+            if len(digits) == 2:
+                break
+        if not digits:
+            raise CompileError("bad \\x escape", line)
+        return int(digits, 16), index
+    if ch in _ESCAPES:
+        return _ESCAPES[ch], index + 1
+    raise CompileError(f"unknown escape \\{ch}", line)
+
+
+class Lexer:
+    """Tokenizes MiniC source text."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def tokens(self) -> List[Token]:
+        """Lex the whole input; the list always ends with an ``eof`` token."""
+        out: List[Token] = []
+        while True:
+            token = self._next()
+            out.append(token)
+            if token.kind == "eof":
+                return out
+
+    # ------------------------------------------------------------------
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos < len(self.source) and self.source[self.pos] == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+            self.pos += 1
+
+    def _skip_trivia(self) -> None:
+        src = self.source
+        while self.pos < len(src):
+            ch = src[self.pos]
+            if ch in " \t\r\n":
+                self._advance()
+            elif src.startswith("//", self.pos):
+                while self.pos < len(src) and src[self.pos] != "\n":
+                    self._advance()
+            elif src.startswith("/*", self.pos):
+                end = src.find("*/", self.pos + 2)
+                if end < 0:
+                    raise CompileError("unterminated comment", self.line)
+                self._advance(end + 2 - self.pos)
+            else:
+                return
+
+    def _next(self) -> Token:
+        self._skip_trivia()
+        src = self.source
+        if self.pos >= len(src):
+            return Token("eof", "", line=self.line, column=self.column)
+        line, column = self.line, self.column
+        ch = src[self.pos]
+
+        if ch.isalpha() or ch == "_":
+            start = self.pos
+            while self.pos < len(src) and (
+                src[self.pos].isalnum() or src[self.pos] == "_"
+            ):
+                self._advance()
+            return Token("ident", src[start : self.pos], line=line, column=column)
+
+        if ch.isdigit():
+            start = self.pos
+            if src.startswith("0x", self.pos) or src.startswith("0X", self.pos):
+                self._advance(2)
+                while self.pos < len(src) and src[self.pos] in (
+                    "0123456789abcdefABCDEF"
+                ):
+                    self._advance()
+                value = int(src[start : self.pos], 16)
+            else:
+                while self.pos < len(src) and src[self.pos].isdigit():
+                    self._advance()
+                value = int(src[start : self.pos])
+            return Token(
+                "number", src[start : self.pos], value, line=line, column=column
+            )
+
+        if ch == "'":
+            self._advance()
+            if self.pos >= len(src):
+                raise CompileError("unterminated char literal", line)
+            if src[self.pos] == "\\":
+                self._advance()
+                value, next_index = _decode_escape(src, self.pos, line)
+                self._advance(next_index - self.pos)
+            else:
+                value = ord(src[self.pos])
+                self._advance()
+            if self.pos >= len(src) or src[self.pos] != "'":
+                raise CompileError("unterminated char literal", line)
+            self._advance()
+            return Token("number", f"'{value}'", value, line=line, column=column)
+
+        if ch == '"':
+            self._advance()
+            data = bytearray()
+            while True:
+                if self.pos >= len(src):
+                    raise CompileError("unterminated string literal", line)
+                current = src[self.pos]
+                if current == '"':
+                    self._advance()
+                    break
+                if current == "\\":
+                    self._advance()
+                    value, next_index = _decode_escape(src, self.pos, line)
+                    self._advance(next_index - self.pos)
+                    data.append(value)
+                else:
+                    data.append(ord(current))
+                    self._advance()
+            return Token(
+                "string",
+                data.decode("latin-1"),
+                line=line,
+                column=column,
+            )
+
+        for punct in _PUNCTUATORS:
+            if src.startswith(punct, self.pos):
+                self._advance(len(punct))
+                return Token("punct", punct, line=line, column=column)
+
+        raise CompileError(f"unexpected character {ch!r}", line, column)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Convenience wrapper: lex ``source`` into a token list."""
+    return Lexer(source).tokens()

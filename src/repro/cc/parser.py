@@ -1,0 +1,497 @@
+"""Recursive-descent parser for MiniC.
+
+Grammar summary (C subset): ``int``/``char``/``void`` with pointers and
+one-dimensional arrays, functions (with ``...`` varargs), the usual
+statements (``if``/``while``/``for``/``return``/``break``/``continue``),
+and C expression syntax down to assignment operators, ``?:``,
+short-circuit ``&&``/``||`` and prefix/postfix ``++``/``--``.
+
+No structs, typedefs, floats, or casts -- the evaluation programs use
+word-offset pointer arithmetic instead (see DESIGN.md, Known deviations).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .ast_nodes import (
+    ArrayType,
+    Assign,
+    Binary,
+    Block,
+    Break,
+    CHAR,
+    CType,
+    Call,
+    Conditional,
+    Continue,
+    Expr,
+    ExprStmt,
+    For,
+    FuncDef,
+    GlobalDecl,
+    If,
+    INT,
+    Index,
+    IntLiteral,
+    LocalDecl,
+    Param,
+    PointerType,
+    Return,
+    SizeOf,
+    Stmt,
+    StringLiteral,
+    TranslationUnit,
+    Unary,
+    VOID,
+    VarRef,
+    While,
+)
+from .errors import CompileError
+from .lexer import Token, tokenize
+
+_TYPE_KEYWORDS = {"int": INT, "char": CHAR, "void": VOID}
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
+
+
+class Parser:
+    """Parses one MiniC translation unit."""
+
+    def __init__(self, source: str) -> None:
+        self._tokens = tokenize(source)
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    # token plumbing
+    # ------------------------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _peek(self, offset: int = 1) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.kind != "eof":
+            self._pos += 1
+        return token
+
+    def _expect_punct(self, spelling: str) -> Token:
+        if not self._current.is_punct(spelling):
+            raise CompileError(
+                f"expected {spelling!r}, found {self._current.text!r}",
+                self._current.line,
+                self._current.column,
+            )
+        return self._advance()
+
+    def _expect_ident(self) -> Token:
+        if self._current.kind != "ident":
+            raise CompileError(
+                f"expected identifier, found {self._current.text!r}",
+                self._current.line,
+                self._current.column,
+            )
+        return self._advance()
+
+    def _accept_punct(self, spelling: str) -> bool:
+        if self._current.is_punct(spelling):
+            self._advance()
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # types
+    # ------------------------------------------------------------------
+
+    def _at_type(self) -> bool:
+        return self._current.kind == "ident" and self._current.text in _TYPE_KEYWORDS
+
+    def _parse_type(self) -> CType:
+        token = self._expect_ident()
+        base = _TYPE_KEYWORDS.get(token.text)
+        if base is None:
+            raise CompileError(f"unknown type {token.text!r}", token.line)
+        ctype: CType = base
+        while self._accept_punct("*"):
+            ctype = PointerType(ctype)
+        return ctype
+
+    # ------------------------------------------------------------------
+    # top level
+    # ------------------------------------------------------------------
+
+    def parse(self) -> TranslationUnit:
+        unit = TranslationUnit()
+        while self._current.kind != "eof":
+            if not self._at_type():
+                raise CompileError(
+                    f"expected declaration, found {self._current.text!r}",
+                    self._current.line,
+                )
+            start = self._pos
+            ctype = self._parse_type()
+            name = self._expect_ident()
+            if self._current.is_punct("("):
+                self._pos = start
+                function = self._parse_function()
+                if function is not None:
+                    unit.functions.append(function)
+            else:
+                self._pos = start
+                unit.globals.extend(self._parse_global())
+        return unit
+
+    def _parse_function(self) -> Optional[FuncDef]:
+        return_type = self._parse_type()
+        name = self._expect_ident()
+        self._expect_punct("(")
+        params: List[Param] = []
+        varargs = False
+        if not self._current.is_punct(")"):
+            if self._current.is_ident("void") and self._peek().is_punct(")"):
+                self._advance()
+            else:
+                while True:
+                    if self._current.is_punct("..."):
+                        self._advance()
+                        varargs = True
+                        break
+                    ptype = self._parse_type()
+                    pname = self._expect_ident()
+                    if self._accept_punct("["):
+                        # Array parameters decay to pointers.
+                        if self._current.kind == "number":
+                            self._advance()
+                        self._expect_punct("]")
+                        ptype = PointerType(ptype)
+                    params.append(Param(pname.text, ptype))
+                    if not self._accept_punct(","):
+                        break
+        self._expect_punct(")")
+        if self._accept_punct(";"):
+            return None  # prototype: declaration only
+        body = self._parse_block()
+        return FuncDef(
+            name=name.text,
+            return_type=return_type,
+            params=params,
+            varargs=varargs,
+            body=body,
+            line=name.line,
+        )
+
+    def _parse_global(self) -> List[GlobalDecl]:
+        base = self._parse_type()
+        decls: List[GlobalDecl] = []
+        while True:
+            ctype = base
+            while self._accept_punct("*"):
+                ctype = PointerType(ctype)
+            name = self._expect_ident()
+            if self._accept_punct("["):
+                count_token = self._advance()
+                if count_token.kind != "number":
+                    raise CompileError(
+                        "array size must be a constant", count_token.line
+                    )
+                self._expect_punct("]")
+                ctype = ArrayType(ctype, count_token.value)
+            init = None
+            if self._accept_punct("="):
+                init = self._parse_global_init(name.line)
+            decls.append(GlobalDecl(name.text, ctype, init, line=name.line))
+            if self._accept_punct(";"):
+                return decls
+            self._expect_punct(",")
+
+    def _parse_global_init(self, line: int):
+        token = self._current
+        if token.kind == "string":
+            self._advance()
+            return token.text.encode("latin-1") + b"\0"
+        if token.is_punct("{"):
+            self._advance()
+            values: List[int] = []
+            while not self._current.is_punct("}"):
+                values.append(self._parse_const_int())
+                if not self._accept_punct(","):
+                    break
+            self._expect_punct("}")
+            return values
+        return self._parse_const_int()
+
+    def _parse_const_int(self) -> int:
+        negative = self._accept_punct("-")
+        token = self._advance()
+        if token.kind != "number":
+            raise CompileError(
+                "constant initializer expected", token.line, token.column
+            )
+        return -token.value if negative else token.value
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+
+    def _parse_block(self) -> Block:
+        open_token = self._expect_punct("{")
+        statements: List[Stmt] = []
+        while not self._current.is_punct("}"):
+            if self._current.kind == "eof":
+                raise CompileError("unterminated block", open_token.line)
+            statements.append(self._parse_statement())
+        self._expect_punct("}")
+        return Block(line=open_token.line, statements=statements)
+
+    def _parse_statement(self) -> Stmt:
+        token = self._current
+        if token.is_punct("{"):
+            return self._parse_block()
+        if token.is_punct(";"):
+            self._advance()
+            return ExprStmt(line=token.line, expr=None)
+        if token.is_ident("if"):
+            self._advance()
+            self._expect_punct("(")
+            condition = self._parse_expression()
+            self._expect_punct(")")
+            then_branch = self._parse_statement()
+            else_branch = None
+            if self._current.is_ident("else"):
+                self._advance()
+                else_branch = self._parse_statement()
+            return If(
+                line=token.line,
+                condition=condition,
+                then_branch=then_branch,
+                else_branch=else_branch,
+            )
+        if token.is_ident("while"):
+            self._advance()
+            self._expect_punct("(")
+            condition = self._parse_expression()
+            self._expect_punct(")")
+            body = self._parse_statement()
+            return While(line=token.line, condition=condition, body=body)
+        if token.is_ident("for"):
+            self._advance()
+            self._expect_punct("(")
+            init: Optional[Stmt] = None
+            if not self._current.is_punct(";"):
+                if self._at_type():
+                    init = self._parse_local_decl()
+                else:
+                    init = ExprStmt(
+                        line=token.line, expr=self._parse_expression()
+                    )
+            self._expect_punct(";")
+            condition = None
+            if not self._current.is_punct(";"):
+                condition = self._parse_expression()
+            self._expect_punct(";")
+            step = None
+            if not self._current.is_punct(")"):
+                step = self._parse_expression()
+            self._expect_punct(")")
+            body = self._parse_statement()
+            return For(
+                line=token.line,
+                init=init,
+                condition=condition,
+                step=step,
+                body=body,
+            )
+        if token.is_ident("return"):
+            self._advance()
+            value = None
+            if not self._current.is_punct(";"):
+                value = self._parse_expression()
+            self._expect_punct(";")
+            return Return(line=token.line, value=value)
+        if token.is_ident("break"):
+            self._advance()
+            self._expect_punct(";")
+            return Break(line=token.line)
+        if token.is_ident("continue"):
+            self._advance()
+            self._expect_punct(";")
+            return Continue(line=token.line)
+        if self._at_type():
+            decl = self._parse_local_decl()
+            self._expect_punct(";")
+            return decl
+        expr = self._parse_expression()
+        self._expect_punct(";")
+        return ExprStmt(line=token.line, expr=expr)
+
+    def _parse_local_decl(self) -> Stmt:
+        """One local declaration; multiple declarators become a Block."""
+        line = self._current.line
+        base = self._parse_type()
+        decls: List[Stmt] = []
+        while True:
+            ctype = base
+            while self._accept_punct("*"):
+                ctype = PointerType(ctype)
+            name = self._expect_ident()
+            if self._accept_punct("["):
+                count_token = self._advance()
+                if count_token.kind != "number":
+                    raise CompileError(
+                        "array size must be a constant", count_token.line
+                    )
+                self._expect_punct("]")
+                ctype = ArrayType(ctype, count_token.value)
+            init = None
+            if self._accept_punct("="):
+                init = self._parse_assignment()
+            decls.append(
+                LocalDecl(line=name.line, name=name.text, ctype=ctype, init=init)
+            )
+            if not self._accept_punct(","):
+                break
+        if len(decls) == 1:
+            return decls[0]
+        return Block(line=line, statements=decls)
+
+    # ------------------------------------------------------------------
+    # expressions (precedence climbing via nested methods)
+    # ------------------------------------------------------------------
+
+    def _parse_expression(self) -> Expr:
+        expr = self._parse_assignment()
+        while self._accept_punct(","):
+            right = self._parse_assignment()
+            expr = Binary(line=right.line, op=",", left=expr, right=right)
+        return expr
+
+    def _parse_assignment(self) -> Expr:
+        target = self._parse_conditional()
+        token = self._current
+        if token.kind == "punct" and token.text in _ASSIGN_OPS:
+            self._advance()
+            value = self._parse_assignment()
+            return Assign(line=token.line, op=token.text, target=target, value=value)
+        return target
+
+    def _parse_conditional(self) -> Expr:
+        condition = self._parse_binary(0)
+        if self._accept_punct("?"):
+            then_value = self._parse_expression()
+            self._expect_punct(":")
+            else_value = self._parse_conditional()
+            return Conditional(
+                line=condition.line,
+                condition=condition,
+                then_value=then_value,
+                else_value=else_value,
+            )
+        return condition
+
+    #: Binary operator precedence levels, loosest first.
+    _LEVELS: List[Tuple[str, ...]] = [
+        ("||",),
+        ("&&",),
+        ("|",),
+        ("^",),
+        ("&",),
+        ("==", "!="),
+        ("<", ">", "<=", ">="),
+        ("<<", ">>"),
+        ("+", "-"),
+        ("*", "/", "%"),
+    ]
+
+    def _parse_binary(self, level: int) -> Expr:
+        if level >= len(self._LEVELS):
+            return self._parse_unary()
+        ops = self._LEVELS[level]
+        left = self._parse_binary(level + 1)
+        while self._current.kind == "punct" and self._current.text in ops:
+            token = self._advance()
+            right = self._parse_binary(level + 1)
+            left = Binary(line=token.line, op=token.text, left=left, right=right)
+        return left
+
+    def _parse_unary(self) -> Expr:
+        token = self._current
+        if token.kind == "punct" and token.text in ("-", "!", "~", "*", "&"):
+            self._advance()
+            operand = self._parse_unary()
+            return Unary(line=token.line, op=token.text, operand=operand)
+        if token.kind == "punct" and token.text in ("++", "--"):
+            self._advance()
+            operand = self._parse_unary()
+            return Unary(line=token.line, op=token.text, operand=operand)
+        if token.is_ident("sizeof"):
+            self._advance()
+            self._expect_punct("(")
+            ctype = self._parse_type()
+            self._expect_punct(")")
+            return SizeOf(line=token.line, ctype=ctype)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> Expr:
+        expr = self._parse_primary()
+        while True:
+            token = self._current
+            if token.is_punct("("):
+                if not isinstance(expr, VarRef):
+                    raise CompileError(
+                        "only direct calls by name are supported", token.line
+                    )
+                self._advance()
+                args: List[Expr] = []
+                while not self._current.is_punct(")"):
+                    args.append(self._parse_assignment())
+                    if not self._accept_punct(","):
+                        break
+                self._expect_punct(")")
+                expr = Call(line=token.line, name=expr.name, args=args)
+            elif token.is_punct("["):
+                self._advance()
+                index = self._parse_expression()
+                self._expect_punct("]")
+                expr = Index(line=token.line, base=expr, index=index)
+            elif token.kind == "punct" and token.text in ("++", "--"):
+                self._advance()
+                expr = Unary(
+                    line=token.line, op=token.text, operand=expr, postfix=True
+                )
+            else:
+                return expr
+
+    def _parse_primary(self) -> Expr:
+        token = self._current
+        if token.kind == "number":
+            self._advance()
+            return IntLiteral(line=token.line, value=token.value)
+        if token.kind == "string":
+            self._advance()
+            data = token.text.encode("latin-1")
+            # Adjacent string literals concatenate, as in C.
+            while self._current.kind == "string":
+                data += self._current.text.encode("latin-1")
+                self._advance()
+            return StringLiteral(line=token.line, value=data + b"\0")
+        if token.kind == "ident":
+            self._advance()
+            return VarRef(line=token.line, name=token.text)
+        if token.is_punct("("):
+            self._advance()
+            expr = self._parse_expression()
+            self._expect_punct(")")
+            return expr
+        raise CompileError(
+            f"unexpected token {token.text!r}", token.line, token.column
+        )
+
+
+def parse(source: str) -> TranslationUnit:
+    """Parse MiniC source into a :class:`TranslationUnit`."""
+    return Parser(source).parse()

@@ -1,0 +1,185 @@
+"""Command-line interface: run programs on the taint-tracking machine.
+
+Examples::
+
+    python -m repro run victim.c --stdin-text "aaaaaaaaaaaaaaaaaaaaaaaa" --explain
+    python -m repro run server.c --policy control-data --arg -g --arg 123
+    python -m repro asm program.s --stdin-file input.bin
+    python -m repro disasm victim.c
+    python -m repro report table2
+    python -m repro report all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional, Sequence
+
+from .attacks.replay import run_executable
+from .core.policy import (
+    ControlDataPolicy,
+    DetectionPolicy,
+    NullPolicy,
+    PointerTaintPolicy,
+)
+from .evalx import experiments
+from .evalx.forensics import explain
+from .isa.assembler import assemble
+from .libc.build import build_program
+
+#: --policy choices.
+POLICIES: Dict[str, Callable[[], DetectionPolicy]] = {
+    "paper": PointerTaintPolicy,
+    "pointer-taintedness": PointerTaintPolicy,
+    "control-data": ControlDataPolicy,
+    "none": NullPolicy,
+}
+
+#: report subcommand choices -> renderers.
+REPORTS: Dict[str, Callable[[], str]] = {
+    "fig1": experiments.report_fig1,
+    "fig2": experiments.report_fig2,
+    "table2": experiments.report_table2,
+    "table3": experiments.report_table3,
+    "table4": experiments.report_table4,
+    "sec54": experiments.report_sec54,
+    "coverage": experiments.report_coverage_matrix,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Pointer-taintedness detection (DSN 2005) -- compile and run "
+            "programs on the simulated taint-tracking processor."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_run_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("file", help="source file")
+        p.add_argument(
+            "--policy",
+            choices=sorted(POLICIES),
+            default="paper",
+            help="detection policy (default: the paper's)",
+        )
+        p.add_argument("--stdin-text", default=None,
+                       help="stdin contents (latin-1 text)")
+        p.add_argument("--stdin-file", default=None,
+                       help="file whose bytes become stdin")
+        p.add_argument("--arg", action="append", default=[],
+                       help="argv entry (repeatable); argv[0] is the file name")
+        p.add_argument("--max-instructions", type=int, default=20_000_000)
+        p.add_argument("--pipeline", action="store_true",
+                       help="use the 5-stage pipeline engine")
+        p.add_argument("--caches", action="store_true",
+                       help="route data accesses through the L1/L2 hierarchy")
+        p.add_argument("--explain", action="store_true",
+                       help="print a forensic report for the outcome")
+
+    run_parser = sub.add_parser("run", help="compile and run a MiniC program")
+    add_run_options(run_parser)
+
+    asm_parser = sub.add_parser("asm", help="assemble and run a raw program")
+    add_run_options(asm_parser)
+
+    disasm_parser = sub.add_parser(
+        "disasm", help="print the disassembly of a compiled program"
+    )
+    disasm_parser.add_argument("file")
+    disasm_parser.add_argument(
+        "--raw-asm", action="store_true",
+        help="treat the input as assembly instead of MiniC",
+    )
+
+    report_parser = sub.add_parser(
+        "report", help="regenerate a paper table/figure"
+    )
+    report_parser.add_argument(
+        "name", choices=sorted(REPORTS) + ["all"],
+        help="which artifact to regenerate",
+    )
+    return parser
+
+
+def _read_stdin(args: argparse.Namespace) -> bytes:
+    if args.stdin_text is not None and args.stdin_file is not None:
+        raise SystemExit("use either --stdin-text or --stdin-file, not both")
+    if args.stdin_file is not None:
+        with open(args.stdin_file, "rb") as handle:
+            return handle.read()
+    if args.stdin_text is not None:
+        return args.stdin_text.encode("latin-1")
+    return b""
+
+
+def _build(path: str, raw_asm: bool):
+    with open(path, "r", encoding="latin-1") as handle:
+        source = handle.read()
+    if raw_asm:
+        return assemble(source)
+    return build_program(source)
+
+
+def _command_run(args: argparse.Namespace, raw_asm: bool,
+                 out=sys.stdout) -> int:
+    exe = _build(args.file, raw_asm)
+    policy = POLICIES[args.policy]()
+    argv = [args.file] + list(args.arg)
+    result = run_executable(
+        exe,
+        policy,
+        stdin=_read_stdin(args),
+        argv=argv,
+        max_instructions=args.max_instructions,
+        use_caches=args.caches,
+        use_pipeline=args.pipeline,
+    )
+    if result.stdout:
+        out.write(result.stdout)
+        if not result.stdout.endswith("\n"):
+            out.write("\n")
+    out.write(f"[{policy.name}] {result.describe()}\n")
+    if args.explain:
+        out.write(explain(result) + "\n")
+    if result.detected:
+        return 2
+    if result.outcome in ("fault", "limit"):
+        return 3
+    return (result.exit_status or 0) & 0xFF
+
+
+def _command_disasm(args: argparse.Namespace, out=sys.stdout) -> int:
+    exe = _build(args.file, args.raw_asm)
+    out.write(exe.disassembly() + "\n")
+    return 0
+
+
+def _command_report(args: argparse.Namespace, out=sys.stdout) -> int:
+    names = sorted(REPORTS) if args.name == "all" else [args.name]
+    for i, name in enumerate(names):
+        if i:
+            out.write("\n\n")
+        out.write(REPORTS[name]() + "\n")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, out=sys.stdout) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _command_run(args, raw_asm=False, out=out)
+    if args.command == "asm":
+        return _command_run(args, raw_asm=True, out=out)
+    if args.command == "disasm":
+        return _command_disasm(args, out=out)
+    if args.command == "report":
+        return _command_report(args, out=out)
+    raise SystemExit(f"unknown command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

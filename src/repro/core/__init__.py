@@ -1,0 +1,34 @@
+"""Core pointer-taintedness model: taint algebra, propagation, detection."""
+
+from .detector import (
+    Alert,
+    SecurityException,
+    TaintednessDetector,
+    KIND_JUMP,
+    KIND_LOAD,
+    KIND_STORE,
+)
+from .policy import (
+    ControlDataPolicy,
+    DetectionPolicy,
+    NullPolicy,
+    PointerTaintPolicy,
+)
+from .taint import CLEAN, WORD_TAINTED, TaintVector, word_mask_is_tainted
+
+__all__ = [
+    "Alert",
+    "SecurityException",
+    "TaintednessDetector",
+    "KIND_JUMP",
+    "KIND_LOAD",
+    "KIND_STORE",
+    "ControlDataPolicy",
+    "DetectionPolicy",
+    "NullPolicy",
+    "PointerTaintPolicy",
+    "CLEAN",
+    "WORD_TAINTED",
+    "TaintVector",
+    "word_mask_is_tainted",
+]

@@ -1,0 +1,69 @@
+"""Annotated-data monitoring: the paper's proposed false-negative fix.
+
+Section 5.3: "One direction that can potentially reduce the false negative
+rate is to sacrifice the transparency of the proposed taintedness detection
+architecture.  We can ask the programmer to annotate important data
+structures that should never be tainted.  The annotated data can then be
+monitored by our architecture.  Then, whenever an annotated structure
+becomes tainted, an alert is raised."
+
+A :class:`TaintWatchpoint` marks an address range as never-tainted; the
+execution engines check every store against the active watchpoints and
+raise the usual security exception when tainted bytes land inside one.
+This catches the Table 4(B) authentication-flag overflow that the base
+architecture cannot see -- at the cost of requiring source annotations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class TaintWatchpoint:
+    """An annotated 'must never become tainted' address range."""
+
+    address: int
+    length: int
+    label: str = ""
+
+    @property
+    def end(self) -> int:
+        return self.address + self.length
+
+    def overlaps(self, address: int, length: int) -> bool:
+        """True when a store of ``length`` bytes at ``address`` intersects."""
+        return address < self.end and self.address < address + length
+
+    def __str__(self) -> str:
+        name = self.label or "annotated data"
+        return f"{name} @ [{self.address:#x}, {self.end:#x})"
+
+
+class WatchpointSet:
+    """The active annotations of one process."""
+
+    def __init__(self) -> None:
+        self._watchpoints: List[TaintWatchpoint] = []
+
+    def add(self, address: int, length: int, label: str = "") -> TaintWatchpoint:
+        """Annotate a range; returns the created watchpoint."""
+        if length <= 0:
+            raise ValueError("watchpoint length must be positive")
+        watchpoint = TaintWatchpoint(address, length, label)
+        self._watchpoints.append(watchpoint)
+        return watchpoint
+
+    def hit(self, address: int, length: int) -> Optional[TaintWatchpoint]:
+        """First watchpoint a (tainted) store of ``length`` bytes touches."""
+        for watchpoint in self._watchpoints:
+            if watchpoint.overlaps(address, length):
+                return watchpoint
+        return None
+
+    def __len__(self) -> int:
+        return len(self._watchpoints)
+
+    def __iter__(self):
+        return iter(self._watchpoints)

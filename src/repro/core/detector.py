@@ -1,0 +1,126 @@
+"""Tainted-pointer dereference detection (section 4.3 of the paper).
+
+Two kinds of instructions can dereference a pointer on the simulated RISC
+machine, exactly as on SimpleScalar:
+
+* **load/store** -- the effective-address word is checked after the EX/MEM
+  stage;
+* **JR/JALR** -- the jump-target register is checked after the ID/EX stage.
+
+When any byte of the checked word is tainted the instruction is marked
+malicious; retiring a malicious instruction raises a security exception,
+which the simulated OS turns into process termination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .taint import word_mask_is_tainted
+
+#: Kinds of tainted dereference the detector distinguishes.
+KIND_LOAD = "load"
+KIND_STORE = "store"
+KIND_JUMP = "jump"
+#: Tainted write into programmer-annotated never-tainted data (the
+#: section 5.3 extension; see :mod:`repro.core.annotations`).
+KIND_ANNOTATION = "annotation"
+
+#: Kinds that dereference *data* pointers (checked after EX/MEM).
+DATA_KINDS = frozenset({KIND_LOAD, KIND_STORE})
+
+#: Kinds that dereference *code* pointers (checked after ID/EX).
+CONTROL_KINDS = frozenset({KIND_JUMP})
+
+
+@dataclass(frozen=True)
+class Alert:
+    """A tainted-pointer dereference caught by the detector.
+
+    Matches the information the paper prints in its alert lines, e.g.
+    ``44d7b0: sw $21,0($3)   $3=0x1002bc20``.
+    """
+
+    pc: int
+    kind: str
+    disassembly: str
+    pointer_value: int
+    taint_mask: int
+    instruction_index: int = 0
+    detail: str = ""
+
+    def __str__(self) -> str:
+        return (
+            f"{self.pc:x}: {self.disassembly}   "
+            f"pointer={self.pointer_value:#010x} taint={self.taint_mask:#x}"
+        )
+
+
+class SecurityException(Exception):
+    """Raised at instruction retirement when a malicious instruction retires.
+
+    The simulated operating system catches this exception and terminates the
+    attacked process, defeating the ongoing intrusion.
+    """
+
+    def __init__(self, alert: Alert) -> None:
+        super().__init__(str(alert))
+        self.alert = alert
+
+
+class TaintednessDetector:
+    """Checks dereferenced words against a detection policy and logs alerts.
+
+    The detector is deliberately tiny: hardware-wise it is a single OR gate
+    over the four taintedness bits of the dereferenced word plus an opcode
+    qualifier.  The *policy* decides which dereference kinds are checked,
+    which is how the control-data-only baseline (Minos / Secure Program
+    Execution) is expressed.
+    """
+
+    def __init__(self, policy: "DetectionPolicy") -> None:
+        self.policy = policy
+        self.alerts: List[Alert] = []
+
+    def check(
+        self,
+        kind: str,
+        pc: int,
+        disassembly: str,
+        pointer_value: int,
+        taint_mask: int,
+        instruction_index: int = 0,
+        detail: str = "",
+    ) -> Optional[Alert]:
+        """Check one dereference; return an :class:`Alert` if it is malicious.
+
+        The caller (pipeline retirement logic or functional simulator) is
+        responsible for raising :class:`SecurityException` for the returned
+        alert -- detection and exception delivery are separate pipeline
+        stages in the paper's design.
+        """
+        if not word_mask_is_tainted(taint_mask):
+            return None
+        if not self.policy.checks(kind):
+            return None
+        alert = Alert(
+            pc=pc,
+            kind=kind,
+            disassembly=disassembly,
+            pointer_value=pointer_value,
+            taint_mask=taint_mask,
+            instruction_index=instruction_index,
+            detail=detail,
+        )
+        self.alerts.append(alert)
+        return alert
+
+    def reset(self) -> None:
+        """Clear logged alerts (e.g. between benchmark iterations)."""
+        self.alerts.clear()
+
+
+# Imported late to avoid a cycle: policy.py documents itself against the
+# detector's dereference kinds.
+from .policy import DetectionPolicy  # noqa: E402  (intentional tail import)

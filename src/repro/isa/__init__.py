@@ -1,0 +1,35 @@
+"""SimpleScalar-like RISC ISA: instructions, encoding, assembler, images."""
+
+from .assembler import Assembler, AssemblerError, assemble
+from .encoding import decode, encode, sign_extend16
+from .instructions import (
+    Instr,
+    InstrSpec,
+    LOAD_INFO,
+    REGISTER_NAMES,
+    SPECS,
+    STORE_INFO,
+    disassemble,
+    register_name,
+    register_number,
+)
+from .program import Executable
+
+__all__ = [
+    "Assembler",
+    "AssemblerError",
+    "assemble",
+    "decode",
+    "encode",
+    "sign_extend16",
+    "Instr",
+    "InstrSpec",
+    "LOAD_INFO",
+    "REGISTER_NAMES",
+    "SPECS",
+    "STORE_INFO",
+    "disassemble",
+    "register_name",
+    "register_number",
+    "Executable",
+]

@@ -1,0 +1,142 @@
+"""Binary encoding/decoding of instructions (MIPS-I compatible layout).
+
+The simulator executes decoded :class:`~repro.isa.instructions.Instr`
+objects for speed, but every instruction round-trips through a genuine
+32-bit encoding so program images are real binaries: R-type
+``op|rs|rt|rd|shamt|funct``, I-type ``op|rs|rt|imm16`` and J-type
+``op|target26``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from .instructions import (
+    FMT_J,
+    FMT_JALR,
+    FMT_JR,
+    FMT_MOVEHL,
+    FMT_MULDIV,
+    FMT_NONE,
+    FMT_R3,
+    FMT_SHIFT,
+    FMT_SHIFTV,
+    Instr,
+    InstrSpec,
+    SPECS,
+    disassemble,
+)
+
+_MASK16 = 0xFFFF
+_MASK26 = 0x03FFFFFF
+
+#: Logical immediates are zero-extended; everything else sign-extends.
+ZERO_EXTEND_IMM = frozenset({"andi", "ori", "xori", "lui", "sltiu"})
+
+# Reverse lookup tables built once at import.
+_BY_FUNCT: Dict[int, InstrSpec] = {
+    spec.funct: spec for spec in SPECS.values() if spec.opcode == 0
+}
+_BY_REGIMM: Dict[int, InstrSpec] = {
+    spec.regimm: spec for spec in SPECS.values() if spec.opcode == 1
+}
+_BY_OPCODE: Dict[int, InstrSpec] = {
+    spec.opcode: spec
+    for spec in SPECS.values()
+    if spec.opcode not in (0, 1)
+}
+
+
+def sign_extend16(value: int) -> int:
+    """Sign-extend a 16-bit field to a Python int."""
+    value &= _MASK16
+    return value - 0x10000 if value & 0x8000 else value
+
+
+def encode(instr: Instr) -> int:
+    """Encode a decoded instruction into its 32-bit word."""
+    spec = SPECS[instr.name]
+    fmt = spec.fmt
+    if spec.opcode == 0:  # R-type
+        word = spec.funct or 0
+        if fmt in (FMT_R3,):
+            word |= instr.rd << 11 | instr.rt << 16 | instr.rs << 21
+        elif fmt == FMT_SHIFT:
+            word |= instr.shamt << 6 | instr.rd << 11 | instr.rt << 16
+        elif fmt == FMT_SHIFTV:
+            word |= instr.rd << 11 | instr.rt << 16 | instr.rs << 21
+        elif fmt == FMT_MULDIV:
+            word |= instr.rt << 16 | instr.rs << 21
+        elif fmt == FMT_MOVEHL:
+            word |= instr.rd << 11
+        elif fmt == FMT_JR:
+            word |= instr.rs << 21
+        elif fmt == FMT_JALR:
+            word |= instr.rd << 11 | instr.rs << 21
+        elif fmt == FMT_NONE:
+            pass
+        else:
+            raise ValueError(f"cannot encode format {fmt!r}")
+        return word
+    if spec.opcode == 1:  # regimm branches
+        return (
+            1 << 26
+            | instr.rs << 21
+            | (spec.regimm or 0) << 16
+            | instr.imm & _MASK16
+        )
+    if fmt == FMT_J:
+        return spec.opcode << 26 | (instr.target >> 2) & _MASK26
+    # I-type
+    return (
+        spec.opcode << 26
+        | instr.rs << 21
+        | instr.rt << 16
+        | instr.imm & _MASK16
+    )
+
+
+def decode(word: int, pc: int = 0) -> Optional[Instr]:
+    """Decode a 32-bit word into an :class:`Instr`, or None if illegal.
+
+    ``pc`` is needed to resolve the region bits of J-type targets.
+    """
+    opcode = word >> 26 & 0x3F
+    rs = word >> 21 & 0x1F
+    rt = word >> 16 & 0x1F
+    rd = word >> 11 & 0x1F
+    shamt = word >> 6 & 0x1F
+    funct = word & 0x3F
+    imm16 = word & _MASK16
+
+    if opcode == 0:
+        spec = _BY_FUNCT.get(funct)
+        if spec is None:
+            return None
+        instr = Instr(spec.name, spec.klass, rd=rd, rs=rs, rt=rt, shamt=shamt)
+    elif opcode == 1:
+        spec = _BY_REGIMM.get(rt)
+        if spec is None:
+            return None
+        instr = Instr(spec.name, spec.klass, rs=rs, imm=sign_extend16(imm16))
+    else:
+        spec = _BY_OPCODE.get(opcode)
+        if spec is None:
+            return None
+        if spec.fmt == FMT_J:
+            target = ((pc + 4) & 0xF0000000) | (word & _MASK26) << 2
+            instr = Instr(spec.name, spec.klass, target=target)
+        else:
+            imm = imm16 if spec.name in ZERO_EXTEND_IMM else sign_extend16(imm16)
+            instr = Instr(spec.name, spec.klass, rs=rs, rt=rt, imm=imm)
+    instr.text = disassemble(instr)
+    return instr
+
+
+def roundtrip(instr: Instr, pc: int = 0) -> Tuple[int, Instr]:
+    """Encode then decode (used by tests to assert encoding fidelity)."""
+    word = encode(instr)
+    decoded = decode(word, pc)
+    if decoded is None:
+        raise ValueError(f"round-trip failed for {instr}")
+    return word, decoded

@@ -1,0 +1,247 @@
+"""Instruction set of the simulated RISC processor.
+
+The ISA is a MIPS-I-like 32-bit load/store RISC, matching the SimpleScalar
+PISA machine the paper prototypes on in the properties that matter for
+pointer-taintedness detection:
+
+* only loads/stores and ``JR``/``JALR`` can dereference a pointer;
+* every ALU instruction falls into one of the Table 1 taint classes
+  (default / shift / AND / XOR-zero-idiom / compare).
+
+Each mnemonic is described by an :class:`InstrSpec` carrying its binary
+encoding (MIPS-I compatible) and its operand format, and decoded instructions
+are :class:`Instr` records pre-classified for the execution engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+# ---------------------------------------------------------------------------
+# Register names
+# ---------------------------------------------------------------------------
+
+#: Conventional MIPS register names, index = register number.
+REGISTER_NAMES: Tuple[str, ...] = (
+    "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+    "t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+    "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+    "t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+)
+
+#: Name -> register number, accepting both ``$sp`` style and ``$29`` style.
+REGISTER_NUMBERS: Dict[str, int] = {}
+for _i, _name in enumerate(REGISTER_NAMES):
+    REGISTER_NUMBERS[_name] = _i
+    REGISTER_NUMBERS[str(_i)] = _i
+REGISTER_NUMBERS["s8"] = 30  # alternate name for $fp
+
+REG_ZERO = 0
+REG_AT = 1
+REG_V0 = 2
+REG_V1 = 3
+REG_A0 = 4
+REG_A1 = 5
+REG_A2 = 6
+REG_A3 = 7
+REG_GP = 28
+REG_SP = 29
+REG_FP = 30
+REG_RA = 31
+
+
+def register_number(token: str) -> int:
+    """Parse a register token such as ``$t0``, ``$3`` or ``t0``."""
+    name = token[1:] if token.startswith("$") else token
+    try:
+        return REGISTER_NUMBERS[name.lower()]
+    except KeyError:
+        raise ValueError(f"unknown register {token!r}") from None
+
+
+def register_name(number: int) -> str:
+    """Conventional ``$name`` for a register number."""
+    return f"${REGISTER_NAMES[number]}"
+
+
+# ---------------------------------------------------------------------------
+# Instruction formats and classes
+# ---------------------------------------------------------------------------
+
+# Operand formats (how the assembler parses and the encoder packs operands).
+FMT_R3 = "r3"          # op rd, rs, rt
+FMT_SHIFT = "shift"    # op rd, rt, shamt
+FMT_SHIFTV = "shiftv"  # op rd, rt, rs  (variable shift)
+FMT_MULDIV = "muldiv"  # op rs, rt     (result in HI/LO)
+FMT_MOVEHL = "movehl"  # op rd         (mfhi / mflo)
+FMT_JR = "jr"          # op rs
+FMT_JALR = "jalr"      # op rd, rs  (rd optional, defaults to $ra)
+FMT_I2 = "i2"          # op rt, rs, imm16
+FMT_LUI = "lui"        # op rt, imm16
+FMT_MEM = "mem"        # op rt, offset(rs)
+FMT_BR2 = "br2"        # op rs, rt, label
+FMT_BR1 = "br1"        # op rs, label
+FMT_J = "j"            # op label
+FMT_NONE = "none"      # syscall / break / nop
+
+# Semantic classes used by the execution engines and the taint logic.
+CLASS_ALU = "alu"          # default Table 1 rule
+CLASS_SHIFT = "shift"      # shift rule
+CLASS_AND = "and"          # AND rule
+CLASS_COMPARE = "compare"  # compare rule (SLT family)
+CLASS_LOAD = "load"
+CLASS_STORE = "store"
+CLASS_BRANCH = "branch"    # compare rule applies to operands
+CLASS_JUMP = "jump"        # J / JAL (immediate target, never tainted)
+CLASS_JUMP_REG = "jumpreg"  # JR / JALR (register target: detection point)
+CLASS_SYSTEM = "system"
+
+
+@dataclass(frozen=True)
+class InstrSpec:
+    """Static description of one mnemonic."""
+
+    name: str
+    fmt: str
+    klass: str
+    opcode: int
+    funct: Optional[int] = None  # R-type function code
+    regimm: Optional[int] = None  # rt field for opcode-1 branches
+
+
+def _specs() -> Dict[str, InstrSpec]:
+    table = [
+        # name        fmt         class           opcode  funct
+        InstrSpec("sll", FMT_SHIFT, CLASS_SHIFT, 0, 0),
+        InstrSpec("srl", FMT_SHIFT, CLASS_SHIFT, 0, 2),
+        InstrSpec("sra", FMT_SHIFT, CLASS_SHIFT, 0, 3),
+        InstrSpec("sllv", FMT_SHIFTV, CLASS_SHIFT, 0, 4),
+        InstrSpec("srlv", FMT_SHIFTV, CLASS_SHIFT, 0, 6),
+        InstrSpec("srav", FMT_SHIFTV, CLASS_SHIFT, 0, 7),
+        InstrSpec("jr", FMT_JR, CLASS_JUMP_REG, 0, 8),
+        InstrSpec("jalr", FMT_JALR, CLASS_JUMP_REG, 0, 9),
+        InstrSpec("syscall", FMT_NONE, CLASS_SYSTEM, 0, 12),
+        InstrSpec("break", FMT_NONE, CLASS_SYSTEM, 0, 13),
+        InstrSpec("mfhi", FMT_MOVEHL, CLASS_ALU, 0, 16),
+        InstrSpec("mflo", FMT_MOVEHL, CLASS_ALU, 0, 18),
+        InstrSpec("mult", FMT_MULDIV, CLASS_ALU, 0, 24),
+        InstrSpec("multu", FMT_MULDIV, CLASS_ALU, 0, 25),
+        InstrSpec("div", FMT_MULDIV, CLASS_ALU, 0, 26),
+        InstrSpec("divu", FMT_MULDIV, CLASS_ALU, 0, 27),
+        InstrSpec("add", FMT_R3, CLASS_ALU, 0, 32),
+        InstrSpec("addu", FMT_R3, CLASS_ALU, 0, 33),
+        InstrSpec("sub", FMT_R3, CLASS_ALU, 0, 34),
+        InstrSpec("subu", FMT_R3, CLASS_ALU, 0, 35),
+        InstrSpec("and", FMT_R3, CLASS_AND, 0, 36),
+        InstrSpec("or", FMT_R3, CLASS_ALU, 0, 37),
+        InstrSpec("xor", FMT_R3, CLASS_ALU, 0, 38),
+        InstrSpec("nor", FMT_R3, CLASS_ALU, 0, 39),
+        InstrSpec("slt", FMT_R3, CLASS_COMPARE, 0, 42),
+        InstrSpec("sltu", FMT_R3, CLASS_COMPARE, 0, 43),
+        # regimm branches
+        InstrSpec("bltz", FMT_BR1, CLASS_BRANCH, 1, regimm=0),
+        InstrSpec("bgez", FMT_BR1, CLASS_BRANCH, 1, regimm=1),
+        # jumps
+        InstrSpec("j", FMT_J, CLASS_JUMP, 2),
+        InstrSpec("jal", FMT_J, CLASS_JUMP, 3),
+        # I-type
+        InstrSpec("beq", FMT_BR2, CLASS_BRANCH, 4),
+        InstrSpec("bne", FMT_BR2, CLASS_BRANCH, 5),
+        InstrSpec("blez", FMT_BR1, CLASS_BRANCH, 6),
+        InstrSpec("bgtz", FMT_BR1, CLASS_BRANCH, 7),
+        InstrSpec("addi", FMT_I2, CLASS_ALU, 8),
+        InstrSpec("addiu", FMT_I2, CLASS_ALU, 9),
+        InstrSpec("slti", FMT_I2, CLASS_COMPARE, 10),
+        InstrSpec("sltiu", FMT_I2, CLASS_COMPARE, 11),
+        InstrSpec("andi", FMT_I2, CLASS_AND, 12),
+        InstrSpec("ori", FMT_I2, CLASS_ALU, 13),
+        InstrSpec("xori", FMT_I2, CLASS_ALU, 14),
+        InstrSpec("lui", FMT_LUI, CLASS_ALU, 15),
+        # loads / stores
+        InstrSpec("lb", FMT_MEM, CLASS_LOAD, 32),
+        InstrSpec("lh", FMT_MEM, CLASS_LOAD, 33),
+        InstrSpec("lw", FMT_MEM, CLASS_LOAD, 35),
+        InstrSpec("lbu", FMT_MEM, CLASS_LOAD, 36),
+        InstrSpec("lhu", FMT_MEM, CLASS_LOAD, 37),
+        InstrSpec("sb", FMT_MEM, CLASS_STORE, 40),
+        InstrSpec("sh", FMT_MEM, CLASS_STORE, 41),
+        InstrSpec("sw", FMT_MEM, CLASS_STORE, 43),
+    ]
+    return {spec.name: spec for spec in table}
+
+
+#: Mnemonic -> :class:`InstrSpec` for every real (non-pseudo) instruction.
+SPECS: Dict[str, InstrSpec] = _specs()
+
+#: Load mnemonics -> (access size in bytes, sign-extend?)
+LOAD_INFO: Dict[str, Tuple[int, bool]] = {
+    "lb": (1, True),
+    "lbu": (1, False),
+    "lh": (2, True),
+    "lhu": (2, False),
+    "lw": (4, False),
+}
+
+#: Store mnemonics -> access size in bytes.
+STORE_INFO: Dict[str, int] = {"sb": 1, "sh": 2, "sw": 4}
+
+
+@dataclass
+class Instr:
+    """One decoded instruction.
+
+    Fields are populated according to the format; unused fields are zero.
+    ``imm`` is already sign-extended for arithmetic/branch/memory forms and
+    zero-extended for the logical immediates (ANDI/ORI/XORI).
+    """
+
+    name: str
+    klass: str
+    rd: int = 0
+    rs: int = 0
+    rt: int = 0
+    shamt: int = 0
+    imm: int = 0
+    target: int = 0  # absolute byte address for J/JAL
+    text: str = ""   # disassembly, filled by the assembler/decoder
+
+    @property
+    def spec(self) -> InstrSpec:
+        return SPECS[self.name]
+
+    def __str__(self) -> str:
+        return self.text or self.name
+
+
+def disassemble(instr: Instr) -> str:
+    """Render an :class:`Instr` in the paper's notation, e.g. ``sw $21,0($3)``."""
+    spec = SPECS[instr.name]
+    n = instr.name
+    if spec.fmt == FMT_R3:
+        return f"{n} ${instr.rd},${instr.rs},${instr.rt}"
+    if spec.fmt == FMT_SHIFT:
+        return f"{n} ${instr.rd},${instr.rt},{instr.shamt}"
+    if spec.fmt == FMT_SHIFTV:
+        return f"{n} ${instr.rd},${instr.rt},${instr.rs}"
+    if spec.fmt == FMT_MULDIV:
+        return f"{n} ${instr.rs},${instr.rt}"
+    if spec.fmt == FMT_MOVEHL:
+        return f"{n} ${instr.rd}"
+    if spec.fmt == FMT_JR:
+        return f"{n} ${instr.rs}"
+    if spec.fmt == FMT_JALR:
+        return f"{n} ${instr.rd},${instr.rs}"
+    if spec.fmt == FMT_I2:
+        return f"{n} ${instr.rt},${instr.rs},{instr.imm}"
+    if spec.fmt == FMT_LUI:
+        return f"{n} ${instr.rt},{instr.imm:#x}"
+    if spec.fmt == FMT_MEM:
+        return f"{n} ${instr.rt},{instr.imm}(${instr.rs})"
+    if spec.fmt == FMT_BR2:
+        return f"{n} ${instr.rs},${instr.rt},{instr.imm}"
+    if spec.fmt == FMT_BR1:
+        return f"{n} ${instr.rs},{instr.imm}"
+    if spec.fmt == FMT_J:
+        return f"{n} {instr.target:#x}"
+    return n

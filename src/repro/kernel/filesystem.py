@@ -1,0 +1,100 @@
+"""In-memory filesystem for the simulated OS.
+
+Files live in a flat ``path -> bytearray`` namespace.  Everything a
+simulated program reads from a file is *external input* and is marked
+tainted at the read boundary (section 4.4), which the kernel enforces --
+this module only stores bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+# open(2)-style flags (Linux numeric values).
+O_RDONLY = 0x0
+O_WRONLY = 0x1
+O_RDWR = 0x2
+O_CREAT = 0x40
+O_TRUNC = 0x200
+O_APPEND = 0x400
+
+
+@dataclass
+class OpenFile:
+    """One open file description."""
+
+    path: str
+    flags: int
+    position: int = 0
+
+    @property
+    def readable(self) -> bool:
+        return self.flags & 0x3 in (O_RDONLY, O_RDWR)
+
+    @property
+    def writable(self) -> bool:
+        return self.flags & 0x3 in (O_WRONLY, O_RDWR)
+
+
+class SimFileSystem:
+    """A tiny in-memory filesystem."""
+
+    def __init__(self) -> None:
+        self._files: Dict[str, bytearray] = {}
+        #: Paths opened during the run, for test assertions.
+        self.open_log: List[str] = []
+
+    # -- host-side API (tests and workload setup) ---------------------------
+
+    def add_file(self, path: str, contents: bytes) -> None:
+        """Create or replace a file with host-supplied contents."""
+        self._files[path] = bytearray(contents)
+
+    def read_file(self, path: str) -> bytes:
+        """Host-side read of a file's current contents."""
+        return bytes(self._files[path])
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def paths(self) -> List[str]:
+        return sorted(self._files)
+
+    # -- kernel-side API -----------------------------------------------------
+
+    def open(self, path: str, flags: int) -> Optional[OpenFile]:
+        """Open a file; returns None on failure (missing file, bad flags)."""
+        exists = path in self._files
+        if not exists:
+            if not flags & O_CREAT:
+                return None
+            self._files[path] = bytearray()
+        handle = OpenFile(path=path, flags=flags)
+        if flags & O_TRUNC and handle.writable:
+            self._files[path] = bytearray()
+        if flags & O_APPEND:
+            handle.position = len(self._files[path])
+        self.open_log.append(path)
+        return handle
+
+    def read(self, handle: OpenFile, count: int) -> bytes:
+        """Read up to ``count`` bytes at the handle's position."""
+        if not handle.readable:
+            return b""
+        data = self._files.get(handle.path, bytearray())
+        chunk = bytes(data[handle.position : handle.position + count])
+        handle.position += len(chunk)
+        return chunk
+
+    def write(self, handle: OpenFile, data: bytes) -> int:
+        """Write at the handle's position, extending the file as needed."""
+        if not handle.writable:
+            return -1
+        contents = self._files.setdefault(handle.path, bytearray())
+        end = handle.position + len(data)
+        if len(contents) < end:
+            contents.extend(b"\0" * (end - len(contents)))
+        contents[handle.position : end] = data
+        handle.position = end
+        return len(data)

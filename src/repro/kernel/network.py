@@ -1,0 +1,105 @@
+"""Loopback network substrate with scripted remote peers.
+
+The paper extended SimpleScalar to "support network socket applications" so
+real servers could run under the simulator while attacks were launched at
+them.  We reproduce that substrate: a simulated server program calls
+``socket``/``bind``/``listen``/``accept``/``recv``/``send``, and the remote
+end of each accepted connection is a :class:`ScriptedClient` -- a list of
+messages the "attacker" (or a benign client) sends, played back in order.
+
+Everything the server receives is external input; the kernel marks it
+tainted at the ``SYS_RECV`` boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class ScriptedClient:
+    """A remote peer that sends a fixed sequence of messages.
+
+    Each element of ``messages`` is delivered as one stream segment;
+    a server ``recv`` never crosses a segment boundary (mimicking one
+    network packet per message, which is how the published exploits
+    deliver their payloads).  After the last message, ``recv`` returns 0
+    (orderly shutdown).
+    """
+
+    messages: List[bytes] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._queue: List[bytearray] = [bytearray(m) for m in self.messages]
+        #: Bytes the server sent back to this client.
+        self.received = bytearray()
+
+    def pull(self, count: int) -> bytes:
+        """Take up to ``count`` bytes of the current segment."""
+        while self._queue and not self._queue[0]:
+            self._queue.pop(0)
+        if not self._queue:
+            return b""
+        segment = self._queue[0]
+        chunk = bytes(segment[:count])
+        del segment[:count]
+        if not segment:
+            self._queue.pop(0)
+        return chunk
+
+    def push(self, data: bytes) -> None:
+        """Record bytes sent by the server."""
+        self.received.extend(data)
+
+    @property
+    def transcript(self) -> bytes:
+        """Everything the server sent to this peer."""
+        return bytes(self.received)
+
+
+@dataclass
+class Connection:
+    """An accepted connection bound to its scripted remote peer."""
+
+    peer: ScriptedClient
+    closed: bool = False
+
+    def recv(self, count: int) -> bytes:
+        return b"" if self.closed else self.peer.pull(count)
+
+    def send(self, data: bytes) -> int:
+        if not self.closed:
+            self.peer.push(data)
+        return len(data)
+
+
+class ListeningSocket:
+    """A bound+listening server socket with a queue of pending clients."""
+
+    def __init__(self, port: int = 0) -> None:
+        self.port = port
+        self.pending: List[ScriptedClient] = []
+
+    def accept(self) -> Optional[Connection]:
+        if not self.pending:
+            return None
+        return Connection(self.pending.pop(0))
+
+
+class SimNetwork:
+    """The network fabric for one simulated host."""
+
+    def __init__(self) -> None:
+        self._clients: List[ScriptedClient] = []
+        self.listeners: List[ListeningSocket] = []
+
+    def connect_client(self, client: ScriptedClient) -> None:
+        """Queue a client connection for the next listening socket."""
+        self._clients.append(client)
+
+    def register_listener(self, socket: ListeningSocket) -> None:
+        """Called by the kernel on ``listen``; hands over queued clients."""
+        socket.pending.extend(self._clients)
+        self._clients.clear()
+        self.listeners.append(socket)

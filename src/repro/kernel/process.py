@@ -1,0 +1,100 @@
+"""Process environment: argv/env injection and compromise bookkeeping.
+
+Command-line arguments and environment variables are external input, so the
+bytes of every argv/env string are written to the stack *tainted* (section
+4.4 lists both among the tainted data sources).
+
+The process also records *compromise indicators*: security-relevant events
+(exec of a program, privilege changes, file openings) that the evaluation
+harness uses to show an attack **succeeded** when the machine runs without
+the paper's protection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from ..mem.layout import STACK_TOP
+
+
+@dataclass
+class CompromiseEvent:
+    """One security-relevant event emitted via a system call."""
+
+    kind: str       # "exec" | "setuid" | "open" | ...
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.kind}({self.detail})"
+
+
+@dataclass
+class ProcessState:
+    """Per-process OS state tracked by the kernel."""
+
+    argv: List[str] = field(default_factory=list)
+    env: List[str] = field(default_factory=list)
+    uid: int = 1000
+    #: Initial break is set by the kernel when attaching to a simulator.
+    brk: int = 0
+    events: List[CompromiseEvent] = field(default_factory=list)
+    stdout: bytearray = field(default_factory=bytearray)
+    stderr: bytearray = field(default_factory=bytearray)
+    stdin: bytearray = field(default_factory=bytearray)
+
+    def record(self, kind: str, detail: str) -> None:
+        self.events.append(CompromiseEvent(kind, detail))
+
+    def executed_programs(self) -> List[str]:
+        """Paths passed to exec -- the classic "attacker got a shell" signal."""
+        return [e.detail for e in self.events if e.kind == "exec"]
+
+    @property
+    def stdout_text(self) -> str:
+        return self.stdout.decode("latin-1")
+
+
+def build_initial_stack(
+    memory,
+    argv: Sequence[str],
+    env: Sequence[str],
+    stack_top: int = STACK_TOP,
+    taint_args: bool = True,
+) -> Tuple[int, int, int, int]:
+    """Lay out argv/env on the stack; returns ``(sp, argc, argv_p, envp_p)``.
+
+    Layout (from high to low addresses): the string bytes (tainted), then
+    the NULL-terminated ``envp`` vector, then the NULL-terminated ``argv``
+    vector.  ``sp`` is left word-aligned below the vectors.  Pointer arrays
+    are untainted -- they are built by the kernel, not by external input.
+    """
+    cursor = stack_top
+    arg_addresses: List[int] = []
+    env_addresses: List[int] = []
+    for text in argv:
+        blob = text.encode("latin-1") + b"\0"
+        cursor -= len(blob)
+        memory.write_bytes(cursor, blob, taint_args)
+        arg_addresses.append(cursor)
+    for text in env:
+        blob = text.encode("latin-1") + b"\0"
+        cursor -= len(blob)
+        memory.write_bytes(cursor, blob, taint_args)
+        env_addresses.append(cursor)
+    cursor &= ~3  # word-align
+
+    cursor -= 4 * (len(env_addresses) + 1)
+    envp_pointer = cursor
+    for i, addr in enumerate(env_addresses):
+        memory.write(cursor + 4 * i, 4, addr, 0)
+    memory.write(cursor + 4 * len(env_addresses), 4, 0, 0)
+
+    cursor -= 4 * (len(arg_addresses) + 1)
+    argv_pointer = cursor
+    for i, addr in enumerate(arg_addresses):
+        memory.write(cursor + 4 * i, 4, addr, 0)
+    memory.write(cursor + 4 * len(arg_addresses), 4, 0, 0)
+
+    stack_pointer = cursor - 16 & ~7
+    return stack_pointer, len(arg_addresses), argv_pointer, envp_pointer

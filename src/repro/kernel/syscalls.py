@@ -1,0 +1,314 @@
+"""System-call layer: the taint-initialization boundary (section 4.4).
+
+"Any data received from an external device that can potentially be
+controlled by a malicious user are considered tainted."  The kernel marks
+every byte delivered by ``SYS_READ`` (local I/O) and ``SYS_RECV`` (network
+I/O) as tainted when copying it into the application's buffer, exactly as
+the paper modified SimpleScalar's system-call module.  Command-line
+arguments and environment variables are tainted at process setup
+(:func:`repro.kernel.process.build_initial_stack`).
+
+ABI: syscall number in ``$v0``; arguments in ``$a0``..``$a3``; result in
+``$v0`` (-1 on error).  The result register is always written *untainted* --
+return codes are produced by the (trusted) kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Union
+
+from ..isa.instructions import REG_A0, REG_A1, REG_A2, REG_V0
+from ..mem.layout import PAGE_SIZE
+from .filesystem import OpenFile, SimFileSystem
+from .network import Connection, ListeningSocket, SimNetwork
+from .process import ProcessState, build_initial_stack
+
+# Syscall numbers (SimpleScalar-flavoured).
+SYS_EXIT = 1
+SYS_READ = 3
+SYS_WRITE = 4
+SYS_OPEN = 5
+SYS_CLOSE = 6
+SYS_GETPID = 20
+SYS_SETUID = 23
+SYS_GETUID = 24
+SYS_BRK = 45
+SYS_SBRK = 46
+SYS_EXEC = 59
+SYS_SOCKET = 60
+SYS_BIND = 61
+SYS_LISTEN = 62
+SYS_ACCEPT = 63
+SYS_RECV = 64
+SYS_SEND = 65
+
+_FD_STDIN = 0
+_FD_STDOUT = 1
+_FD_STDERR = 2
+
+#: Objects a file descriptor can refer to.
+_FdObject = Union[OpenFile, Connection, ListeningSocket, str]
+
+
+class Kernel:
+    """The simulated operating system bound to one process.
+
+    Use as the simulator's ``syscall_handler``::
+
+        kernel = Kernel(argv=["prog"], stdin=b"hello")
+        sim = Simulator(exe, policy, syscall_handler=kernel)
+        kernel.attach(sim)
+        sim.run()
+    """
+
+    def __init__(
+        self,
+        argv: Optional[Sequence[str]] = None,
+        env: Optional[Sequence[str]] = None,
+        stdin: bytes = b"",
+        filesystem: Optional[SimFileSystem] = None,
+        network: Optional[SimNetwork] = None,
+        uid: int = 1000,
+        taint_inputs: bool = True,
+    ) -> None:
+        self.process = ProcessState(
+            argv=list(argv or ["prog"]),
+            env=list(env or []),
+            uid=uid,
+        )
+        self.process.stdin = bytearray(stdin)
+        self.fs = filesystem if filesystem is not None else SimFileSystem()
+        self.net = network if network is not None else SimNetwork()
+        #: Master switch for input tainting (off = the unprotected baseline
+        #: machine of the overhead study; detection policies still decide
+        #: what gets *checked*).
+        self.taint_inputs = taint_inputs
+        self._fds: Dict[int, _FdObject] = {
+            _FD_STDIN: "stdin",
+            _FD_STDOUT: "stdout",
+            _FD_STDERR: "stderr",
+        }
+        self._next_fd = 3
+        self._sim = None
+
+    # ------------------------------------------------------------------
+    # process setup
+    # ------------------------------------------------------------------
+
+    def attach(self, sim) -> None:
+        """Initialize the process image: stack with argv/env, brk, registers."""
+        self._sim = sim
+        taint = self.taint_inputs
+        sp, argc, argv_p, envp_p = build_initial_stack(
+            sim.memory, self.process.argv, self.process.env, taint_args=taint
+        )
+        if taint:
+            arg_bytes = sum(len(a) + 1 for a in self.process.argv)
+            env_bytes = sum(len(e) + 1 for e in self.process.env)
+            sim.stats.input_bytes_tainted += arg_bytes + env_bytes
+        sim.regs.write(29, sp)          # $sp
+        sim.regs.write(REG_A0, argc)
+        sim.regs.write(REG_A1, argv_p)
+        sim.regs.write(REG_A2, envp_p)
+        data_end = sim.executable.data_end
+        self.process.brk = (data_end + PAGE_SIZE - 1) & ~(PAGE_SIZE - 1)
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+
+    def __call__(self, sim) -> None:
+        number = sim.regs.value(REG_V0)
+        a0 = sim.regs.value(REG_A0)
+        a1 = sim.regs.value(REG_A1)
+        a2 = sim.regs.value(REG_A2)
+        handler = self._handlers.get(number)
+        if handler is None:
+            raise KeyError(f"unknown syscall {number} at pc={sim.pc:#x}")
+        result = handler(self, sim, a0, a1, a2)
+        if result is not None:
+            sim.regs.write(REG_V0, result & 0xFFFFFFFF, 0)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def _alloc_fd(self, obj: _FdObject) -> int:
+        fd = self._next_fd
+        self._next_fd += 1
+        self._fds[fd] = obj
+        return fd
+
+    def _copy_in_tainted(self, sim, addr: int, data: bytes) -> None:
+        """Copy external bytes into guest memory, marking them tainted.
+
+        This is the paper's RT-register mechanism: every delivered byte gets
+        its taintedness bit set on the way from kernel to user space.
+        """
+        tainted = 1 if self.taint_inputs else 0
+        if sim.caches is None:
+            sim.memory.write_bytes(addr, data, bool(tainted))
+        else:
+            for i, byte in enumerate(data):
+                sim.mem_write(addr + i, 1, byte, tainted)
+        if tainted:
+            sim.stats.input_bytes_tainted += len(data)
+
+    def _copy_out(self, sim, addr: int, count: int) -> bytes:
+        if sim.caches is None:
+            return sim.memory.read_bytes(addr, count)
+        out = bytearray()
+        for i in range(count):
+            out.append(sim.mem_read(addr + i, 1)[0])
+        return bytes(out)
+
+    def _read_cstring(self, sim, addr: int, limit: int = 4096) -> str:
+        out = bytearray()
+        for i in range(limit):
+            byte = sim.mem_read(addr + i, 1)[0]
+            if byte == 0:
+                break
+            out.append(byte)
+        return out.decode("latin-1")
+
+    # ------------------------------------------------------------------
+    # syscall implementations
+    # ------------------------------------------------------------------
+
+    def _sys_exit(self, sim, status, _a1, _a2):
+        sim.halt(status - 0x100000000 if status & 0x80000000 else status)
+        return None
+
+    def _sys_read(self, sim, fd, buf, count):
+        obj = self._fds.get(fd)
+        if obj is None:
+            return -1
+        if obj == "stdin":
+            data = bytes(self.process.stdin[:count])
+            del self.process.stdin[: len(data)]
+        elif isinstance(obj, OpenFile):
+            data = self.fs.read(obj, count)
+        elif isinstance(obj, Connection):
+            data = obj.recv(count)
+        else:
+            return -1
+        self._copy_in_tainted(sim, buf, data)
+        return len(data)
+
+    def _sys_write(self, sim, fd, buf, count):
+        data = self._copy_out(sim, buf, count)
+        obj = self._fds.get(fd)
+        if obj == "stdout":
+            self.process.stdout.extend(data)
+            return len(data)
+        if obj == "stderr":
+            self.process.stderr.extend(data)
+            return len(data)
+        if isinstance(obj, OpenFile):
+            return self.fs.write(obj, data)
+        if isinstance(obj, Connection):
+            return obj.send(data)
+        return -1
+
+    def _sys_open(self, sim, path_p, flags, _mode):
+        path = self._read_cstring(sim, path_p)
+        self.process.record("open", path)
+        handle = self.fs.open(path, flags)
+        if handle is None:
+            return -1
+        return self._alloc_fd(handle)
+
+    def _sys_close(self, sim, fd, _a1, _a2):
+        obj = self._fds.pop(fd, None)
+        if isinstance(obj, Connection):
+            obj.closed = True
+        return 0 if obj is not None else -1
+
+    def _sys_getpid(self, sim, _a0, _a1, _a2):
+        return 4711
+
+    def _sys_setuid(self, sim, uid, _a1, _a2):
+        self.process.record("setuid", str(uid))
+        self.process.uid = uid
+        return 0
+
+    def _sys_getuid(self, sim, _a0, _a1, _a2):
+        return self.process.uid
+
+    def _sys_brk(self, sim, addr, _a1, _a2):
+        if addr:
+            self.process.brk = addr
+        return self.process.brk
+
+    def _sys_sbrk(self, sim, increment, _a1, _a2):
+        if increment & 0x80000000:
+            increment -= 0x100000000
+        old = self.process.brk
+        self.process.brk = old + increment
+        return old
+
+    def _sys_exec(self, sim, path_p, _argv, _envp):
+        path = self._read_cstring(sim, path_p)
+        self.process.record("exec", path)
+        return 0
+
+    def _sys_socket(self, sim, _domain, _type, _proto):
+        return self._alloc_fd(ListeningSocket())
+
+    def _sys_bind(self, sim, fd, port, _len):
+        obj = self._fds.get(fd)
+        if not isinstance(obj, ListeningSocket):
+            return -1
+        obj.port = port
+        return 0
+
+    def _sys_listen(self, sim, fd, _backlog, _a2):
+        obj = self._fds.get(fd)
+        if not isinstance(obj, ListeningSocket):
+            return -1
+        self.net.register_listener(obj)
+        return 0
+
+    def _sys_accept(self, sim, fd, _addr, _len):
+        obj = self._fds.get(fd)
+        if not isinstance(obj, ListeningSocket):
+            return -1
+        connection = obj.accept()
+        if connection is None:
+            return -1
+        return self._alloc_fd(connection)
+
+    def _sys_recv(self, sim, fd, buf, count):
+        obj = self._fds.get(fd)
+        if not isinstance(obj, Connection):
+            return -1
+        data = obj.recv(count)
+        self._copy_in_tainted(sim, buf, data)
+        return len(data)
+
+    def _sys_send(self, sim, fd, buf, count):
+        obj = self._fds.get(fd)
+        if not isinstance(obj, Connection):
+            return -1
+        data = self._copy_out(sim, buf, count)
+        return obj.send(data)
+
+    _handlers = {
+        SYS_EXIT: _sys_exit,
+        SYS_READ: _sys_read,
+        SYS_WRITE: _sys_write,
+        SYS_OPEN: _sys_open,
+        SYS_CLOSE: _sys_close,
+        SYS_GETPID: _sys_getpid,
+        SYS_SETUID: _sys_setuid,
+        SYS_GETUID: _sys_getuid,
+        SYS_BRK: _sys_brk,
+        SYS_SBRK: _sys_sbrk,
+        SYS_EXEC: _sys_exec,
+        SYS_SOCKET: _sys_socket,
+        SYS_BIND: _sys_bind,
+        SYS_LISTEN: _sys_listen,
+        SYS_ACCEPT: _sys_accept,
+        SYS_RECV: _sys_recv,
+        SYS_SEND: _sys_send,
+    }

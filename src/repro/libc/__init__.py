@@ -1,0 +1,20 @@
+"""The simulated machine's C runtime: crt0, libc sources, program builder."""
+
+from .build import LIBC_UNITS, build_assembly, build_program
+from .malloc_src import MALLOC_SOURCE
+from .runtime import CRT0, SYSCALL_VENEERS
+from .socket_src import SOCKET_SOURCE
+from .stdio_src import STDIO_SOURCE
+from .string_src import STRING_SOURCE
+
+__all__ = [
+    "LIBC_UNITS",
+    "build_assembly",
+    "build_program",
+    "MALLOC_SOURCE",
+    "CRT0",
+    "SYSCALL_VENEERS",
+    "SOCKET_SOURCE",
+    "STDIO_SOURCE",
+    "STRING_SOURCE",
+]

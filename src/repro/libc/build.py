@@ -1,0 +1,70 @@
+"""Program builder: MiniC application + libc + crt0 -> executable image.
+
+The toolchain concatenates all assembly (crt0, compiled libc units, compiled
+application units, syscall veneers) into one translation unit and assembles
+it, so no separate linker is required.  Compiled images are memoized by
+source text -- benchmarks rebuild the same programs repeatedly.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Tuple
+
+from ..cc.compiler import compile_units
+from ..isa.assembler import assemble
+from ..isa.program import Executable
+from .malloc_src import MALLOC_SOURCE
+from .runtime import CRT0, SYSCALL_VENEERS
+from .socket_src import SOCKET_SOURCE
+from .stdio_src import STDIO_SOURCE
+from .string_src import STRING_SOURCE
+
+#: The standard library units, compiled in this order.
+LIBC_UNITS: Tuple[Tuple[str, str], ...] = (
+    ("string", STRING_SOURCE),
+    ("stdio", STDIO_SOURCE),
+    ("malloc", MALLOC_SOURCE),
+    ("socket", SOCKET_SOURCE),
+)
+
+
+@lru_cache(maxsize=None)
+def _libc_assembly() -> str:
+    """Assembly text of the whole standard library (compiled once)."""
+    return compile_units(LIBC_UNITS)
+
+
+@lru_cache(maxsize=64)
+def _build_cached(app_source: str, with_libc: bool, extra_asm: str) -> Executable:
+    parts = [CRT0]
+    if with_libc:
+        parts.append(_libc_assembly())
+    parts.append(compile_units((("app", app_source),)))
+    if extra_asm:
+        parts.append(extra_asm)
+    parts.append(SYSCALL_VENEERS)
+    return assemble("\n".join(parts))
+
+
+def build_program(
+    app_source: str,
+    with_libc: bool = True,
+    extra_asm: str = "",
+) -> Executable:
+    """Compile and link a MiniC program against the runtime and libc.
+
+    The returned :class:`Executable` is cached and therefore shared; callers
+    must not mutate it (the simulator never does -- it copies the image into
+    its own memory).
+    """
+    return _build_cached(app_source, with_libc, extra_asm)
+
+
+def build_assembly(asm_source: str, with_crt0: bool = False) -> Executable:
+    """Assemble a raw assembly program (used by ISA-level tests)."""
+    parts = []
+    if with_crt0:
+        parts.append(CRT0)
+    parts.append(asm_source)
+    return assemble("\n".join(parts))

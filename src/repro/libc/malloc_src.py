@@ -1,0 +1,176 @@
+"""Heap allocator, written in MiniC: boundary tags + doubly-linked free bin.
+
+The design follows dlmalloc's architecture, which is what the paper's heap
+attacks target:
+
+* chunk = ``[size|flags][payload...]`` with the user pointer 4 bytes past
+  the chunk base; sizes are 8-byte aligned, minimum 16 bytes;
+* flag bit 0 = *this chunk is free*, bit 1 = *previous chunk is free*;
+* free chunks carry ``fd``/``bk`` links in their first two payload words and
+  a size footer in their last word (for backward coalescing);
+* one circular doubly-linked bin holds all free chunks;
+* ``free()`` coalesces with a free successor by **unlinking** it:
+  ``B->fd->bk = B->bk; B->bk->fd = B->fd`` -- the two writes the classic
+  heap-corruption attack turns into an arbitrary word write.  When an
+  overflow has tainted ``B->fd``, the first of those stores dereferences a
+  tainted pointer and the paper's detector fires inside ``free()``.
+
+No integrity checks are performed on the links (2005-era allocator) -- that
+is the vulnerability under study.
+"""
+
+MALLOC_SOURCE = r"""
+int heap_bin[2];
+int heap_ready = 0;
+int *heap_top;
+int heap_top_size = 0;
+
+void heap_init(void) {
+    heap_bin[0] = heap_bin;
+    heap_bin[1] = heap_bin;
+    heap_top = sbrk(4096);
+    heap_top_size = 4096;
+    heap_ready = 1;
+}
+
+void set_footer(int *c, int size) {
+    c[(size >> 2) - 1] = size;
+}
+
+/* Free-list nodes live in the first two payload words of a free chunk:
+   node[0] = fd, node[1] = bk (both point at other *nodes*). */
+void bin_insert(int *c) {
+    int *node;
+    int *first;
+    node = c + 1;
+    first = heap_bin[0];
+    node[0] = first;
+    node[1] = heap_bin;
+    first[1] = node;
+    heap_bin[0] = node;
+}
+
+/* unlink(B): B->bk->fd = B->fd; B->fd->bk = B->bk.  No integrity checks
+   (2005-era allocator): with attacker-controlled links this is the
+   arbitrary-write primitive of the classic heap corruption attack. */
+void bin_unlink(int *node) {
+    int *fd;
+    int *bk;
+    fd = node[0];
+    bk = node[1];
+    bk[0] = fd;
+    fd[1] = bk;
+}
+
+int *malloc(int n) {
+    int req;
+    int size;
+    int *c;
+    int *rem;
+    int *next;
+    int *node;
+    int grow;
+    if (heap_ready == 0) {
+        heap_init();
+    }
+    if (n < 1) {
+        n = 1;
+    }
+    req = (n + 11) & 0xfffffff8;
+    if (req < 16) {
+        req = 16;
+    }
+    /* First fit over the free bin. */
+    node = heap_bin[0];
+    while (node != heap_bin) {
+        c = node - 1;
+        size = c[0] & 0xfffffff8;
+        if (size >= req) {
+            bin_unlink(node);
+            if (size - req >= 16) {
+                /* Split: the remainder stays free, right after c. */
+                rem = c + (req >> 2);
+                rem[0] = (size - req) | 1;
+                set_footer(rem, size - req);
+                bin_insert(rem);
+                c[0] = req | (c[0] & 2);
+            } else {
+                req = size;
+                c[0] = req | (c[0] & 2);
+                next = c + (req >> 2);
+                if (next != heap_top) {
+                    next[0] = next[0] & 0xfffffffd;
+                }
+            }
+            return c + 1;
+        }
+        node = node[0];
+    }
+    /* Carve from the top (wilderness) chunk. */
+    if (heap_top_size < req + 16) {
+        grow = req + 4096;
+        sbrk(grow);
+        heap_top_size = heap_top_size + grow;
+    }
+    c = heap_top;
+    heap_top = heap_top + (req >> 2);
+    heap_top_size = heap_top_size - req;
+    c[0] = req;
+    return c + 1;
+}
+
+void free(int *p) {
+    int *c;
+    int size;
+    int nsize;
+    int psize;
+    int *next;
+    int *prev;
+    if (p == 0) {
+        return;
+    }
+    c = p - 1;
+    size = c[0] & 0xfffffff8;
+    /* Backward coalesce: previous chunk free -> unlink it and merge. */
+    if (c[0] & 2) {
+        psize = *(c - 1);
+        prev = c - (psize >> 2);
+        bin_unlink(prev + 1);
+        size = size + psize;
+        c = prev;
+    }
+    next = c + (size >> 2);
+    /* Forward coalesce: successor chunk free -> unlink(B) and merge.
+       The unlink stores are the attack surface: with attacker-controlled
+       fd/bk this writes an arbitrary word to an arbitrary address. */
+    if (next != heap_top) {
+        if (next[0] & 1) {
+            nsize = next[0] & 0xfffffff8;
+            bin_unlink(next + 1);
+            size = size + nsize;
+            next = c + (size >> 2);
+        }
+    }
+    if (next == heap_top) {
+        /* Merge into the wilderness. */
+        heap_top = c;
+        heap_top_size = heap_top_size + size;
+        return;
+    }
+    c[0] = size | 1;
+    set_footer(c, size);
+    next[0] = next[0] | 2;
+    bin_insert(c);
+}
+
+int *calloc(int count, int size) {
+    int *p;
+    int total;
+    total = count * size;
+    p = malloc(total);
+    if (p) {
+        memset(p, 0, total);
+    }
+    return p;
+}
+"""

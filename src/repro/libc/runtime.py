@@ -1,0 +1,81 @@
+"""Hand-written assembly runtime: crt0 and system-call veneers.
+
+The stack-argument ABI (see :mod:`repro.cc.codegen`) means every veneer
+finds argument ``i`` at ``4*i($sp)`` on entry, moves the arguments into
+``$a0..$a3``, loads the syscall number into ``$v0`` and traps.  The kernel
+returns the result in ``$v0``.
+"""
+
+from __future__ import annotations
+
+from ..kernel.syscalls import (
+    SYS_ACCEPT,
+    SYS_BIND,
+    SYS_BRK,
+    SYS_CLOSE,
+    SYS_EXEC,
+    SYS_EXIT,
+    SYS_GETPID,
+    SYS_GETUID,
+    SYS_LISTEN,
+    SYS_OPEN,
+    SYS_READ,
+    SYS_RECV,
+    SYS_SBRK,
+    SYS_SEND,
+    SYS_SETUID,
+    SYS_SOCKET,
+    SYS_WRITE,
+)
+
+#: Program entry point: pushes (argc, argv, envp) for ``main`` and exits
+#: with its return value.  The kernel pre-loads $a0..$a2 at attach time.
+CRT0 = """
+.text
+_start:
+    addiu $sp,$sp,-12
+    sw $a2,8($sp)
+    sw $a1,4($sp)
+    sw $a0,0($sp)
+    jal main
+    move $a0,$v0
+    li $v0,1
+    syscall
+"""
+
+
+def _veneer(name: str, number: int, nargs: int) -> str:
+    lines = [f"{name}:"]
+    for i in range(nargs):
+        lines.append(f"    lw $a{i},{4 * i}($sp)")
+    lines.append(f"    li $v0,{number}")
+    lines.append("    syscall")
+    lines.append("    jr $ra")
+    return "\n".join(lines)
+
+
+#: ``(name, syscall number, argument count)`` for every kernel entry point.
+_VENEERS = [
+    ("exit", SYS_EXIT, 1),
+    ("read", SYS_READ, 3),
+    ("write", SYS_WRITE, 3),
+    ("open", SYS_OPEN, 2),
+    ("close", SYS_CLOSE, 1),
+    ("getpid", SYS_GETPID, 0),
+    ("setuid", SYS_SETUID, 1),
+    ("getuid", SYS_GETUID, 0),
+    ("brk", SYS_BRK, 1),
+    ("sbrk", SYS_SBRK, 1),
+    ("exec", SYS_EXEC, 1),
+    ("socket", SYS_SOCKET, 3),
+    ("bind", SYS_BIND, 2),
+    ("listen", SYS_LISTEN, 2),
+    ("accept", SYS_ACCEPT, 1),
+    ("recv", SYS_RECV, 3),
+    ("send", SYS_SEND, 3),
+]
+
+#: All syscall veneers as one assembly fragment.
+SYSCALL_VENEERS = "\n.text\n" + "\n".join(
+    _veneer(name, number, nargs) for name, number, nargs in _VENEERS
+) + "\n"

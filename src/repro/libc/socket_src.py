@@ -1,0 +1,29 @@
+"""Socket convenience helpers, written in MiniC.
+
+The raw ``socket``/``bind``/``listen``/``accept``/``recv``/``send`` entry
+points are assembly veneers (:mod:`repro.libc.runtime`); these helpers add
+the small conveniences the server applications share.
+"""
+
+SOCKET_SOURCE = r"""
+/* Send a NUL-terminated string over a socket. */
+int send_str(int fd, char *s) {
+    return send(fd, s, strlen(s));
+}
+
+/* Create a listening server socket on a port; returns the socket fd. */
+int server_listen(int port) {
+    int fd;
+    fd = socket(2, 1, 0);
+    if (fd < 0) {
+        return -1;
+    }
+    if (bind(fd, port) < 0) {
+        return -1;
+    }
+    if (listen(fd, 8) < 0) {
+        return -1;
+    }
+    return fd;
+}
+"""

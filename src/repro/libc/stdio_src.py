@@ -1,0 +1,250 @@
+"""stdio, written in MiniC: the printf family with ``%n``, gets/scanf.
+
+``vformat`` is the shared engine behind ``printf``/``sprintf``/``fdprintf``.
+Its two cursors are exactly the paper's Figure 2 description of vfprintf:
+``fmt`` sweeps the format string and ``ap`` scans the argument area.  When
+``fmt`` reaches ``%n``, the engine executes ``*ap = count`` -- the store
+through a user-influenced pointer that the format-string attack hijacks.
+
+No bounds or NULL checks are performed on the ``%n``/``%s`` pointers: that
+is precisely the vulnerability class being studied.
+"""
+
+STDIO_SOURCE = r"""
+int fdputs(int fd, char *s) {
+    return write(fd, s, strlen(s));
+}
+
+int putchar(int ch) {
+    char one[4];
+    one[0] = ch;
+    return write(1, one, 1);
+}
+
+int puts(char *s) {
+    write(1, s, strlen(s));
+    return putchar(10);
+}
+
+/* floor(value / 10) treating value as a 32-bit unsigned quantity. */
+int udiv10(int value) {
+    if (value >= 0) {
+        return value / 10;
+    }
+    return ((value >> 1) & 0x7fffffff) / 5;
+}
+
+/* Render an unsigned value; returns the number of characters emitted. */
+int format_uint(char *dst, int value, int base) {
+    char digits[12];
+    int n;
+    int i;
+    int d;
+    int q;
+    if (value == 0) {
+        dst[0] = '0';
+        return 1;
+    }
+    n = 0;
+    if (base == 16) {
+        while (value != 0) {
+            d = value & 15;
+            if (d < 10) {
+                digits[n] = '0' + d;
+            } else {
+                digits[n] = 'a' + (d - 10);
+            }
+            value = (value >> 4) & 0xfffffff;
+            n++;
+        }
+    } else {
+        while (value != 0) {
+            q = udiv10(value);
+            d = value - q * 10;
+            digits[n] = '0' + d;
+            value = q;
+            n++;
+        }
+    }
+    for (i = 0; i < n; i++) {
+        dst[i] = digits[n - 1 - i];
+    }
+    return n;
+}
+
+int format_int(char *dst, int value, int base) {
+    if (value < 0) {
+        dst[0] = '-';
+        return 1 + format_uint(dst + 1, -value, base);
+    }
+    return format_uint(dst, value, base);
+}
+
+/*
+ * The formatting engine.  fmt sweeps the format string; ap scans the
+ * argument words.  Supported directives: %d %u %x %c %s %n %%.
+ */
+int vformat(char *out, char *fmt, int *ap) {
+    int count;
+    int ch;
+    int *ip;
+    char *sp;
+    count = 0;
+    while (*fmt) {
+        ch = *fmt;
+        if (ch != '%') {
+            out[count] = ch;
+            count++;
+            fmt++;
+            continue;
+        }
+        fmt++;
+        ch = *fmt;
+        fmt++;
+        if (ch == 'd') {
+            count = count + format_int(out + count, *ap, 10);
+            ap = ap + 1;
+        } else if (ch == 'u') {
+            count = count + format_uint(out + count, *ap, 10);
+            ap = ap + 1;
+        } else if (ch == 'x') {
+            count = count + format_uint(out + count, *ap, 16);
+            ap = ap + 1;
+        } else if (ch == 'c') {
+            out[count] = *ap;
+            count++;
+            ap = ap + 1;
+        } else if (ch == 's') {
+            sp = *ap;
+            ap = ap + 1;
+            while (*sp) {
+                out[count] = *sp;
+                count++;
+                sp++;
+            }
+        } else if (ch == 'n') {
+            ip = *ap;
+            ap = ap + 1;
+            *ip = count;
+        } else if (ch == '%') {
+            out[count] = '%';
+            count++;
+        } else if (ch == 0) {
+            break;
+        } else {
+            out[count] = '%';
+            count++;
+            out[count] = ch;
+            count++;
+        }
+    }
+    out[count] = 0;
+    return count;
+}
+
+int printf(char *fmt, ...) {
+    char out[512];
+    int n;
+    int *ap;
+    ap = &fmt;
+    n = vformat(out, fmt, ap + 1);
+    write(1, out, n);
+    return n;
+}
+
+int sprintf(char *dst, char *fmt, ...) {
+    int *ap;
+    ap = &fmt;
+    return vformat(dst, fmt, ap + 1);
+}
+
+int fdprintf(int fd, char *fmt, ...) {
+    char out[512];
+    int n;
+    int *ap;
+    ap = &fmt;
+    n = vformat(out, fmt, ap + 1);
+    write(fd, out, n);
+    return n;
+}
+
+/* Send a formatted reply over a socket (servers use this). */
+int sockprintf(int fd, char *fmt, ...) {
+    char out[512];
+    int n;
+    int *ap;
+    ap = &fmt;
+    n = vformat(out, fmt, ap + 1);
+    send(fd, out, n);
+    return n;
+}
+
+/* gets(): read one '\n'-terminated line from stdin, NO bounds check. */
+int gets(char *buf) {
+    int n;
+    int r;
+    char one[4];
+    n = 0;
+    while (1) {
+        r = read(0, one, 1);
+        if (r < 1) {
+            break;
+        }
+        if (one[0] == 10) {
+            break;
+        }
+        buf[n] = one[0];
+        n++;
+    }
+    buf[n] = 0;
+    return n;
+}
+
+/*
+ * scan_string(): the unbounded scanf("%s", buf) of Figure 2 -- skip
+ * leading whitespace, copy until whitespace/EOF, never check length.
+ */
+int scan_string(char *buf) {
+    int n;
+    int r;
+    char one[4];
+    n = 0;
+    while (1) {
+        r = read(0, one, 1);
+        if (r < 1) {
+            break;
+        }
+        if (isspace(one[0])) {
+            if (n > 0) {
+                break;
+            }
+            continue;
+        }
+        buf[n] = one[0];
+        n++;
+    }
+    buf[n] = 0;
+    return n;
+}
+
+/* Read one line from a socket (up to '\n', bounded). */
+int recv_line(int fd, char *buf, int max) {
+    int n;
+    int r;
+    char one[4];
+    n = 0;
+    while (n < max - 1) {
+        r = recv(fd, one, 1);
+        if (r < 1) {
+            break;
+        }
+        if (one[0] == 10) {
+            break;
+        }
+        buf[n] = one[0];
+        n++;
+    }
+    buf[n] = 0;
+    return n;
+}
+"""

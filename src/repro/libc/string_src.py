@@ -1,0 +1,160 @@
+"""String and memory routines, written in MiniC.
+
+These run *on the simulated machine*, so taint flows through their loads
+and stores byte by byte -- ``strcpy`` of attacker input produces a tainted
+destination buffer exactly as on the paper's hardware.
+"""
+
+STRING_SOURCE = r"""
+int strlen(char *s) {
+    int n;
+    n = 0;
+    while (s[n]) {
+        n++;
+    }
+    return n;
+}
+
+char *strcpy(char *dst, char *src) {
+    int i;
+    i = 0;
+    while (src[i]) {
+        dst[i] = src[i];
+        i++;
+    }
+    dst[i] = 0;
+    return dst;
+}
+
+char *strncpy(char *dst, char *src, int n) {
+    int i;
+    i = 0;
+    while (i < n && src[i]) {
+        dst[i] = src[i];
+        i++;
+    }
+    while (i < n) {
+        dst[i] = 0;
+        i++;
+    }
+    return dst;
+}
+
+char *strcat(char *dst, char *src) {
+    strcpy(dst + strlen(dst), src);
+    return dst;
+}
+
+int strcmp(char *a, char *b) {
+    int i;
+    i = 0;
+    while (a[i] && b[i] && a[i] == b[i]) {
+        i++;
+    }
+    return a[i] - b[i];
+}
+
+int strncmp(char *a, char *b, int n) {
+    int i;
+    i = 0;
+    if (n < 1) {
+        return 0;
+    }
+    while (i < n - 1 && a[i] && b[i] && a[i] == b[i]) {
+        i++;
+    }
+    return a[i] - b[i];
+}
+
+char *strchr(char *s, int ch) {
+    while (*s) {
+        if (*s == ch) {
+            return s;
+        }
+        s++;
+    }
+    if (ch == 0) {
+        return s;
+    }
+    return 0;
+}
+
+char *strstr(char *haystack, char *needle) {
+    int n;
+    n = strlen(needle);
+    if (n == 0) {
+        return haystack;
+    }
+    while (*haystack) {
+        if (strncmp(haystack, needle, n) == 0) {
+            return haystack;
+        }
+        haystack++;
+    }
+    return 0;
+}
+
+char *memcpy(char *dst, char *src, int n) {
+    int i;
+    for (i = 0; i < n; i++) {
+        dst[i] = src[i];
+    }
+    return dst;
+}
+
+char *memset(char *dst, int value, int n) {
+    int i;
+    for (i = 0; i < n; i++) {
+        dst[i] = value;
+    }
+    return dst;
+}
+
+int memcmp(char *a, char *b, int n) {
+    int i;
+    for (i = 0; i < n; i++) {
+        if (a[i] != b[i]) {
+            return a[i] - b[i];
+        }
+    }
+    return 0;
+}
+
+int isspace(int ch) {
+    if (ch == 32 || ch == 9 || ch == 10 || ch == 13) {
+        return 1;
+    }
+    return 0;
+}
+
+int isdigit(int ch) {
+    if (ch >= '0' && ch <= '9') {
+        return 1;
+    }
+    return 0;
+}
+
+int atoi(char *s) {
+    int value;
+    int negative;
+    value = 0;
+    negative = 0;
+    while (isspace(*s)) {
+        s++;
+    }
+    if (*s == '-') {
+        negative = 1;
+        s++;
+    } else if (*s == '+') {
+        s++;
+    }
+    while (isdigit(*s)) {
+        value = value * 10 + (*s - '0');
+        s++;
+    }
+    if (negative) {
+        return -value;
+    }
+    return value;
+}
+"""

@@ -1,0 +1,28 @@
+"""Extended memory model: tainted RAM, registers, caches, address layout."""
+
+from .cache import Cache, CacheHierarchy, CacheStats
+from .layout import (
+    AddressSpace,
+    DATA_BASE,
+    PAGE_SIZE,
+    STACK_TOP,
+    TEXT_BASE,
+    WORD,
+)
+from .registers import RegisterFile
+from .tainted_memory import MemoryFault, TaintedMemory
+
+__all__ = [
+    "Cache",
+    "CacheHierarchy",
+    "CacheStats",
+    "AddressSpace",
+    "DATA_BASE",
+    "PAGE_SIZE",
+    "STACK_TOP",
+    "TEXT_BASE",
+    "WORD",
+    "RegisterFile",
+    "MemoryFault",
+    "TaintedMemory",
+]

@@ -1,0 +1,234 @@
+"""Set-associative write-back caches that carry taintedness bits.
+
+Section 4.1: "L2 and L1 caches and data storage within the processor
+(registers and buffers) are also extended with the additional taintedness
+bits."  Each cache line stores its data bytes *and* their shadow taint bits;
+write-backs move both together, so taint survives eviction and refill just
+like data does.
+
+The caches are functional (they really hold the data), which lets the test
+suite assert that a tainted byte written through L1, evicted to L2, written
+back to RAM and re-fetched still carries its taint bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..core.taint import TaintVector
+from .tainted_memory import TaintedMemory
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/write-back counters for one cache level."""
+
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class _Line:
+    """One cache line: tag + data + per-byte taint + state bits."""
+
+    __slots__ = ("tag", "data", "taint", "valid", "dirty", "lru")
+
+    def __init__(self, line_size: int) -> None:
+        self.tag = 0
+        self.data = bytearray(line_size)
+        self.taint = bytearray(line_size)
+        self.valid = False
+        self.dirty = False
+        self.lru = 0
+
+
+class Cache:
+    """A single set-associative write-back, write-allocate cache level."""
+
+    def __init__(
+        self,
+        name: str,
+        size: int = 16 * 1024,
+        line_size: int = 32,
+        associativity: int = 2,
+        backing: Optional["Cache"] = None,
+        memory: Optional[TaintedMemory] = None,
+    ) -> None:
+        if size % (line_size * associativity):
+            raise ValueError("cache geometry does not divide evenly")
+        if backing is None and memory is None:
+            raise ValueError("cache needs a backing cache or memory")
+        self.name = name
+        self.line_size = line_size
+        self.associativity = associativity
+        self.num_sets = size // (line_size * associativity)
+        self.backing = backing
+        self.memory = memory
+        self.stats = CacheStats()
+        self._sets: List[List[_Line]] = [
+            [_Line(line_size) for _ in range(associativity)]
+            for _ in range(self.num_sets)
+        ]
+        self._clock = 0
+
+    # -- geometry helpers --------------------------------------------------
+
+    def _locate(self, addr: int) -> Tuple[int, int, int]:
+        offset = addr % self.line_size
+        line_addr = addr - offset
+        set_index = (line_addr // self.line_size) % self.num_sets
+        tag = line_addr // (self.line_size * self.num_sets)
+        return set_index, tag, offset
+
+    def _line_base(self, set_index: int, tag: int) -> int:
+        return (tag * self.num_sets + set_index) * self.line_size
+
+    # -- backing-store plumbing --------------------------------------------
+
+    def _fill_from_backing(self, base: int, line: _Line) -> None:
+        if self.backing is not None:
+            data, taint = self.backing.read_line(base, self.line_size)
+        else:
+            assert self.memory is not None
+            data = bytearray(self.memory.read_bytes(base, self.line_size))
+            taint = bytearray(
+                1 if flag else 0
+                for flag in self.memory.read_taint(base, self.line_size)
+            )
+        line.data[:] = data
+        line.taint[:] = taint
+
+    def _writeback(self, set_index: int, line: _Line) -> None:
+        base = self._line_base(set_index, line.tag)
+        self.stats.writebacks += 1
+        if self.backing is not None:
+            self.backing.write_line(base, line.data, line.taint)
+        else:
+            assert self.memory is not None
+            self.memory.write_bytes(
+                base,
+                bytes(line.data),
+                TaintVector.from_flags([bool(b) for b in line.taint]),
+            )
+
+    def _find(self, addr: int) -> Tuple[int, _Line]:
+        """Find (or fetch) the line holding ``addr``; returns (offset, line)."""
+        set_index, tag, offset = self._locate(addr)
+        self._clock += 1
+        ways = self._sets[set_index]
+        for line in ways:
+            if line.valid and line.tag == tag:
+                self.stats.hits += 1
+                line.lru = self._clock
+                return offset, line
+        self.stats.misses += 1
+        victim = min(ways, key=lambda entry: (entry.valid, entry.lru))
+        if victim.valid and victim.dirty:
+            self._writeback(set_index, victim)
+        victim.tag = tag
+        victim.valid = True
+        victim.dirty = False
+        victim.lru = self._clock
+        self._fill_from_backing(self._line_base(set_index, tag), victim)
+        return offset, victim
+
+    # -- public access API ---------------------------------------------------
+
+    def read(self, addr: int, size: int) -> Tuple[int, int]:
+        """Read up to ``size`` bytes (must not straddle a line boundary)."""
+        offset, line = self._find(addr)
+        if offset + size > self.line_size:
+            raise ValueError("access straddles a cache line")
+        value = int.from_bytes(line.data[offset : offset + size], "little")
+        mask = 0
+        for i in range(size):
+            if line.taint[offset + i]:
+                mask |= 1 << i
+        return value, mask
+
+    def write(self, addr: int, size: int, value: int, taint_mask: int = 0) -> None:
+        """Write through this level (write-back, write-allocate)."""
+        offset, line = self._find(addr)
+        if offset + size > self.line_size:
+            raise ValueError("access straddles a cache line")
+        line.data[offset : offset + size] = (
+            value & ((1 << (8 * size)) - 1)
+        ).to_bytes(size, "little")
+        for i in range(size):
+            line.taint[offset + i] = 1 if taint_mask >> i & 1 else 0
+        line.dirty = True
+
+    def read_line(self, base: int, length: int) -> Tuple[bytearray, bytearray]:
+        """Line-granularity read used by an upper cache level on refill."""
+        offset, line = self._find(base)
+        return (
+            bytearray(line.data[offset : offset + length]),
+            bytearray(line.taint[offset : offset + length]),
+        )
+
+    def write_line(self, base: int, data: bytearray, taint: bytearray) -> None:
+        """Line-granularity write used by an upper cache level on writeback."""
+        offset, line = self._find(base)
+        line.data[offset : offset + len(data)] = data
+        line.taint[offset : offset + len(taint)] = taint
+        line.dirty = True
+
+    def flush(self) -> None:
+        """Write every dirty line back to the backing store."""
+        for set_index, ways in enumerate(self._sets):
+            for line in ways:
+                if line.valid and line.dirty:
+                    self._writeback(set_index, line)
+                    line.dirty = False
+
+
+class CacheHierarchy:
+    """An L1 + L2 hierarchy in front of :class:`TaintedMemory`.
+
+    Presents the same ``read``/``write`` interface as raw memory, so the
+    simulator can route data accesses through it when cache modelling is
+    requested.
+    """
+
+    def __init__(
+        self,
+        memory: TaintedMemory,
+        l1_size: int = 16 * 1024,
+        l2_size: int = 256 * 1024,
+        line_size: int = 32,
+    ) -> None:
+        self.memory = memory
+        self.l2 = Cache(
+            "L2", size=l2_size, line_size=line_size, associativity=4,
+            memory=memory,
+        )
+        self.l1 = Cache(
+            "L1", size=l1_size, line_size=line_size, associativity=2,
+            backing=self.l2,
+        )
+
+    def read(self, addr: int, size: int) -> Tuple[int, int]:
+        if addr % self.l1.line_size + size > self.l1.line_size:
+            # Rare unaligned straddle: bypass caches.
+            return self.memory.read(addr, size)
+        return self.l1.read(addr, size)
+
+    def write(self, addr: int, size: int, value: int, taint_mask: int = 0) -> None:
+        if addr % self.l1.line_size + size > self.l1.line_size:
+            self.memory.write(addr, size, value, taint_mask)
+            return
+        self.l1.write(addr, size, value, taint_mask)
+
+    def flush(self) -> None:
+        """Flush both levels so RAM reflects all cached state."""
+        self.l1.flush()
+        self.l2.flush()

@@ -1,0 +1,60 @@
+"""Address-space layout of a simulated process.
+
+The layout mirrors SimpleScalar/MIPS conventions, which is also why the
+addresses appearing in the paper's attack transcripts look the way they do:
+the WU-FTPD uid word lives at ``0x1002bc20`` (static data segment near
+``0x10000000``) and the GHTTPD attack pointer at ``0x7fff3e94`` (stack under
+``0x7fff8000``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Base of the text (code) segment.
+TEXT_BASE = 0x00400000
+
+#: Base of the static data segment.
+DATA_BASE = 0x10000000
+
+#: Initial stack pointer; the stack grows toward lower addresses.
+STACK_TOP = 0x7FFF8000
+
+#: Maximum stack size in bytes (for bounds diagnostics only).
+STACK_LIMIT = 1 << 20
+
+#: Size of a simulated memory page.
+PAGE_SIZE = 4096
+
+#: Word size in bytes.
+WORD = 4
+
+
+@dataclass
+class AddressSpace:
+    """Segment bookkeeping for one process image."""
+
+    text_base: int = TEXT_BASE
+    text_end: int = TEXT_BASE
+    data_base: int = DATA_BASE
+    brk: int = DATA_BASE          # heap break, grows upward from data end
+    stack_top: int = STACK_TOP
+
+    def in_text(self, addr: int) -> bool:
+        return self.text_base <= addr < self.text_end
+
+    def in_data_or_heap(self, addr: int) -> bool:
+        return self.data_base <= addr < self.brk
+
+    def in_stack(self, addr: int) -> bool:
+        return self.stack_top - STACK_LIMIT <= addr < self.stack_top
+
+    def segment_of(self, addr: int) -> str:
+        """Human-readable segment name for diagnostics."""
+        if self.in_text(addr):
+            return "text"
+        if self.in_data_or_heap(addr):
+            return "data/heap"
+        if self.in_stack(addr):
+            return "stack"
+        return "unmapped"

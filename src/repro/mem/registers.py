@@ -1,0 +1,72 @@
+"""Register file extended with per-byte taintedness bits.
+
+"Corresponding to the one-bit extension to each memory byte, the processor
+registers are also extended to include one taintedness bit for each byte"
+(section 4.2).  Each 32-bit register therefore carries a 4-bit taint mask.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..core.taint import WORD_TAINTED
+from ..isa.instructions import REGISTER_NAMES
+
+_MASK32 = 0xFFFFFFFF
+
+
+class RegisterFile:
+    """32 general-purpose registers plus HI/LO, each with a taint mask.
+
+    Register 0 is hardwired to (0, clean); writes to it are discarded, as on
+    MIPS.
+    """
+
+    __slots__ = ("values", "taints", "hi", "lo", "hi_taint", "lo_taint")
+
+    def __init__(self) -> None:
+        self.values: List[int] = [0] * 32
+        self.taints: List[int] = [0] * 32
+        self.hi = 0
+        self.lo = 0
+        self.hi_taint = 0
+        self.lo_taint = 0
+
+    def read(self, number: int) -> Tuple[int, int]:
+        """Return ``(value, taint_mask)`` of a register."""
+        return self.values[number], self.taints[number]
+
+    def write(self, number: int, value: int, taint_mask: int = 0) -> None:
+        """Write a register; register 0 stays hardwired to clean zero."""
+        if number == 0:
+            return
+        self.values[number] = value & _MASK32
+        self.taints[number] = taint_mask & WORD_TAINTED
+
+    def value(self, number: int) -> int:
+        return self.values[number]
+
+    def taint(self, number: int) -> int:
+        return self.taints[number]
+
+    def set_taint(self, number: int, taint_mask: int) -> None:
+        """Overwrite only the taint mask (used by the compare-untaint rule)."""
+        if number == 0:
+            return
+        self.taints[number] = taint_mask & WORD_TAINTED
+
+    def tainted_registers(self) -> List[int]:
+        """Register numbers currently holding any tainted byte."""
+        return [n for n in range(32) if self.taints[n]]
+
+    def dump(self) -> str:
+        """Readable register dump for diagnostics."""
+        rows = []
+        for n in range(32):
+            mark = "*" if self.taints[n] else " "
+            rows.append(
+                f"${REGISTER_NAMES[n]:>4}=({n:2}) {self.values[n]:08x}{mark}"
+            )
+        return "\n".join(
+            "  ".join(rows[i : i + 4]) for i in range(0, 32, 4)
+        )

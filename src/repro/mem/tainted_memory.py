@@ -1,0 +1,182 @@
+"""Sparse paged physical memory extended with per-byte taintedness bits.
+
+This is the literal implementation of the paper's section 4.1: "A
+taintedness bit is associated with each byte in memory.  When a memory word
+is accessed by the processor, the taintedness bits are passed through the
+memory hierarchy together with the actual memory words."
+
+Pages are allocated lazily, so the full 32-bit address space is usable --
+including the wild addresses (``0x61616161``) that attack payloads produce
+when a corruption is allowed to proceed on an unprotected machine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Union
+
+from ..core.taint import TaintVector
+from .layout import PAGE_SIZE
+
+_PAGE_MASK = PAGE_SIZE - 1
+
+
+class MemoryFault(Exception):
+    """Raised for invalid simulated accesses (bad size, misalignment)."""
+
+
+class TaintedMemory:
+    """Byte-addressable little-endian memory with shadow taint bits."""
+
+    def __init__(self) -> None:
+        self._pages: Dict[int, bytearray] = {}
+        self._taint_pages: Dict[int, bytearray] = {}
+        #: Running count of tainted-byte writes, for statistics.
+        self.tainted_bytes_written = 0
+
+    # ------------------------------------------------------------------
+    # page management
+    # ------------------------------------------------------------------
+
+    def _page(self, addr: int) -> Tuple[bytearray, bytearray, int]:
+        base = addr & ~_PAGE_MASK
+        page = self._pages.get(base)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[base] = page
+            self._taint_pages[base] = bytearray(PAGE_SIZE)
+        return page, self._taint_pages[base], addr & _PAGE_MASK
+
+    def mapped_pages(self) -> int:
+        """Number of pages materialized so far."""
+        return len(self._pages)
+
+    # ------------------------------------------------------------------
+    # scalar accesses (hot path: used by the execution engines)
+    # ------------------------------------------------------------------
+
+    def read(self, addr: int, size: int) -> Tuple[int, int]:
+        """Read ``size`` bytes; return ``(value, taint_mask)``, little-endian."""
+        if size not in (1, 2, 4):
+            raise MemoryFault(f"bad access size {size}")
+        addr &= 0xFFFFFFFF
+        page, taint, offset = self._page(addr)
+        if offset + size <= PAGE_SIZE:
+            value = int.from_bytes(page[offset : offset + size], "little")
+            mask = 0
+            for i in range(size):
+                if taint[offset + i]:
+                    mask |= 1 << i
+            return value, mask
+        # Access straddles a page boundary: fall back to byte-by-byte.
+        value = 0
+        mask = 0
+        for i in range(size):
+            byte, bit = self._read_byte(addr + i)
+            value |= byte << (8 * i)
+            if bit:
+                mask |= 1 << i
+        return value, mask
+
+    def write(self, addr: int, size: int, value: int, taint_mask: int = 0) -> None:
+        """Write ``size`` bytes of ``value`` with per-byte ``taint_mask``."""
+        if size not in (1, 2, 4):
+            raise MemoryFault(f"bad access size {size}")
+        addr &= 0xFFFFFFFF
+        page, taint, offset = self._page(addr)
+        if offset + size <= PAGE_SIZE:
+            value &= (1 << (8 * size)) - 1
+            page[offset : offset + size] = value.to_bytes(size, "little")
+            for i in range(size):
+                bit = 1 if taint_mask >> i & 1 else 0
+                taint[offset + i] = bit
+                if bit:
+                    self.tainted_bytes_written += 1
+            return
+        for i in range(size):
+            self._write_byte(addr + i, value >> (8 * i) & 0xFF, bool(taint_mask >> i & 1))
+
+    def _read_byte(self, addr: int) -> Tuple[int, int]:
+        page, taint, offset = self._page(addr & 0xFFFFFFFF)
+        return page[offset], taint[offset]
+
+    def _write_byte(self, addr: int, value: int, tainted: bool) -> None:
+        page, taint, offset = self._page(addr & 0xFFFFFFFF)
+        page[offset] = value & 0xFF
+        taint[offset] = 1 if tainted else 0
+        if tainted:
+            self.tainted_bytes_written += 1
+
+    # ------------------------------------------------------------------
+    # bulk accesses (loader, system calls, tests)
+    # ------------------------------------------------------------------
+
+    def read_bytes(self, addr: int, length: int) -> bytes:
+        """Read a raw byte string (taint ignored)."""
+        out = bytearray()
+        remaining = length
+        cursor = addr
+        while remaining > 0:
+            page, _, offset = self._page(cursor & 0xFFFFFFFF)
+            chunk = min(remaining, PAGE_SIZE - offset)
+            out.extend(page[offset : offset + chunk])
+            cursor += chunk
+            remaining -= chunk
+        return bytes(out)
+
+    def read_taint(self, addr: int, length: int) -> TaintVector:
+        """Read the shadow taint of a byte span."""
+        mask = 0
+        for i in range(length):
+            if self._read_byte(addr + i)[1]:
+                mask |= 1 << i
+        return TaintVector(length, mask)
+
+    def write_bytes(
+        self,
+        addr: int,
+        data: Union[bytes, bytearray],
+        taint: Union[bool, TaintVector] = False,
+    ) -> None:
+        """Write a byte string; ``taint`` is a bool or per-byte vector."""
+        if isinstance(taint, TaintVector):
+            if len(taint) != len(data):
+                raise MemoryFault("taint vector length mismatch")
+            for i, (byte, flag) in enumerate(zip(data, taint)):
+                self._write_byte(addr + i, byte, flag)
+            return
+        # Uniform taint: copy page-sized slices (fast path for loaders and
+        # bulk kernel I/O).
+        fill = 1 if taint else 0
+        cursor = addr
+        position = 0
+        remaining = len(data)
+        while remaining > 0:
+            page, taint_page, offset = self._page(cursor & 0xFFFFFFFF)
+            chunk = min(remaining, PAGE_SIZE - offset)
+            page[offset : offset + chunk] = data[position : position + chunk]
+            taint_page[offset : offset + chunk] = bytes([fill]) * chunk
+            cursor += chunk
+            position += chunk
+            remaining -= chunk
+        if fill:
+            self.tainted_bytes_written += len(data)
+
+    def read_cstring(self, addr: int, max_length: int = 4096) -> bytes:
+        """Read a NUL-terminated string (terminator excluded)."""
+        out = bytearray()
+        for i in range(max_length):
+            byte = self._read_byte(addr + i)[0]
+            if byte == 0:
+                break
+            out.append(byte)
+        return bytes(out)
+
+    def set_taint(self, addr: int, length: int, tainted: bool) -> None:
+        """Force the taint of a byte span without touching the data."""
+        for i in range(length):
+            _, taint_page, offset = self._page((addr + i) & 0xFFFFFFFF)
+            taint_page[offset] = 1 if tainted else 0
+
+    def count_tainted(self, addr: int, length: int) -> int:
+        """Number of tainted bytes in a span."""
+        return self.read_taint(addr, length).count()

@@ -1,0 +1,19 @@
+"""Pytest fixtures shared across the suite."""
+
+import pytest
+
+from tests.helpers import asm_main, run_asm
+
+
+@pytest.fixture
+def run_body():
+    """Run an instruction body on the simulated machine.
+
+    Returns ``(simulator, exit_status)`` where the exit status is the value
+    the body left in ``$v1``.
+    """
+
+    def runner(body: str, data: str = "", **kwargs):
+        return run_asm(asm_main(body, data), **kwargs)
+
+    return runner

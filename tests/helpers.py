@@ -1,0 +1,52 @@
+"""Shared test helpers: assemble-and-run utilities."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.policy import DetectionPolicy, PointerTaintPolicy
+from repro.cpu.simulator import Simulator
+from repro.isa.assembler import assemble
+from repro.kernel.syscalls import Kernel
+
+
+def run_asm(
+    source: str,
+    stdin: bytes = b"",
+    policy: Optional[DetectionPolicy] = None,
+    argv=None,
+    max_instructions: int = 1_000_000,
+    use_caches: bool = False,
+) -> Tuple[Simulator, int]:
+    """Assemble a raw program (must define ``_start``), run it to exit.
+
+    The program should terminate via ``li $v0,1; syscall`` (SYS_EXIT with
+    the status in $a0); ``run_asm`` returns ``(simulator, exit_status)``.
+    """
+    exe = assemble(source)
+    kernel = Kernel(stdin=stdin, argv=argv)
+    sim = Simulator(
+        exe,
+        policy if policy is not None else PointerTaintPolicy(),
+        syscall_handler=kernel,
+        use_caches=use_caches,
+    )
+    kernel.attach(sim)
+    status = sim.run(max_instructions=max_instructions)
+    return sim, status
+
+
+def asm_main(body: str, data: str = "") -> str:
+    """Wrap an instruction body into a runnable program that exits with
+    the value left in ``$v1`` (so tests read results from a register)."""
+    program = [".text", "_start:"]
+    program.append(body)
+    program.append("    move $a0,$v1")
+    program.append("    li $v0,1")
+    program.append("    syscall")
+    if data:
+        program.append(".data")
+        program.append(data)
+    return "\n".join(program)
+
+

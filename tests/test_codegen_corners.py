@@ -1,0 +1,241 @@
+"""MiniC code-generation corner cases."""
+
+import pytest
+
+from repro.attacks.replay import run_minic
+
+
+def exit_of(body, declarations="", stdin=b""):
+    result = run_minic(
+        declarations + "\nint main(void) {\n" + body + "\n}\n", stdin=stdin
+    )
+    assert result.outcome == "exit", result.describe()
+    return result.exit_status
+
+
+def stdout_of(body, declarations="", stdin=b""):
+    result = run_minic(
+        declarations + "\nint main(void) {\n" + body + "\n}\n", stdin=stdin
+    )
+    assert result.outcome == "exit", result.describe()
+    return result.stdout
+
+
+class TestConditions:
+    def test_assignment_value_as_condition(self):
+        assert exit_of(
+            "int a; int n; n = 0; a = 3;"
+            "while (a = a - 1) { n++; }"
+            "return n;"
+        ) == 2
+
+    def test_or_inside_if_with_calls(self):
+        assert exit_of(
+            "if (zero() || one()) { return 7; } return 8;",
+            declarations=(
+                "int zero(void) { return 0; }\n"
+                "int one(void) { return 1; }\n"
+            ),
+        ) == 7
+
+    def test_nested_and_or(self):
+        assert exit_of(
+            "int a; int b; int c; a = 1; b = 0; c = 1;"
+            "if ((a && b) || (a && c)) { return 1; } return 0;"
+        ) == 1
+
+    def test_not_of_comparison(self):
+        assert exit_of("int x; x = 5; if (!(x < 3)) { return 1; } return 0;") == 1
+
+    def test_double_negation(self):
+        assert exit_of("int x; x = 7; return !!x;") == 1
+
+    def test_comparison_as_value_in_arithmetic(self):
+        assert exit_of("int x; x = 4; return (x > 2) * 10 + (x < 2);") == 10
+
+    def test_pointer_null_check(self):
+        assert exit_of(
+            'char *p; p = strchr("abc", \'q\');'
+            "if (p) { return 1; } return 2;"
+        ) == 2
+
+    def test_unsigned_pointer_comparison(self):
+        # Stack addresses are > 0x7fff0000; a signed compare would go wrong.
+        assert exit_of(
+            "int a[2]; int *p; int *q; p = &a[0]; q = &a[1];"
+            "if (p < q) { return 1; } return 0;"
+        ) == 1
+
+    def test_condition_with_side_effect_runs_once(self):
+        assert exit_of(
+            "counter = 0;"
+            "if (bump() > 100) { return 99; }"
+            "return counter;",
+            declarations=(
+                "int counter;\n"
+                "int bump(void) { counter++; return counter; }\n"
+            ),
+        ) == 1
+
+
+class TestExpressions:
+    def test_nested_ternary(self):
+        assert exit_of(
+            "int x; x = 2; return x == 1 ? 10 : x == 2 ? 20 : 30;"
+        ) == 20
+
+    def test_ternary_with_calls(self):
+        assert exit_of(
+            "return pick(1) ? pick(40) : pick(50);",
+            declarations="int pick(int v) { return v; }",
+        ) == 40
+
+    def test_deeply_nested_arithmetic(self):
+        expression = "1" + " + 1" * 40
+        assert exit_of(f"return {expression};") == 41
+
+    def test_deep_call_nesting(self):
+        assert exit_of(
+            "return add1(add1(add1(add1(add1(0)))));",
+            declarations="int add1(int x) { return x + 1; }",
+        ) == 5
+
+    def test_call_in_index(self):
+        assert exit_of(
+            "int a[4]; a[2] = 9; return a[two()];",
+            declarations="int two(void) { return 2; }",
+        ) == 9
+
+    def test_chained_assignment(self):
+        assert exit_of("int a; int b; int c; a = b = c = 4; return a + b + c;") == 12
+
+    def test_assignment_through_returned_pointer_pattern(self):
+        assert exit_of(
+            "int x; int *p; x = 1; p = &x; *p += 5; return x;"
+        ) == 6
+
+    def test_string_literal_deduplication(self):
+        # Two identical literals reuse one data label (pointer equality).
+        assert exit_of('return "same" == "same";') == 1
+
+    def test_char_literal_arithmetic(self):
+        assert exit_of("return 'z' - 'a';") == 25
+
+    def test_hex_and_char_escapes_in_strings(self):
+        assert stdout_of(
+            'printf("%d %d", "\\x41bc"[0], "a\\tb"[1]);'
+            "return 0;"
+        ) == "65 9"
+
+    def test_negative_modulo_c_semantics(self):
+        assert stdout_of('printf("%d %d", -7 % 3, 7 % -3); return 0;') == "-1 1"
+
+    def test_shift_by_variable(self):
+        assert exit_of("int n; n = 3; return 1 << n << 1;") == 16
+
+    def test_bitwise_not_identity(self):
+        assert exit_of("int x; x = 123; return ~~x;") == 123
+
+
+class TestGlobalsAndChars:
+    def test_global_char_scalar(self):
+        assert exit_of(
+            "flag = 'x'; return flag;", declarations="char flag;"
+        ) == ord("x")
+
+    def test_global_pointer_assignment(self):
+        assert stdout_of(
+            'name = "global"; printf("%s", name); return 0;',
+            declarations="char *name;",
+        ) == "global"
+
+    def test_global_string_array_initializer(self):
+        assert stdout_of(
+            'printf("%s", banner); return 0;',
+            declarations='char banner[16] = "init!";',
+        ) == "init!"
+
+    def test_global_modified_across_calls(self):
+        assert exit_of(
+            "push(1); push(2); push(3); return depth;",
+            declarations=(
+                "int depth = 0;\nint stack[8];\n"
+                "void push(int v) { stack[depth] = v; depth++; }\n"
+            ),
+        ) == 3
+
+    def test_char_array_roundtrip_all_byte_values(self):
+        assert exit_of(
+            "char b[4]; int ok; b[0] = 0; b[1] = 127; b[2] = 128; b[3] = 255;"
+            "ok = (b[0] == 0) + (b[1] == 127) + (b[2] == 128) + (b[3] == 255);"
+            "return ok;"
+        ) == 4
+
+
+class TestLoops:
+    def test_for_with_comma_free_compound_step(self):
+        assert exit_of(
+            "int i; int j; int s; s = 0;"
+            "for (i = 0; i < 3; i += 1) {"
+            "  for (j = i; j < 3; ++j) { s += 10; }"
+            "}"
+            "return s;"
+        ) == 60
+
+    def test_while_with_break_in_nested_if(self):
+        assert exit_of(
+            "int i; i = 0;"
+            "while (1) { i++; if (i > 4) { if (i > 4) { break; } } }"
+            "return i;"
+        ) == 5
+
+    def test_continue_in_for_executes_step(self):
+        assert exit_of(
+            "int i; int s; s = 0;"
+            "for (i = 0; i < 6; i++) { if (i % 2) { continue; } s += i; }"
+            "return s;"
+        ) == 0 + 2 + 4
+
+    def test_empty_body_loops(self):
+        assert exit_of(
+            "int i; for (i = 0; i < 5; i++) { } while (0) { } return i;"
+        ) == 5
+
+    def test_loop_with_function_condition(self):
+        assert exit_of(
+            "int n; n = 0; while (below(n, 4)) { n++; } return n;",
+            declarations="int below(int a, int b) { return a < b; }",
+        ) == 4
+
+
+class TestFramesAndStack:
+    def test_large_frame(self):
+        assert exit_of(
+            "char big[2048]; big[0] = 1; big[2047] = 2;"
+            "return big[0] + big[2047];"
+        ) == 3
+
+    def test_many_locals_exhaust_sregs_gracefully(self):
+        names = [f"v{i}" for i in range(12)]
+        declarations = "".join(f"int {n};" for n in names)
+        assigns = "".join(f"{n} = {i};" for i, n in enumerate(names))
+        total = "+".join(names)
+        assert exit_of(
+            declarations + assigns + f"return {total};"
+        ) == sum(range(12))
+
+    def test_recursion_depth_100(self):
+        assert exit_of(
+            "return down(100);",
+            declarations=(
+                "int down(int n) { if (n == 0) { return 0; }"
+                " return 1 + down(n - 1); }"
+            ),
+        ) == 100
+
+    def test_mixed_char_int_locals_alignment(self):
+        assert exit_of(
+            "char c; int x; char d; int y;"
+            "c = 1; x = 1000; d = 2; y = 2000;"
+            "return (x + y) % 251 + c + d;"
+        ) == 3000 % 251 + 3

@@ -1,0 +1,295 @@
+"""MiniC end-to-end: compile, link against libc, run, check behaviour."""
+
+import pytest
+
+from repro.attacks.replay import run_minic
+from repro.cc.errors import CompileError
+from repro.libc.build import build_program
+
+
+def run_main(body, stdin=b"", argv=None, declarations=""):
+    source = declarations + "\nint main(int argc, char **argv) {\n" + body + "\n}\n"
+    return run_minic(source, stdin=stdin, argv=argv)
+
+
+def exit_of(body, **kwargs):
+    result = run_main(body, **kwargs)
+    assert result.outcome == "exit", result.describe()
+    return result.exit_status
+
+
+def stdout_of(body, **kwargs):
+    result = run_main(body, **kwargs)
+    assert result.outcome == "exit", result.describe()
+    return result.stdout
+
+
+class TestArithmeticAndLogic:
+    def test_integer_arithmetic(self):
+        assert exit_of("return (7 + 3 * 4 - 5) / 2;") == 7
+
+    def test_modulo_and_division(self):
+        assert exit_of("return 17 % 5 + 17 / 5;") == 2 + 3
+
+    def test_negative_division_truncates(self):
+        assert exit_of("return -7 / 2;") == -3 & 0xFF or True
+        # exit codes are ints; check via stdout for negative values
+        assert stdout_of('printf("%d", -7 / 2);') == "-3"
+
+    def test_bitwise_operators(self):
+        assert exit_of("return (0xF0 & 0x3C) | (1 << 6) ^ 0x10;") == (
+            (0xF0 & 0x3C) | (1 << 6) ^ 0x10
+        )
+
+    def test_shifts(self):
+        assert exit_of("return (1 << 5) + (256 >> 3);") == 32 + 32
+
+    def test_arithmetic_right_shift(self):
+        assert stdout_of('printf("%d", -16 >> 2);') == "-4"
+
+    def test_unary_operators(self):
+        assert exit_of("return -(-5) + !0 + !7 + (~0 & 3);") == 5 + 1 + 0 + 3
+
+    def test_comparisons_produce_zero_one(self):
+        assert exit_of(
+            "return (1 < 2) + (2 <= 2) + (3 > 1) + (3 >= 4) + (1 == 1) + (1 != 1);"
+        ) == 1 + 1 + 1 + 0 + 1 + 0
+
+    def test_signed_comparison(self):
+        assert exit_of("return -1 < 1;") == 1
+
+    def test_logical_short_circuit(self):
+        # Division by zero in the unevaluated arm must not execute.
+        assert exit_of(
+            "int x; x = 0;\n"
+            "if (x != 0 && 10 / x > 1) { return 1; }\n"
+            "if (x == 0 || 10 / x > 1) { return 42; }\n"
+            "return 2;"
+        ) == 42
+
+    def test_ternary(self):
+        assert exit_of("int a; a = 5; return a > 3 ? 10 : 20;") == 10
+
+    def test_comma_operator(self):
+        assert exit_of("int a; int b; a = (b = 3, b + 1); return a;") == 4
+
+
+class TestVariablesAndAssignment:
+    def test_compound_assignments(self):
+        assert exit_of(
+            "int a; a = 10; a += 5; a -= 3; a *= 2; a /= 4; a %= 4;"
+            "a <<= 3; a >>= 1; a |= 1; a ^= 3; a &= 14; return a;"
+        ) == ((((((10 + 5 - 3) * 2 // 4) % 4) << 3) >> 1 | 1) ^ 3) & 14
+
+    def test_increment_decrement_semantics(self):
+        assert exit_of(
+            "int a; int b; a = 5; b = a++; return b * 10 + a;"
+        ) == 56
+        assert exit_of(
+            "int a; int b; a = 5; b = ++a; return b * 10 + a;"
+        ) == 66
+        assert exit_of("int a; a = 5; a--; --a; return a;") == 3
+
+    def test_globals_with_initializers(self):
+        assert exit_of(
+            "counter += 2; counter += 3; return counter;",
+            declarations="int counter = 10;",
+        ) == 15
+
+    def test_global_array(self):
+        assert exit_of(
+            "int i; int s; s = 0;"
+            "for (i = 0; i < 5; i++) { table[i] = i * i; }"
+            "for (i = 0; i < 5; i++) { s += table[i]; }"
+            "return s;",
+            declarations="int table[5];",
+        ) == 0 + 1 + 4 + 9 + 16
+
+    def test_global_initializer_list(self):
+        assert exit_of(
+            "return primes[0] + primes[3];",
+            declarations="int primes[4] = {2, 3, 5, 7};",
+        ) == 9
+
+    def test_char_variables_are_bytes(self):
+        assert exit_of("char c; c = 300; return c;") == 300 % 256
+
+    def test_scope_shadowing(self):
+        assert exit_of(
+            "int x; x = 1; { int x; x = 99; } return x;"
+        ) == 1
+
+
+class TestPointersAndArrays:
+    def test_address_of_and_deref(self):
+        assert exit_of("int x; int *p; x = 7; p = &x; *p = 9; return x;") == 9
+
+    def test_pointer_arithmetic_scales(self):
+        assert exit_of(
+            "int a[4]; int *p; a[2] = 31; p = a; p = p + 2; return *p;"
+        ) == 31
+
+    def test_pointer_difference(self):
+        assert exit_of(
+            "int a[10]; int *p; int *q; p = a; q = &a[7]; return q - p;"
+        ) == 7
+
+    def test_char_pointer_walk(self):
+        assert exit_of(
+            'char *s; int n; s = "hello"; n = 0;'
+            "while (*s) { n++; s++; } return n;"
+        ) == 5
+
+    def test_array_index_assignment(self):
+        assert exit_of(
+            "char buf[4]; buf[0] = 1; buf[3] = 9; return buf[0] + buf[3];"
+        ) == 10
+
+    def test_negative_indexing(self):
+        assert exit_of(
+            "int a[4]; int *p; a[1] = 5; p = &a[2]; return p[-1];"
+        ) == 5
+
+    def test_pointer_to_pointer(self):
+        assert exit_of(
+            "int x; int *p; int **pp; x = 3; p = &x; pp = &p;"
+            "**pp = 8; return x;"
+        ) == 8
+
+    def test_pointer_increments_scale(self):
+        assert exit_of(
+            "int a[3]; int *p; a[0]=1; a[1]=2; a[2]=3; p = a;"
+            "p++; return *p;"
+        ) == 2
+
+    def test_argv_access(self):
+        assert stdout_of(
+            'printf("%s %s", argv[0], argv[1]);', argv=["prog", "hello"]
+        ) == "prog hello"
+
+    def test_sizeof_values(self):
+        assert exit_of(
+            "return sizeof(int) + sizeof(char) + sizeof(int *);"
+        ) == 4 + 1 + 4
+
+
+class TestControlFlow:
+    def test_nested_loops(self):
+        assert exit_of(
+            "int i; int j; int s; s = 0;"
+            "for (i = 0; i < 4; i++) {"
+            "  for (j = 0; j < 4; j++) {"
+            "    if (j > i) { continue; }"
+            "    s++;"
+            "  }"
+            "}"
+            "return s;"
+        ) == 10
+
+    def test_break_leaves_innermost(self):
+        assert exit_of(
+            "int i; int s; s = 0;"
+            "for (i = 0; i < 100; i++) {"
+            "  if (i == 5) { break; }"
+            "  s += i;"
+            "}"
+            "return s;"
+        ) == 10
+
+    def test_while_with_complex_condition(self):
+        assert exit_of(
+            "int a; int b; a = 0; b = 10;"
+            "while (a < 5 && b > 7) { a++; b--; }"
+            "return a * 10 + b;"
+        ) == 37
+
+    def test_early_return(self):
+        assert exit_of(
+            "int i; for (i = 0;; i++) { if (i == 3) { return 99; } }"
+        ) == 99
+
+
+class TestFunctions:
+    def test_multiple_arguments(self):
+        assert exit_of(
+            "return combine(1, 2, 3, 4, 5, 6);",
+            declarations=(
+                "int combine(int a, int b, int c, int d, int e, int f) {"
+                " return a + b * 2 + c * 3 + d * 4 + e * 5 + f * 6; }"
+            ),
+        ) == 1 + 4 + 9 + 16 + 25 + 36
+
+    def test_recursion(self):
+        assert exit_of(
+            "return fib(10);",
+            declarations=(
+                "int fib(int n) { if (n < 2) { return n; }"
+                " return fib(n - 1) + fib(n - 2); }"
+            ),
+        ) == 55
+
+    def test_mutual_recursion_with_prototype(self):
+        assert exit_of(
+            "return is_even(10) * 10 + is_odd(7);",
+            declarations=(
+                "int is_odd(int n);\n"
+                "int is_even(int n) { if (n == 0) { return 1; }"
+                " return is_odd(n - 1); }\n"
+                "int is_odd(int n) { if (n == 0) { return 0; }"
+                " return is_even(n - 1); }\n"
+            ),
+        ) == 11
+
+    def test_void_function(self):
+        assert exit_of(
+            "bump(); bump(); return total;",
+            declarations="int total = 0;\nvoid bump(void) { total++; }",
+        ) == 2
+
+    def test_pointer_out_parameter(self):
+        assert exit_of(
+            "int x; x = 0; set_to(&x, 77); return x;",
+            declarations="void set_to(int *p, int value) { *p = value; }",
+        ) == 77
+
+    def test_array_passed_as_pointer(self):
+        assert exit_of(
+            "int a[3]; a[0]=4; a[1]=5; a[2]=6; return sum3(a);",
+            declarations=(
+                "int sum3(int *v) { return v[0] + v[1] + v[2]; }"
+            ),
+        ) == 15
+
+    def test_varargs_walks_stack(self):
+        assert exit_of(
+            "return sum_n(3, 10, 20, 30);",
+            declarations=(
+                "int sum_n(int n, ...) {"
+                " int *ap; int i; int total;"
+                " ap = &n; ap = ap + 1; total = 0;"
+                " for (i = 0; i < n; i++) { total += ap[i]; }"
+                " return total; }"
+            ),
+        ) == 60
+
+
+class TestCodegenErrors:
+    def test_undefined_variable(self):
+        with pytest.raises(CompileError, match="undefined variable"):
+            build_program("int main(void) { return nope; }")
+
+    def test_address_of_rvalue(self):
+        with pytest.raises(CompileError, match="not an lvalue"):
+            build_program("int main(void) { return *&(1 + 2); }")
+
+    def test_break_outside_loop(self):
+        with pytest.raises(CompileError, match="break outside loop"):
+            build_program("int main(void) { break; return 0; }")
+
+    def test_continue_outside_loop(self):
+        with pytest.raises(CompileError, match="continue outside loop"):
+            build_program("int main(void) { continue; return 0; }")
+
+    def test_local_array_initializer_unsupported(self):
+        with pytest.raises(CompileError, match="array local initializers"):
+            build_program("int main(void) { int a[2] = 1; return 0; }")

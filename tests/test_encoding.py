@@ -1,0 +1,190 @@
+"""Binary encode/decode tests: every mnemonic round-trips."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.encoding import decode, encode, sign_extend16
+from repro.isa.instructions import (
+    FMT_BR1,
+    FMT_BR2,
+    FMT_I2,
+    FMT_J,
+    FMT_JALR,
+    FMT_JR,
+    FMT_LUI,
+    FMT_MEM,
+    FMT_MOVEHL,
+    FMT_MULDIV,
+    FMT_NONE,
+    FMT_R3,
+    FMT_SHIFT,
+    FMT_SHIFTV,
+    Instr,
+    SPECS,
+)
+
+regs = st.integers(0, 31)
+
+
+def _sample_instr(name, rd=0, rs=0, rt=0, shamt=0, imm=0, target=0):
+    spec = SPECS[name]
+    return Instr(
+        name, spec.klass, rd=rd, rs=rs, rt=rt, shamt=shamt, imm=imm,
+        target=target,
+    )
+
+
+def _assert_roundtrip(instr, pc=0x400000):
+    word = encode(instr)
+    assert 0 <= word < 2 ** 32
+    decoded = decode(word, pc)
+    assert decoded is not None, f"{instr.name} decoded to illegal"
+    assert decoded.name == instr.name
+    return decoded
+
+
+class TestSignExtension:
+    def test_positive(self):
+        assert sign_extend16(0x7FFF) == 32767
+
+    def test_negative(self):
+        assert sign_extend16(0x8000) == -32768
+        assert sign_extend16(0xFFFF) == -1
+
+    def test_masks_high_bits(self):
+        assert sign_extend16(0x1FFFF) == -1
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize(
+        "name",
+        [n for n, s in SPECS.items() if s.fmt == FMT_R3],
+    )
+    def test_r3(self, name):
+        decoded = _assert_roundtrip(_sample_instr(name, rd=3, rs=7, rt=21))
+        assert (decoded.rd, decoded.rs, decoded.rt) == (3, 7, 21)
+
+    @pytest.mark.parametrize(
+        "name", [n for n, s in SPECS.items() if s.fmt == FMT_SHIFT]
+    )
+    def test_shift(self, name):
+        decoded = _assert_roundtrip(_sample_instr(name, rd=5, rt=6, shamt=13))
+        assert (decoded.rd, decoded.rt, decoded.shamt) == (5, 6, 13)
+
+    @pytest.mark.parametrize(
+        "name", [n for n, s in SPECS.items() if s.fmt == FMT_SHIFTV]
+    )
+    def test_shiftv(self, name):
+        decoded = _assert_roundtrip(_sample_instr(name, rd=1, rt=2, rs=3))
+        assert (decoded.rd, decoded.rt, decoded.rs) == (1, 2, 3)
+
+    @pytest.mark.parametrize(
+        "name", [n for n, s in SPECS.items() if s.fmt == FMT_MULDIV]
+    )
+    def test_muldiv(self, name):
+        decoded = _assert_roundtrip(_sample_instr(name, rs=9, rt=10))
+        assert (decoded.rs, decoded.rt) == (9, 10)
+
+    @pytest.mark.parametrize(
+        "name", [n for n, s in SPECS.items() if s.fmt == FMT_MOVEHL]
+    )
+    def test_movehl(self, name):
+        decoded = _assert_roundtrip(_sample_instr(name, rd=30))
+        assert decoded.rd == 30
+
+    def test_jr(self):
+        decoded = _assert_roundtrip(_sample_instr("jr", rs=31))
+        assert decoded.rs == 31
+
+    def test_jalr(self):
+        decoded = _assert_roundtrip(_sample_instr("jalr", rd=31, rs=4))
+        assert (decoded.rd, decoded.rs) == (31, 4)
+
+    @pytest.mark.parametrize(
+        "name", [n for n, s in SPECS.items() if s.fmt == FMT_I2]
+    )
+    @pytest.mark.parametrize("imm", [0, 1, 100])
+    def test_itype(self, name, imm):
+        decoded = _assert_roundtrip(_sample_instr(name, rt=8, rs=9, imm=imm))
+        assert (decoded.rt, decoded.rs, decoded.imm) == (8, 9, imm)
+
+    @pytest.mark.parametrize(
+        "name", [n for n, s in SPECS.items()
+                 if s.fmt == FMT_I2 and n not in ("andi", "ori", "xori", "sltiu")]
+    )
+    def test_itype_negative_imm(self, name):
+        decoded = _assert_roundtrip(_sample_instr(name, rt=8, rs=9, imm=-42))
+        assert decoded.imm == -42
+
+    def test_lui(self):
+        decoded = _assert_roundtrip(_sample_instr("lui", rt=4, imm=0xDEAD))
+        assert decoded.imm == 0xDEAD
+
+    @pytest.mark.parametrize(
+        "name", [n for n, s in SPECS.items() if s.fmt == FMT_MEM]
+    )
+    def test_memory(self, name):
+        decoded = _assert_roundtrip(_sample_instr(name, rt=2, rs=29, imm=-8))
+        assert (decoded.rt, decoded.rs, decoded.imm) == (2, 29, -8)
+
+    @pytest.mark.parametrize(
+        "name", [n for n, s in SPECS.items() if s.fmt == FMT_BR2]
+    )
+    def test_branch2(self, name):
+        decoded = _assert_roundtrip(_sample_instr(name, rs=4, rt=5, imm=-3))
+        assert (decoded.rs, decoded.rt, decoded.imm) == (4, 5, -3)
+
+    @pytest.mark.parametrize(
+        "name", [n for n, s in SPECS.items() if s.fmt == FMT_BR1]
+    )
+    def test_branch1(self, name):
+        decoded = _assert_roundtrip(_sample_instr(name, rs=4, imm=7))
+        assert (decoded.rs, decoded.imm) == (4, 7)
+
+    @pytest.mark.parametrize("name", ["j", "jal"])
+    def test_jumps(self, name):
+        decoded = _assert_roundtrip(
+            _sample_instr(name, target=0x00400404), pc=0x400000
+        )
+        assert decoded.target == 0x00400404
+
+    @pytest.mark.parametrize(
+        "name", [n for n, s in SPECS.items() if s.fmt == FMT_NONE]
+    )
+    def test_system(self, name):
+        _assert_roundtrip(_sample_instr(name))
+
+    def test_every_mnemonic_covered(self):
+        """Every instruction in the table encodes and decodes."""
+        for name in SPECS:
+            _assert_roundtrip(_sample_instr(name, rd=1, rs=2, rt=3))
+
+
+class TestDecodeRobustness:
+    def test_illegal_funct_returns_none(self):
+        assert decode(0x0000003F) is None  # R-type funct 63 unused
+
+    def test_illegal_opcode_returns_none(self):
+        assert decode(0xFC000000) is None  # opcode 63 unused
+
+    def test_illegal_regimm_returns_none(self):
+        assert decode(1 << 26 | 5 << 16) is None  # regimm rt=5 unused
+
+    @given(st.integers(0, 2 ** 32 - 1))
+    def test_decode_never_crashes(self, word):
+        instr = decode(word, pc=0x400000)
+        if instr is not None:
+            # Whatever decodes must re-encode to the same semantic fields.
+            redecoded = decode(encode(instr), pc=0x400000)
+            assert redecoded is not None
+            assert redecoded.name == instr.name
+
+    @given(regs, regs, regs)
+    def test_add_fields_roundtrip(self, rd, rs, rt):
+        decoded = _assert_roundtrip(_sample_instr("add", rd=rd, rs=rs, rt=rt))
+        assert (decoded.rd, decoded.rs, decoded.rt) == (rd, rs, rt)
+
+    @given(st.integers(-0x8000, 0x7FFF))
+    def test_lw_offset_roundtrip(self, imm):
+        decoded = _assert_roundtrip(_sample_instr("lw", rt=1, rs=2, imm=imm))
+        assert decoded.imm == imm

@@ -1,0 +1,60 @@
+"""Smoke tests: the example scripts run and say what they promise."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+_EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, capsys):
+    runpy.run_path(str(_EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        output = run_example("quickstart.py", capsys)
+        assert "0x61616161" in output
+        assert "EXIT status=0" in output
+        assert "FAULT" in output                  # unprotected hijack
+
+    def test_cert_breakdown(self, capsys):
+        output = run_example("cert_breakdown.py", capsys)
+        assert "67.3%" in output
+        assert "buffer-overflow" in output
+        assert "CA-200" in output
+
+    def test_wuftpd_session(self, capsys):
+        output = run_example("wuftpd_session.py", capsys)
+        assert "0x1002bc20" in output
+        assert "alice:x:0:0" in output
+        assert "221 Goodbye" in output
+
+    def test_attack_gallery(self, capsys):
+        output = run_example("attack_gallery.py", capsys)
+        assert output.count("ALERT") >= 7
+        assert "coverage" in output.lower()
+
+    def test_ablation(self, capsys):
+        output = run_example("ablation_compare_untaint.py", capsys)
+        assert "ALERT" in output
+        assert "FALSE alarms" in output
+
+    def test_bare_metal_taint(self, capsys):
+        output = run_example("bare_metal_taint.py", capsys)
+        assert output.count("security exception") == 2
+        assert "0x64636261" in output
+        assert "CPI" in output
+
+    def test_annotated_data(self, capsys):
+        output = run_example("annotated_data.py", capsys)
+        assert "false negative" in output
+        assert "tainted write into auth flag" in output
+
+    @pytest.mark.slow
+    def test_false_positive_study(self, capsys):
+        output = run_example("false_positive_study.py", capsys)
+        assert "alerts raised: 0" in output

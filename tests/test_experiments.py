@@ -1,0 +1,172 @@
+"""Experiment harness tests: Figure 1 numbers, reports, coverage matrix."""
+
+import pytest
+
+from repro.evalx.cert import (
+    ADVISORIES,
+    BUFFER_OVERFLOW,
+    MEMORY_CORRUPTION_CLASSES,
+    OTHERS,
+    analyzed_advisories,
+    breakdown,
+    category_counts,
+    figure1_rows,
+    memory_corruption_share,
+)
+from repro.evalx.experiments import (
+    report_fig1,
+    report_fig2,
+    report_table2,
+    report_table4,
+    run_coverage_matrix,
+    run_fig1,
+    run_synthetic_detections,
+    run_table2,
+    run_table4,
+    shadow_state_overhead,
+)
+from repro.evalx.reporting import check, render_kv, render_table
+
+
+class TestCertDataset:
+    def test_corpus_covers_2000_to_2003(self):
+        years = {adv.advisory_id[3:7] for adv in ADVISORIES}
+        assert years == {"2000", "2001", "2002", "2003"}
+
+    def test_advisory_ids_unique(self):
+        ids = [adv.advisory_id for adv in ADVISORIES]
+        assert len(ids) == len(set(ids))
+
+    def test_paper_analyzed_107_advisories(self):
+        assert len(analyzed_advisories()) == 107
+
+    def test_memory_corruption_share_is_67_percent(self):
+        assert memory_corruption_share() == pytest.approx(67.0, abs=1.0)
+
+    def test_buffer_overflow_dominates(self):
+        rows = figure1_rows()
+        assert rows[0][0] == BUFFER_OVERFLOW
+        assert rows[0][2] > 40.0
+
+    def test_every_figure1_class_present(self):
+        counts = category_counts()
+        for category in MEMORY_CORRUPTION_CLASSES:
+            assert counts[category] > 0, category
+
+    def test_breakdown_sums_to_100(self):
+        assert sum(breakdown().values()) == pytest.approx(100.0)
+
+    def test_known_ground_truth_labels(self):
+        by_id = {adv.advisory_id: adv for adv in ADVISORIES}
+        assert by_id["CA-2001-13"].category == BUFFER_OVERFLOW  # Code Red
+        assert by_id["CA-2002-07"].category == "heap-corruption"  # zlib
+        assert by_id["CA-2000-13"].category == "format-string"  # wu-ftpd
+        assert by_id["CA-2001-07"].category == "globbing"
+        assert by_id["CA-2002-17"].category == "integer-overflow"  # Apache
+
+    def test_excluded_entries_are_activity_reports(self):
+        excluded = [adv for adv in ADVISORIES if not adv.analyzed]
+        assert len(excluded) == len(ADVISORIES) - 107
+        worm_like = sum(
+            1 for adv in excluded
+            if "Worm" in adv.title or "Trojan" in adv.title
+            or "Activity" in adv.title or "Exploit" in adv.title
+            or "Threat" in adv.title or "Code" in adv.title
+        )
+        assert worm_like == len(excluded)
+
+
+class TestReports:
+    def test_fig1_report_mentions_67(self):
+        text = report_fig1()
+        assert "67" in text
+        assert "buffer-overflow" in text
+
+    def test_fig2_report_lists_all_three(self):
+        text = report_fig2()
+        for name in ("exp1", "exp2", "exp3"):
+            assert name in text
+        assert text.count("ALERT") == 3
+
+    def test_table2_report_matches_paper_transcript(self):
+        text = report_table2()
+        assert "site exec \\x20\\xbc\\x02\\x10%x%x%x%x%x%x%n" in text
+        assert "0x1002bc20" in text
+        assert "alice:x:0:0::/home/root:/bin/bash" in text
+
+    def test_table4_report_shows_three_escapes(self):
+        text = report_table4()
+        assert text.count("NO (escapes)") == 3
+
+    def test_shadow_state_numbers(self):
+        shadow = shadow_state_overhead()
+        assert shadow["memory_overhead_pct"] == 12.5
+        assert shadow["register_bits_per_register"] == 4.0
+
+
+class TestRunners:
+    def test_synthetic_detections_all_alert(self):
+        records = run_synthetic_detections()
+        assert len(records) == 3
+        assert all(r.detected for r in records)
+        pointers = {r.scenario: r.pointer for r in records}
+        assert pointers["exp1-stack-smash"] == 0x61616161
+        assert pointers["exp3-format-string"] == 0x64636261
+
+    def test_table2_runner_verdicts(self):
+        data = run_table2()
+        assert data["result"].detected
+        assert not data["unprotected"].detected
+        assert b"alice" in data["passwd_after"]
+
+    def test_table4_runner_rows(self):
+        rows = run_table4()
+        assert len(rows) == 3
+        assert not any(row.detected for row in rows)
+        assert all(row.damage != "none" for row in rows)
+
+    def test_coverage_matrix_tells_the_papers_story(self):
+        matrix = {row["scenario"]: row for row in run_coverage_matrix()}
+        real_attacks = [
+            "exp1-stack-smash", "exp2-heap-corruption", "exp3-format-string",
+            "wuftpd-site-exec", "nullhttpd-heap", "ghttpd-url-pointer",
+            "traceroute-double-free",
+        ]
+        # The paper's defense detects all seven attacks.
+        assert all(matrix[name]["pointer-taintedness"] for name in real_attacks)
+        # The control-flow-integrity baseline catches ONLY the control-data one.
+        assert matrix["exp1-stack-smash"]["control-data-only"]
+        for name in real_attacks[1:]:
+            assert not matrix[name]["control-data-only"], name
+        # Every attack compromises an unprotected machine.
+        assert all(matrix[name]["compromise"] for name in real_attacks)
+        # The Table 4 scenarios evade both detectors.
+        for name in (
+            "table4a-integer-overflow", "table4b-auth-flag",
+            "table4c-format-leak",
+        ):
+            assert not matrix[name]["pointer-taintedness"]
+            assert matrix[name]["compromise"]
+
+    def test_fig1_runner_structure(self):
+        data = run_fig1()
+        assert len(data["rows"]) == 6
+        assert data["memory_share"] > 60
+
+
+class TestRendering:
+    def test_render_table_alignment(self):
+        table = render_table(["a", "long header"], [["x", 1], ["yy", 22]])
+        lines = table.splitlines()
+        assert len({len(line) for line in lines}) == 1  # rectangular
+
+    def test_render_table_with_title(self):
+        assert render_table(["h"], [["v"]], title="T").startswith("T\n")
+
+    def test_render_kv(self):
+        text = render_kv([("k", "v"), ("n", 3)], title="facts:")
+        assert "facts:" in text and "k: v" in text and "n: 3" in text
+
+    def test_check_labels(self):
+        assert check(True) == "DETECTED"
+        assert check(False) == "missed"

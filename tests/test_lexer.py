@@ -1,0 +1,94 @@
+"""MiniC lexer tests."""
+
+import pytest
+
+from repro.cc.errors import CompileError
+from repro.cc.lexer import Token, tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.text) for t in tokenize(source)[:-1]]
+
+
+class TestTokens:
+    def test_identifiers_and_keywords_are_idents(self):
+        assert kinds("int foo _bar2") == [
+            ("ident", "int"), ("ident", "foo"), ("ident", "_bar2"),
+        ]
+
+    def test_decimal_and_hex_numbers(self):
+        tokens = tokenize("42 0x2A 0XFF")
+        assert [t.value for t in tokens[:-1]] == [42, 42, 255]
+
+    def test_char_literals(self):
+        tokens = tokenize(r"'a' '\n' '\0' '\x41' '\''")
+        assert [t.value for t in tokens[:-1]] == [97, 10, 0, 65, 39]
+
+    def test_string_literal_with_escapes(self):
+        token = tokenize(r'"a\tb\x00c"')[0]
+        assert token.kind == "string"
+        assert token.text == "a\tb\x00c"
+
+    def test_punctuators_maximal_munch(self):
+        assert [t.text for t in tokenize("a<<=b>>c<=d==e=f")[:-1]] == [
+            "a", "<<=", "b", ">>", "c", "<=", "d", "==", "e", "=", "f",
+        ]
+
+    def test_increment_vs_plus(self):
+        assert [t.text for t in tokenize("a+++b")[:-1]] == ["a", "++", "+", "b"]
+
+    def test_ellipsis(self):
+        assert tokenize("...")[0].text == "..."
+
+    def test_eof_always_last(self):
+        assert tokenize("")[-1].kind == "eof"
+        assert tokenize("x")[-1].kind == "eof"
+
+
+class TestTrivia:
+    def test_line_comments(self):
+        assert kinds("a // comment\nb") == [("ident", "a"), ("ident", "b")]
+
+    def test_block_comments(self):
+        assert kinds("a /* x\ny */ b") == [("ident", "a"), ("ident", "b")]
+
+    def test_line_numbers_tracked(self):
+        tokens = tokenize("a\n  b\n\nc")
+        assert [t.line for t in tokens[:-1]] == [1, 2, 4]
+        assert tokens[1].column == 3
+
+
+class TestLexErrors:
+    def test_unterminated_comment(self):
+        with pytest.raises(CompileError, match="unterminated comment"):
+            tokenize("a /* oops")
+
+    def test_unterminated_string(self):
+        with pytest.raises(CompileError, match="unterminated string"):
+            tokenize('"abc')
+
+    def test_unterminated_char(self):
+        with pytest.raises(CompileError, match="char literal"):
+            tokenize("'a")
+
+    def test_unknown_escape(self):
+        with pytest.raises(CompileError, match="unknown escape"):
+            tokenize(r'"\q"')
+
+    def test_unexpected_character(self):
+        with pytest.raises(CompileError, match="unexpected character"):
+            tokenize("a @ b")
+
+    def test_bad_hex_escape(self):
+        with pytest.raises(CompileError, match="x escape"):
+            tokenize(r'"\xzz"')
+
+
+class TestTokenHelpers:
+    def test_is_punct_and_is_ident(self):
+        token = Token("punct", "+")
+        assert token.is_punct("+")
+        assert not token.is_punct("-")
+        ident = Token("ident", "while")
+        assert ident.is_ident("while")
+        assert not ident.is_ident("if")

@@ -1,0 +1,278 @@
+"""libc behaviour tests, executed on the simulated machine."""
+
+import pytest
+
+from repro.attacks.replay import run_minic
+
+
+def run_expr_program(body, stdin=b""):
+    result = run_minic("int main(void) {\n" + body + "\n}\n", stdin=stdin)
+    assert result.outcome == "exit", result.describe()
+    return result
+
+
+class TestStringFunctions:
+    def test_strlen(self):
+        assert run_expr_program(
+            'return strlen("") + strlen("abc") * 10;'
+        ).exit_status == 30
+
+    def test_strcpy_and_strcat(self):
+        result = run_expr_program(
+            'char buf[32]; strcpy(buf, "foo"); strcat(buf, "bar");'
+            'printf("%s", buf); return strlen(buf);'
+        )
+        assert result.stdout == "foobar"
+        assert result.exit_status == 6
+
+    def test_strncpy_pads_with_zeros(self):
+        assert run_expr_program(
+            'char buf[8]; int i; int z; memset(buf, 7, 8);'
+            'strncpy(buf, "ab", 5);'
+            "z = 0; for (i = 0; i < 5; i++) { if (buf[i] == 0) { z++; } }"
+            "return z;"
+        ).exit_status == 3
+
+    def test_strcmp_orderings(self):
+        result = run_expr_program(
+            'printf("%d %d %d", strcmp("abc", "abc"),'
+            ' strcmp("abd", "abc") > 0, strcmp("ab", "abc") < 0);'
+            "return 0;"
+        )
+        assert result.stdout == "0 1 1"
+
+    def test_strncmp_prefix(self):
+        assert run_expr_program(
+            'return strncmp("hello world", "hello", 5);'
+        ).exit_status == 0
+
+    def test_strchr(self):
+        result = run_expr_program(
+            'char *p; p = strchr("abcdef", \'d\');'
+            'printf("%s", p); return p != 0;'
+        )
+        assert result.stdout == "def"
+
+    def test_strchr_missing_returns_null(self):
+        assert run_expr_program(
+            'return strchr("abc", \'z\') == 0;'
+        ).exit_status == 1
+
+    def test_strstr(self):
+        result = run_expr_program(
+            'char *p; p = strstr("GET /cgi-bin/x", "/cgi-bin/");'
+            'printf("%s", p); return 0;'
+        )
+        assert result.stdout == "/cgi-bin/x"
+
+    def test_strstr_missing(self):
+        assert run_expr_program(
+            'return strstr("abc", "/..") == 0;'
+        ).exit_status == 1
+
+    def test_memcpy_memcmp_memset(self):
+        assert run_expr_program(
+            "char a[8]; char b[8];"
+            "memset(a, 5, 8); memcpy(b, a, 8);"
+            "return memcmp(a, b, 8) == 0;"
+        ).exit_status == 1
+
+    def test_atoi_variants(self):
+        result = run_expr_program(
+            'printf("%d %d %d %d", atoi("42"), atoi("-17"),'
+            ' atoi("  99"), atoi("+3x"));'
+            "return 0;"
+        )
+        assert result.stdout == "42 -17 99 3"
+
+    def test_isspace_isdigit(self):
+        assert run_expr_program(
+            "return isspace(' ') + isspace('\\n') * 2 + isdigit('7') * 4"
+            " + isdigit('a') * 8;"
+        ).exit_status == 7
+
+
+class TestPrintfFamily:
+    def test_decimal_and_negative(self):
+        assert run_expr_program(
+            'printf("%d|%d|%d", 0, 12345, -678); return 0;'
+        ).stdout == "0|12345|-678"
+
+    def test_unsigned_of_negative(self):
+        assert run_expr_program(
+            'printf("%u", -1); return 0;'
+        ).stdout == "4294967295"
+
+    def test_hex(self):
+        assert run_expr_program(
+            'printf("%x %x %x", 0, 255, 0xdeadbeef); return 0;'
+        ).stdout == "0 ff deadbeef"
+
+    def test_char_and_string_and_percent(self):
+        assert run_expr_program(
+            'printf("%c%c %s 100%%", 104, 105, "there"); return 0;'
+        ).stdout == "hi there 100%"
+
+    def test_unknown_directive_passes_through(self):
+        assert run_expr_program(
+            'printf("%q"); return 0;'
+        ).stdout == "%q"
+
+    def test_return_value_is_length(self):
+        assert run_expr_program(
+            'return printf("12345");'
+        ).exit_status == 5
+
+    def test_percent_n_writes_count(self):
+        assert run_expr_program(
+            'int n; printf("abcde%n", &n); return n;'
+        ).exit_status == 5
+
+    def test_sprintf_builds_strings(self):
+        result = run_expr_program(
+            'char buf[64]; sprintf(buf, "%s=%d", "x", 42);'
+            'printf("[%s]", buf); return 0;'
+        )
+        assert result.stdout == "[x=42]"
+
+    def test_puts_appends_newline(self):
+        assert run_expr_program('puts("line"); return 0;').stdout == "line\n"
+
+    def test_putchar(self):
+        assert run_expr_program(
+            "putchar('o'); putchar('k'); return 0;"
+        ).stdout == "ok"
+
+
+class TestInputFunctions:
+    def test_gets_reads_one_line(self):
+        result = run_expr_program(
+            'char buf[32]; gets(buf); printf("<%s>", buf);'
+            "gets(buf);"
+            'printf("<%s>", buf); return 0;',
+            stdin=b"first\nsecond\n",
+        )
+        assert result.stdout == "<first><second>"
+
+    def test_gets_at_eof_returns_empty(self):
+        result = run_expr_program(
+            'char buf[8]; int n; n = gets(buf); return n;', stdin=b""
+        )
+        assert result.exit_status == 0
+
+    def test_scan_string_skips_leading_whitespace(self):
+        result = run_expr_program(
+            'char buf[32]; scan_string(buf); printf("<%s>", buf); return 0;',
+            stdin=b"   \n\t word rest",
+        )
+        assert result.stdout == "<word>"
+
+    def test_scan_string_stops_at_whitespace(self):
+        result = run_expr_program(
+            'char buf[32]; scan_string(buf); scan_string(buf);'
+            'printf("<%s>", buf); return 0;',
+            stdin=b"one two",
+        )
+        assert result.stdout == "<two>"
+
+
+class TestMalloc:
+    def test_malloc_returns_distinct_regions(self):
+        assert run_expr_program(
+            "char *a; char *b; a = malloc(16); b = malloc(16);"
+            "memset(a, 1, 16); memset(b, 2, 16);"
+            "return a[15] + b[0] * 10;"
+        ).exit_status == 21
+
+    def test_free_reuses_memory(self):
+        assert run_expr_program(
+            "char *a; char *b; a = malloc(24); free(a); b = malloc(20);"
+            "return a == b;"
+        ).exit_status == 1
+
+    def test_split_leaves_usable_remainder(self):
+        assert run_expr_program(
+            "char *big; char *small; char *rest;"
+            "big = malloc(100); free(big);"
+            "small = malloc(8); rest = malloc(40);"
+            "memset(small, 3, 8); memset(rest, 4, 40);"
+            "return small[7] + rest[39] * 10;"
+        ).exit_status == 43
+
+    def test_forward_coalescing_merges_chunks(self):
+        # Free b then a: a coalesces with free b, so a reallocation of the
+        # combined size reuses a's address.
+        assert run_expr_program(
+            "char *a; char *b; char *guard; char *c;"
+            "a = malloc(32); b = malloc(32); guard = malloc(16);"
+            "free(b); free(a);"
+            "c = malloc(64);"
+            "return c == a;"
+        ).exit_status == 1
+
+    def test_backward_coalescing(self):
+        assert run_expr_program(
+            "char *a; char *b; char *guard; char *c;"
+            "a = malloc(32); b = malloc(32); guard = malloc(16);"
+            "free(a); free(b);"
+            "c = malloc(64);"
+            "return c == a;"
+        ).exit_status == 1
+
+    def test_top_extension_for_large_requests(self):
+        assert run_expr_program(
+            "char *p; p = malloc(20000); memset(p, 9, 20000);"
+            "return p[19999];"
+        ).exit_status == 9
+
+    def test_calloc_zeroes(self):
+        assert run_expr_program(
+            "char *p; int i; int s; p = malloc(64); memset(p, 7, 64);"
+            "free(p); p = calloc(64, 1); s = 0;"
+            "for (i = 0; i < 64; i++) { s += p[i]; }"
+            "return s;"
+        ).exit_status == 0
+
+    def test_free_null_is_noop(self):
+        assert run_expr_program("free(0); return 5;").exit_status == 5
+
+    def test_malloc_zero_gives_valid_pointer(self):
+        assert run_expr_program(
+            "char *p; p = malloc(0); return p != 0;"
+        ).exit_status == 1
+
+    def test_many_allocations_stay_disjoint(self):
+        assert run_expr_program(
+            "int i; char *p[10]; int ok; ok = 1;"
+            "for (i = 0; i < 10; i++) {"
+            "  p[i] = malloc(12); memset(p[i], i + 1, 12);"
+            "}"
+            "for (i = 0; i < 10; i++) {"
+            "  if (p[i][0] != i + 1 || p[i][11] != i + 1) { ok = 0; }"
+            "}"
+            "return ok;"
+        ).exit_status == 1
+
+
+class TestSocketsHelpers:
+    def test_server_listen_and_send_str(self):
+        from repro.kernel.network import ScriptedClient
+        from repro.attacks.replay import run_minic as run
+
+        result = run(
+            """
+            int main(void) {
+                int s; int c; char buf[16]; int n;
+                s = server_listen(80);
+                c = accept(s);
+                n = recv_line(c, buf, 16);
+                send_str(c, "got: ");
+                send_str(c, buf);
+                close(c);
+                return n;
+            }
+            """,
+            clients=[ScriptedClient([b"hello\n"])],
+        )
+        assert result.exit_status == 5
+        assert bytes(result.clients[0].transcript) == b"got: hello"

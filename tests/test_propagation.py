@@ -1,0 +1,118 @@
+"""Tests for the Table 1 ALU taint-propagation rules (pure functions)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.propagation import (
+    SHIFT_LEFT,
+    SHIFT_RIGHT,
+    propagate_and,
+    propagate_compare,
+    propagate_default,
+    propagate_shift,
+    propagate_xor_same_register,
+)
+
+masks = st.integers(0, 0xF)
+words = st.integers(0, 0xFFFFFFFF)
+
+
+class TestDefaultRule:
+    """'Taintedness of R1 = (Taintedness of R2) or (Taintedness of R3).'"""
+
+    def test_clean_sources_clean_result(self):
+        assert propagate_default(0, 0) == 0
+
+    def test_either_source_taints(self):
+        assert propagate_default(0b0001, 0) == 0b0001
+        assert propagate_default(0, 0b1000) == 0b1000
+
+    def test_bytewise_or(self):
+        assert propagate_default(0b0011, 0b0101) == 0b0111
+
+    def test_single_operand_form(self):
+        assert propagate_default(0b0100) == 0b0100
+
+    @given(masks, masks)
+    def test_is_commutative_and_bounded(self, a, b):
+        assert propagate_default(a, b) == propagate_default(b, a)
+        assert 0 <= propagate_default(a, b) <= 0xF
+
+    @given(masks, masks)
+    def test_never_loses_taint(self, a, b):
+        result = propagate_default(a, b)
+        assert result & a == a
+        assert result & b == b
+
+
+class TestShiftRule:
+    """Tainted bytes also taint their neighbour along the shift direction."""
+
+    def test_left_shift_spreads_to_higher_byte(self):
+        assert propagate_shift(0b0001, SHIFT_LEFT) == 0b0011
+
+    def test_right_shift_spreads_to_lower_byte(self):
+        assert propagate_shift(0b1000, SHIFT_RIGHT) == 0b1100
+
+    def test_edge_bytes_do_not_wrap(self):
+        assert propagate_shift(0b1000, SHIFT_LEFT) == 0b1000
+        assert propagate_shift(0b0001, SHIFT_RIGHT) == 0b0001
+
+    def test_clean_stays_clean(self):
+        assert propagate_shift(0, SHIFT_LEFT) == 0
+        assert propagate_shift(0, SHIFT_RIGHT) == 0
+
+    def test_tainted_amount_taints_everything(self):
+        assert propagate_shift(0b0001, SHIFT_LEFT, amount_taint=0b1) == 0xF
+        assert propagate_shift(0, SHIFT_RIGHT, amount_taint=0b0100) == 0xF
+
+    def test_unknown_direction_rejected(self):
+        with pytest.raises(ValueError):
+            propagate_shift(0b1, "up")
+
+    @given(masks, st.sampled_from([SHIFT_LEFT, SHIFT_RIGHT]))
+    def test_superset_of_operand_taint(self, mask, direction):
+        assert propagate_shift(mask, direction) & mask == mask
+
+    @given(masks, st.sampled_from([SHIFT_LEFT, SHIFT_RIGHT]))
+    def test_at_most_doubles(self, mask, direction):
+        result = propagate_shift(mask, direction)
+        assert bin(result).count("1") <= 2 * bin(mask).count("1")
+
+
+class TestAndRule:
+    """A byte AND-ed with an untainted zero byte becomes untainted."""
+
+    def test_untainted_zero_clears(self):
+        # Tainted value AND clean 0x000000FF: bytes 1..3 cleared.
+        assert propagate_and(0xF, 0xDEADBEEF, 0, 0x000000FF) == 0b0001
+
+    def test_tainted_zero_does_not_clear(self):
+        # The zero itself is attacker-controlled: no trust gained.
+        assert propagate_and(0xF, 0xDEADBEEF, 0xF, 0) == 0xF
+
+    def test_nonzero_mask_keeps_taint(self):
+        assert propagate_and(0b0010, 0xAABBCCDD, 0, 0xFFFFFFFF) == 0b0010
+
+    def test_clean_sources_clean(self):
+        assert propagate_and(0, 123, 0, 456) == 0
+
+    def test_both_operands_checked(self):
+        # A clean zero on the *left* also clears the result byte.
+        assert propagate_and(0, 0, 0xF, 0xFFFFFFFF) == 0
+
+    @given(masks, words, masks, words)
+    def test_result_subset_of_or(self, ta, va, tb, vb):
+        assert propagate_and(ta, va, tb, vb) & ~(ta | tb) == 0
+
+    @given(masks, words)
+    def test_and_with_clean_zero_is_fully_clean(self, taint, value):
+        assert propagate_and(taint, value, 0, 0) == 0
+
+
+class TestIdiomRules:
+    def test_xor_same_register_is_clean(self):
+        assert propagate_xor_same_register() == 0
+
+    def test_compare_result_is_clean(self):
+        assert propagate_compare() == 0

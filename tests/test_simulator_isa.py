@@ -1,0 +1,257 @@
+"""Functional ISA semantics: each instruction class executed on the machine."""
+
+import pytest
+
+from repro.cpu.simulator import ExecutionLimit, Simulator, SimulatorFault
+from repro.isa.assembler import assemble
+
+from tests.helpers import run_asm
+
+
+class TestArithmetic:
+    def test_add_sub(self, run_body):
+        sim, status = run_body(
+            "li $t0, 40\nli $t1, 2\nadd $v1, $t0, $t1\n"
+        )
+        assert status == 42
+
+    def test_sub_negative_wraps(self, run_body):
+        sim, _ = run_body("li $t0, 1\nli $t1, 2\nsub $t2, $t0, $t1\n"
+                          "move $v1, $t2\n")
+        assert sim.regs.value(10) == 0xFFFFFFFF
+
+    def test_addiu_negative_immediate(self, run_body):
+        _, status = run_body("li $t0, 10\naddiu $v1, $t0, -3\n")
+        assert status == 7
+
+    def test_logic_ops(self, run_body):
+        sim, _ = run_body(
+            "li $t0, 0xF0F0\nli $t1, 0x0FF0\n"
+            "and $s0, $t0, $t1\nor $s1, $t0, $t1\n"
+            "xor $s2, $t0, $t1\nnor $s3, $t0, $t1\n"
+        )
+        assert sim.regs.value(16) == 0x00F0
+        assert sim.regs.value(17) == 0xFFF0
+        assert sim.regs.value(18) == 0xFF00
+        assert sim.regs.value(19) == 0xFFFF000F
+
+    def test_logical_immediates_zero_extend(self, run_body):
+        sim, _ = run_body(
+            "li $t0, 0\nori $s0, $t0, 0xFFFF\nxori $s1, $t0, 0x8000\n"
+            "andi $s2, $s0, 0xF00F\n"
+        )
+        assert sim.regs.value(16) == 0xFFFF
+        assert sim.regs.value(17) == 0x8000
+        assert sim.regs.value(18) == 0xF00F
+
+    def test_lui(self, run_body):
+        sim, _ = run_body("lui $s0, 0xABCD\n")
+        assert sim.regs.value(16) == 0xABCD0000
+
+
+class TestShifts:
+    def test_sll_srl(self, run_body):
+        sim, _ = run_body(
+            "li $t0, 0x80000001\nsll $s0, $t0, 1\nsrl $s1, $t0, 1\n"
+        )
+        assert sim.regs.value(16) == 0x00000002
+        assert sim.regs.value(17) == 0x40000000
+
+    def test_sra_sign_extends(self, run_body):
+        sim, _ = run_body("li $t0, 0x80000000\nsra $s0, $t0, 4\n")
+        assert sim.regs.value(16) == 0xF8000000
+
+    def test_variable_shifts_use_low_five_bits(self, run_body):
+        sim, _ = run_body(
+            "li $t0, 1\nli $t1, 33\nsllv $s0, $t0, $t1\n"
+        )
+        assert sim.regs.value(16) == 2
+
+
+class TestComparisons:
+    def test_slt_signed(self, run_body):
+        sim, _ = run_body(
+            "li $t0, -1\nli $t1, 1\nslt $s0, $t0, $t1\nslt $s1, $t1, $t0\n"
+        )
+        assert sim.regs.value(16) == 1
+        assert sim.regs.value(17) == 0
+
+    def test_sltu_unsigned(self, run_body):
+        sim, _ = run_body(
+            "li $t0, -1\nli $t1, 1\nsltu $s0, $t0, $t1\n"
+        )
+        assert sim.regs.value(16) == 0  # 0xFFFFFFFF > 1 unsigned
+
+    def test_slti_sltiu(self, run_body):
+        sim, _ = run_body(
+            "li $t0, 5\nslti $s0, $t0, 10\nsltiu $s1, $t0, 3\n"
+        )
+        assert sim.regs.value(16) == 1
+        assert sim.regs.value(17) == 0
+
+
+class TestMultDiv:
+    def test_mult_mflo_mfhi(self, run_body):
+        sim, _ = run_body(
+            "li $t0, 0x10000\nli $t1, 0x10000\nmult $t0, $t1\n"
+            "mflo $s0\nmfhi $s1\n"
+        )
+        assert sim.regs.value(16) == 0
+        assert sim.regs.value(17) == 1
+
+    def test_mult_signed(self, run_body):
+        sim, _ = run_body(
+            "li $t0, -3\nli $t1, 7\nmult $t0, $t1\nmflo $s0\nmfhi $s1\n"
+        )
+        assert sim.regs.value(16) == 0xFFFFFFEB  # -21
+        assert sim.regs.value(17) == 0xFFFFFFFF
+
+    def test_div_truncates_toward_zero(self, run_body):
+        sim, _ = run_body(
+            "li $t0, -7\nli $t1, 2\ndiv $t0, $t1\nmflo $s0\nmfhi $s1\n"
+        )
+        assert sim.regs.value(16) == 0xFFFFFFFD  # -3, C semantics
+        assert sim.regs.value(17) == 0xFFFFFFFF  # remainder -1
+
+    def test_divu(self, run_body):
+        sim, _ = run_body(
+            "li $t0, 0x80000000\nli $t1, 2\ndivu $t0, $t1\nmflo $s0\n"
+        )
+        assert sim.regs.value(16) == 0x40000000
+
+    def test_div_by_zero_does_not_crash(self, run_body):
+        sim, _ = run_body("li $t0, 5\ndiv $t0, $0\nmflo $s0\n")
+        assert sim.regs.value(16) == 0
+
+
+class TestMemoryAccess:
+    def test_word_store_load(self, run_body):
+        _, status = run_body(
+            "la $t0, buf\nli $t1, 1234\nsw $t1, 0($t0)\nlw $v1, 0($t0)\n",
+            data="buf: .space 16",
+        )
+        assert status == 1234
+
+    def test_byte_sign_extension(self, run_body):
+        sim, _ = run_body(
+            "la $t0, buf\nli $t1, 0x80\nsb $t1, 0($t0)\n"
+            "lb $s0, 0($t0)\nlbu $s1, 0($t0)\n",
+            data="buf: .space 4",
+        )
+        assert sim.regs.value(16) == 0xFFFFFF80
+        assert sim.regs.value(17) == 0x80
+
+    def test_halfword_sign_extension(self, run_body):
+        sim, _ = run_body(
+            "la $t0, buf\nli $t1, 0x8000\nsh $t1, 0($t0)\n"
+            "lh $s0, 0($t0)\nlhu $s1, 0($t0)\n",
+            data="buf: .space 4",
+        )
+        assert sim.regs.value(16) == 0xFFFF8000
+        assert sim.regs.value(17) == 0x8000
+
+    def test_negative_offset_addressing(self, run_body):
+        _, status = run_body(
+            "la $t0, buf+8\nli $t1, 7\nsw $t1, -8($t0)\nlw $v1, -8($t0)\n",
+            data="buf: .space 16",
+        )
+        assert status == 7
+
+    def test_initialized_data_loaded(self, run_body):
+        _, status = run_body(
+            "la $t0, v\nlw $v1, 0($t0)\n", data="v: .word 31337"
+        )
+        assert status == 31337
+
+
+class TestControlFlow:
+    def test_taken_and_untaken_branches(self, run_body):
+        _, status = run_body(
+            "li $t0, 1\nli $v1, 0\n"
+            "beq $t0, $0, skip\nli $v1, 5\nskip:\n"
+            "bne $t0, $0, end\nli $v1, 9\nend:\n"
+        )
+        assert status == 5
+
+    def test_regimm_branches(self, run_body):
+        _, status = run_body(
+            "li $t0, -4\nli $v1, 0\n"
+            "bltz $t0, neg\nb end\n"
+            "neg: li $v1, 1\nbgez $0, end\nli $v1, 9\nend:\n"
+        )
+        assert status == 1
+
+    def test_blez_bgtz(self, run_body):
+        _, status = run_body(
+            "li $t0, 0\nli $v1, 0\n"
+            "blez $t0, a\nb end\na: li $v1, 3\n"
+            "li $t1, 2\nbgtz $t1, end\nli $v1, 9\nend:\n"
+        )
+        assert status == 3
+
+    def test_jal_links_and_jr_returns(self, run_body):
+        _, status = run_body(
+            "jal func\nb end\n"
+            "func: li $v1, 11\njr $ra\n"
+            "end:\n"
+        )
+        assert status == 11
+
+    def test_jalr_custom_link(self, run_body):
+        sim, status = run_body(
+            "la $t0, func\njalr $s7, $t0\nb end\n"
+            "func: li $v1, 13\njr $s7\nend:\n"
+        )
+        assert status == 13
+
+    def test_loop_countdown(self, run_body):
+        _, status = run_body(
+            "li $t0, 10\nli $v1, 0\n"
+            "loop: addiu $v1, $v1, 2\naddiu $t0, $t0, -1\nbnez $t0, loop\n"
+        )
+        assert status == 20
+
+
+class TestFaultsAndLimits:
+    def test_break_faults(self):
+        with pytest.raises(SimulatorFault, match="break"):
+            run_asm(".text\n_start: break\n")
+
+    def test_fetch_outside_text_faults(self):
+        with pytest.raises(SimulatorFault, match="outside text"):
+            run_asm(".text\n_start: li $t0, 0x10000\njr $t0\n")
+
+    def test_instruction_budget_enforced(self):
+        with pytest.raises(ExecutionLimit):
+            run_asm(".text\n_start: b _start\n", max_instructions=100)
+
+    def test_syscall_without_kernel_faults(self):
+        exe = assemble(".text\n_start: syscall\n")
+        sim = Simulator(exe)
+        with pytest.raises(SimulatorFault, match="no kernel"):
+            sim.run()
+
+    def test_register_zero_stays_zero(self, run_body):
+        sim, _ = run_body("li $t0, 7\nadd $0, $t0, $t0\nmove $v1, $0\n")
+        assert sim.regs.value(0) == 0
+
+    def test_recent_pcs_ring_buffer(self, run_body):
+        sim, _ = run_body("nop\n" * 40)
+        assert len(sim.recent_pcs) == 32
+        assert sim.recent_pcs[-1] > sim.recent_pcs[0]
+
+
+class TestCachedExecution:
+    def test_program_runs_identically_with_caches(self):
+        source = (
+            ".text\n_start:\n"
+            "la $t0, buf\nli $t1, 0\nli $t2, 0\n"
+            "loop: sw $t1, 0($t0)\nlw $t3, 0($t0)\naddu $t2, $t2, $t3\n"
+            "addiu $t1, $t1, 1\naddiu $t0, $t0, 4\n"
+            "slti $at, $t1, 50\nbnez $at, loop\n"
+            "move $a0, $t2\nli $v0, 1\nsyscall\n"
+            ".data\nbuf: .space 256\n"
+        )
+        _, plain = run_asm(source)
+        _, cached = run_asm(source, use_caches=True)
+        assert plain == cached == sum(range(50))
