@@ -8,9 +8,14 @@ reproduced tables exist as files after a bench run.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Machine-readable benchmark records land at the repo root
+#: (``BENCH_<name>.json``) so the perf trajectory is tracked across PRs.
+REPO_ROOT = pathlib.Path(__file__).parent.parent
 
 
 def save_report(name: str, text: str) -> pathlib.Path:
@@ -18,4 +23,12 @@ def save_report(name: str, text: str) -> pathlib.Path:
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n")
+    return path
+
+
+def save_json(name: str, payload: dict) -> pathlib.Path:
+    """Persist a machine-readable record as ``BENCH_<name>.json`` at the
+    repo root."""
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path

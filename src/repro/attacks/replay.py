@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from ..core.detector import Alert, SecurityException
+from ..core.events import EventLog, InstructionRetired
 from ..core.policy import DetectionPolicy, PointerTaintPolicy
 from ..cpu.pipeline import Pipeline
 from ..cpu.simulator import ExecutionLimit, Simulator, SimulatorFault
@@ -42,6 +43,8 @@ class RunResult:
     sim: Optional[Simulator] = None
     kernel: Optional[Kernel] = None
     clients: List[ScriptedClient] = field(default_factory=list)
+    #: Events recorded during the run (see ``record_events=``), or None.
+    events: Optional[EventLog] = None
 
     @property
     def detected(self) -> bool:
@@ -56,6 +59,15 @@ class RunResult:
     def executed_programs(self) -> List[str]:
         """Programs the process exec'd (attacker shells show up here)."""
         return self.kernel.process.executed_programs() if self.kernel else []
+
+    @property
+    def trace(self) -> List[int]:
+        """PCs of retired instructions, when ``InstructionRetired`` events
+        were recorded (empty otherwise -- use ``sim.recent_pcs`` for the
+        always-on bounded tail)."""
+        if self.events is None:
+            return []
+        return [e.pc for e in self.events.of(InstructionRetired)]
 
     @property
     def compromised(self) -> bool:
@@ -85,8 +97,16 @@ def run_executable(
     use_caches: bool = False,
     use_pipeline: bool = False,
     taint_inputs: bool = True,
+    subscribers: Optional[Sequence] = None,
+    record_events: Sequence[type] = (),
 ) -> RunResult:
-    """Run an executable image under a policy; never raises for outcomes."""
+    """Run an executable image under a policy; never raises for outcomes.
+
+    ``subscribers`` is a sequence of ``(event_type, handler)`` pairs wired
+    to the machine's event bus before execution; ``record_events`` names
+    event types to capture into ``RunResult.events`` (an
+    :class:`~repro.core.events.EventLog`).
+    """
     policy = policy if policy is not None else PointerTaintPolicy()
     network = SimNetwork()
     client_list = list(clients or [])
@@ -104,8 +124,14 @@ def run_executable(
         exe, policy, syscall_handler=kernel, use_caches=use_caches
     )
     kernel.attach(sim)
+    for event_type, handler in subscribers or ():
+        sim.events.subscribe(event_type, handler)
+    log = (
+        EventLog(sim.events, tuple(record_events)) if record_events else None
+    )
     result = RunResult(
-        outcome=OUTCOME_EXIT, sim=sim, kernel=kernel, clients=client_list
+        outcome=OUTCOME_EXIT, sim=sim, kernel=kernel, clients=client_list,
+        events=log,
     )
     try:
         if use_pipeline:

@@ -77,17 +77,22 @@ class AttackScenario:
         kwargs.setdefault("max_instructions", self.max_instructions)
         return kwargs
 
-    def run_attack(self, policy: DetectionPolicy) -> RunResult:
-        """Replay the attack under a policy."""
-        return run_executable(
-            self.build(), policy, **self._materialize(self.attack_input)
-        )
+    def run_attack(self, policy: DetectionPolicy, **overrides: Any) -> RunResult:
+        """Replay the attack under a policy.
 
-    def run_benign(self, policy: DetectionPolicy) -> RunResult:
+        ``overrides`` are forwarded to :func:`run_executable` on top of the
+        scenario's own replay kwargs (e.g. ``use_pipeline=True`` to replay
+        on the cycle-level engine, or ``record_events=...``).
+        """
+        kwargs = self._materialize(self.attack_input)
+        kwargs.update(overrides)
+        return run_executable(self.build(), policy, **kwargs)
+
+    def run_benign(self, policy: DetectionPolicy, **overrides: Any) -> RunResult:
         """Run the benign workload under a policy (false-positive check)."""
-        return run_executable(
-            self.build(), policy, **self._materialize(self.benign_input)
-        )
+        kwargs = self._materialize(self.benign_input)
+        kwargs.update(overrides)
+        return run_executable(self.build(), policy, **kwargs)
 
     @property
     def detected_by_pointer_taint(self) -> bool:

@@ -17,6 +17,7 @@ import sys
 from typing import Callable, Dict, Optional, Sequence
 
 from .attacks.replay import run_executable
+from .core.events import InstructionRetired
 from .core.policy import (
     ControlDataPolicy,
     DetectionPolicy,
@@ -79,6 +80,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="route data accesses through the L1/L2 hierarchy")
         p.add_argument("--explain", action="store_true",
                        help="print a forensic report for the outcome")
+        p.add_argument("--trace", action="store_true",
+                       help="print every retired instruction "
+                            "(index, pc, disassembly)")
 
     run_parser = sub.add_parser("run", help="compile and run a MiniC program")
     add_run_options(run_parser)
@@ -129,6 +133,13 @@ def _command_run(args: argparse.Namespace, raw_asm: bool,
     exe = _build(args.file, raw_asm)
     policy = POLICIES[args.policy]()
     argv = [args.file] + list(args.arg)
+    subscribers = []
+    if args.trace:
+        def _print_retired(event: InstructionRetired) -> None:
+            text = event.instr.text or event.instr.name
+            out.write(f"[trace] {event.index:>8}  {event.pc:08x}: {text}\n")
+
+        subscribers.append((InstructionRetired, _print_retired))
     result = run_executable(
         exe,
         policy,
@@ -137,6 +148,7 @@ def _command_run(args: argparse.Namespace, raw_asm: bool,
         max_instructions=args.max_instructions,
         use_caches=args.caches,
         use_pipeline=args.pipeline,
+        subscribers=subscribers,
     )
     if result.stdout:
         out.write(result.stdout)

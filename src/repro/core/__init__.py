@@ -8,6 +8,17 @@ from .detector import (
     KIND_LOAD,
     KIND_STORE,
 )
+from .events import (
+    EVENT_TYPES,
+    EventBus,
+    EventLog,
+    InstructionRetired,
+    MemoryFaulted,
+    SyscallEnter,
+    SyscallExit,
+    TaintPropagated,
+    TaintedDereference,
+)
 from .policy import (
     ControlDataPolicy,
     DetectionPolicy,
@@ -23,6 +34,15 @@ __all__ = [
     "KIND_JUMP",
     "KIND_LOAD",
     "KIND_STORE",
+    "EVENT_TYPES",
+    "EventBus",
+    "EventLog",
+    "InstructionRetired",
+    "MemoryFaulted",
+    "SyscallEnter",
+    "SyscallExit",
+    "TaintPropagated",
+    "TaintedDereference",
     "ControlDataPolicy",
     "DetectionPolicy",
     "NullPolicy",

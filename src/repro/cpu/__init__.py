@@ -1,10 +1,21 @@
-"""Execution engines: functional simulator and 5-stage pipeline model."""
+"""Execution engines: functional simulator and 5-stage pipeline model.
 
+Both engines drive one :class:`~repro.cpu.machine.MachineState` through
+the predecoded executor bindings in :mod:`repro.cpu.dispatch`.
+"""
+
+from .dispatch import BINDERS, bind_program, binds
+from .machine import MachineState, RECENT_PC_DEPTH
 from .pipeline import Pipeline, PipelineStats, STAGES
 from .simulator import ExecutionLimit, Simulator, SimulatorFault
 from .stats import ExecutionStats
 
 __all__ = [
+    "BINDERS",
+    "bind_program",
+    "binds",
+    "MachineState",
+    "RECENT_PC_DEPTH",
     "Pipeline",
     "PipelineStats",
     "STAGES",

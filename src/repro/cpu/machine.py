@@ -1,0 +1,204 @@
+"""Unified machine state shared by the functional and pipeline engines.
+
+:class:`MachineState` owns everything architectural about one simulated
+process: registers, memory (optionally behind the taint-carrying cache
+hierarchy), the program counter, execution statistics, the section 5.3
+watchpoint annotations, the detector, and the structured
+:class:`~repro.core.events.EventBus` the engines publish to.  The
+functional engine (:class:`repro.cpu.simulator.Simulator`) and the
+five-stage pipeline (:class:`repro.cpu.pipeline.Pipeline`) both drive this
+state through the same table-bound executor functions
+(:mod:`repro.cpu.dispatch`), so there is exactly one implementation of the
+ISA's semantics, the Table 1 taint-propagation rules, and the section 4.3
+dereference checks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional, Tuple
+
+from ..core.annotations import WatchpointSet
+from ..core.detector import (
+    Alert,
+    KIND_ANNOTATION,
+    SecurityException,
+    TaintednessDetector,
+)
+from ..core.events import EventBus, TaintedDereference
+from ..core.policy import DetectionPolicy, PointerTaintPolicy
+from ..core.taint import WORD_TAINTED
+from ..isa.program import Executable
+from ..mem.cache import CacheHierarchy
+from ..mem.layout import STACK_TOP
+from ..mem.registers import RegisterFile
+from ..mem.tainted_memory import TaintedMemory
+from .stats import ExecutionStats
+
+_MASK32 = 0xFFFFFFFF
+
+#: Depth of the always-on recent-PC diagnostic ring.
+RECENT_PC_DEPTH = 32
+
+
+class ExecutionLimit(Exception):
+    """Raised when a run exceeds its instruction budget (runaway guard)."""
+
+
+class SimulatorFault(Exception):
+    """Raised on machine-level faults (unaligned access, bad PC...).
+
+    On an unprotected machine a successful memory-corruption attack often
+    ends in one of these instead of a detector alert -- that distinction is
+    what the coverage benchmarks report.
+    """
+
+
+class MachineState:
+    """Architectural state of one simulated process.
+
+    Args:
+        executable: the program image to load.
+        policy: detection policy (defaults to the paper's pointer-taintedness
+            policy).
+        syscall_handler: callable invoked on ``syscall`` instructions with
+            the machine as argument (normally a :class:`repro.kernel.Kernel`
+            bound to a process).
+        use_caches: route data accesses through a taint-carrying L1/L2
+            hierarchy instead of directly to RAM.
+    """
+
+    def __init__(
+        self,
+        executable: Executable,
+        policy: Optional[DetectionPolicy] = None,
+        syscall_handler: Optional[Callable[["MachineState"], None]] = None,
+        use_caches: bool = False,
+    ) -> None:
+        self.executable = executable
+        self.policy = policy if policy is not None else PointerTaintPolicy()
+        self.detector = TaintednessDetector(self.policy)
+        self.syscall_handler = syscall_handler
+        self.memory = TaintedMemory()
+        self.caches: Optional[CacheHierarchy] = (
+            CacheHierarchy(self.memory) if use_caches else None
+        )
+        self.regs = RegisterFile()
+        self.stats = ExecutionStats()
+        #: Programmer annotations: never-tainted data ranges (section 5.3
+        #: extension).  Populate with ``sim.watchpoints.add(addr, len, name)``.
+        self.watchpoints = WatchpointSet()
+        #: Structured event bus both engines publish to.
+        self.events = EventBus()
+        self.halted = False
+        self.exit_status: Optional[int] = None
+        self.pc = 0
+        #: Ring buffer of recently executed PCs for diagnostics (always on;
+        #: a bounded deque append costs O(1) per instruction).
+        self.recent_pcs: Deque[int] = deque(maxlen=RECENT_PC_DEPTH)
+        self._load_image()
+
+    # ------------------------------------------------------------------
+    # image loading
+    # ------------------------------------------------------------------
+
+    def _load_image(self) -> None:
+        exe = self.executable
+        for i, word in enumerate(exe.text_words):
+            self.memory.write(exe.text_base + 4 * i, 4, word, 0)
+        if exe.data:
+            self.memory.write_bytes(exe.data_base, bytes(exe.data), False)
+        self.pc = exe.entry
+        self.regs.write(29, STACK_TOP)  # $sp
+        self._text_base = exe.text_base
+        self._instructions = exe.instructions
+
+    # ------------------------------------------------------------------
+    # memory plumbing (through caches when enabled)
+    # ------------------------------------------------------------------
+
+    def mem_read(self, addr: int, size: int) -> Tuple[int, int]:
+        if self.caches is not None:
+            return self.caches.read(addr & _MASK32, size)
+        return self.memory.read(addr, size)
+
+    def mem_write(self, addr: int, size: int, value: int, taint: int) -> None:
+        if self.caches is not None:
+            self.caches.write(addr & _MASK32, size, value, taint)
+        else:
+            self.memory.write(addr, size, value, taint)
+
+    def flush_caches(self) -> None:
+        """Make RAM coherent with the cache hierarchy (tests, post-mortems)."""
+        if self.caches is not None:
+            self.caches.flush()
+
+    # ------------------------------------------------------------------
+    # detection (shared by every executor binding)
+    # ------------------------------------------------------------------
+
+    def tainted_dereference(
+        self, kind: str, pc: int, disasm: str, detail: str,
+        pointer: int, taint: int,
+    ) -> None:
+        """Handle a dereference whose pointer word carries tainted bytes.
+
+        Executor bindings call this only when ``taint`` is non-zero (the
+        clean-pointer fast path stays inline); the per-check
+        ``dereference_checks`` counter is maintained by the bindings
+        themselves because whether a kind is checked is known at bind time.
+        """
+        stats = self.stats
+        if taint & WORD_TAINTED:
+            stats.tainted_dereferences += 1
+        alert = self.detector.check(
+            kind=kind,
+            pc=pc,
+            disassembly=disasm,
+            pointer_value=pointer & _MASK32,
+            taint_mask=taint,
+            instruction_index=stats.instructions,
+            detail=detail,
+        )
+        if alert is not None:
+            stats.alerts += 1
+            events = self.events
+            if events.subscribers(TaintedDereference):
+                events.emit(TaintedDereference(pc, kind, alert))
+            raise SecurityException(alert)
+
+    def annotation_violation(
+        self, pc: int, disasm: str, addr: int, size: int, taint: int
+    ) -> None:
+        """Raise when tainted bytes land inside annotated data (s5.3)."""
+        watchpoint = self.watchpoints.hit(addr & _MASK32, size)
+        if watchpoint is None:
+            return
+        alert = Alert(
+            pc=pc,
+            kind=KIND_ANNOTATION,
+            disassembly=disasm,
+            pointer_value=addr & _MASK32,
+            taint_mask=taint,
+            instruction_index=self.stats.instructions,
+            detail=f"tainted write into {watchpoint}",
+        )
+        self.detector.alerts.append(alert)
+        self.stats.alerts += 1
+        events = self.events
+        if events.subscribers(TaintedDereference):
+            events.emit(TaintedDereference(pc, KIND_ANNOTATION, alert))
+        raise SecurityException(alert)
+
+    # ------------------------------------------------------------------
+    # conveniences for the kernel / tests
+    # ------------------------------------------------------------------
+
+    def halt(self, status: int) -> None:
+        """Stop the machine (called by the kernel's SYS_EXIT)."""
+        self.halted = True
+        self.exit_status = status
+
+    @property
+    def alerts(self) -> List[Alert]:
+        return self.detector.alerts

@@ -3,8 +3,11 @@
 The paper's Figure 3 places the jump-target taint check after the ID/EX
 stage, the load/store address check after EX/MEM, and raises the actual
 security exception only when the *marked-malicious* instruction retires.
-This module reproduces that structure on top of the functional semantics in
-:mod:`repro.cpu.simulator`:
+This module reproduces that structure on top of the shared execution core:
+the same :class:`~repro.cpu.machine.MachineState` and the same predecoded
+executor bindings (:mod:`repro.cpu.dispatch`) that the functional engine
+drives, so both engines have exactly one implementation of the ISA
+semantics, Table 1 propagation, and the section 4.3 checks:
 
 * instructions flow through IF -> ID -> EX -> MEM -> WB, one stage per cycle;
 * architectural effects (and the taint checks) are applied when an
@@ -64,7 +67,16 @@ class PipelineStats:
 
 
 class Pipeline:
-    """Drives a :class:`Simulator` through a cycle-accurate 5-stage model."""
+    """Drives a :class:`Simulator` through a cycle-accurate 5-stage model.
+
+    The pipeline holds no architectural state of its own: registers,
+    memory, taint, statistics, and the event bus all live in the shared
+    machine state, and instruction effects are applied through the same
+    bound executors the functional engine uses (via ``simulator.step()``
+    at EX occupancy).  Event ordering is therefore identical to the
+    functional engine's; the pipeline only adds cycle accounting and the
+    retirement-delayed security exception.
+    """
 
     def __init__(self, simulator: Simulator) -> None:
         self.sim = simulator

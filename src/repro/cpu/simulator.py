@@ -1,10 +1,20 @@
-"""Functional execution engine with taintedness tracking and detection.
+"""Functional execution engine: fetch -> bound-executor dispatch.
 
-This is the workhorse engine: it interprets decoded instructions one at a
-time, applying the Table 1 taint-propagation rules and the section 4.3
-dereference checks inline.  (The cycle-level five-stage model lives in
-:mod:`repro.cpu.pipeline`; both engines share this module's ALU and taint
-semantics.)
+The text segment is predecoded at construction time by
+:func:`repro.cpu.dispatch.bind_program`, which turns every static
+instruction into an executor closure with operand fields, load/store
+metadata, branch targets, and the applicable Table 1 taint rule resolved
+once.  ``step()``/``run()`` are therefore pure drivers: index the binding
+for the current pc, call it, account the retirement.  All ISA semantics,
+Table 1 propagation, and the section 4.3 dereference checks live in
+:mod:`repro.cpu.dispatch`; all architectural state lives in
+:class:`repro.cpu.machine.MachineState`, which the cycle-level five-stage
+model (:mod:`repro.cpu.pipeline`) shares.
+
+Observation happens through the machine's typed event bus
+(:mod:`repro.core.events`): subscribe to ``InstructionRetired`` for
+tracing, ``TaintedDereference`` for alerts, ``MemoryFaulted`` for faults.
+With zero subscribers the engine allocates no event objects.
 
 The SimpleScalar PISA ISA the paper uses has no branch delay slots, and
 neither does this machine.
@@ -12,57 +22,20 @@ neither does this machine.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Optional
 
-from ..core.annotations import WatchpointSet
-from ..core.detector import (
-    Alert,
-    KIND_ANNOTATION,
-    KIND_JUMP,
-    KIND_LOAD,
-    KIND_STORE,
-    SecurityException,
-    TaintednessDetector,
-)
-from ..core.policy import DetectionPolicy, PointerTaintPolicy
-from ..core.propagation import (
-    SHIFT_LEFT,
-    SHIFT_RIGHT,
-    propagate_and,
-    propagate_default,
-    propagate_shift,
-)
-from ..core.taint import WORD_TAINTED
-from ..isa.instructions import Instr, LOAD_INFO, STORE_INFO
+from ..core.events import InstructionRetired, MemoryFaulted
+from ..core.policy import DetectionPolicy
+from ..isa.instructions import Instr
 from ..isa.program import Executable
-from ..mem.cache import CacheHierarchy
-from ..mem.layout import STACK_TOP
-from ..mem.registers import RegisterFile
-from ..mem.tainted_memory import TaintedMemory
-from .stats import ExecutionStats
+from ..mem.tainted_memory import MemoryFault
+from .dispatch import bind_program
+from .machine import ExecutionLimit, MachineState, SimulatorFault
 
-_MASK32 = 0xFFFFFFFF
+__all__ = ["ExecutionLimit", "Simulator", "SimulatorFault"]
 
 
-class ExecutionLimit(Exception):
-    """Raised when a run exceeds its instruction budget (runaway guard)."""
-
-
-class SimulatorFault(Exception):
-    """Raised on machine-level faults (unaligned access, bad PC...).
-
-    On an unprotected machine a successful memory-corruption attack often
-    ends in one of these instead of a detector alert -- that distinction is
-    what the coverage benchmarks report.
-    """
-
-
-def _signed(value: int) -> int:
-    value &= _MASK32
-    return value - 0x100000000 if value & 0x80000000 else value
-
-
-class Simulator:
+class Simulator(MachineState):
     """Functional simulator for one process image.
 
     Args:
@@ -83,62 +56,46 @@ class Simulator:
         syscall_handler: Optional[Callable[["Simulator"], None]] = None,
         use_caches: bool = False,
     ) -> None:
-        self.executable = executable
-        self.policy = policy if policy is not None else PointerTaintPolicy()
-        self.detector = TaintednessDetector(self.policy)
-        self.syscall_handler = syscall_handler
-        self.memory = TaintedMemory()
-        self.caches: Optional[CacheHierarchy] = (
-            CacheHierarchy(self.memory) if use_caches else None
-        )
-        self.regs = RegisterFile()
-        self.stats = ExecutionStats()
-        #: Programmer annotations: never-tainted data ranges (section 5.3
-        #: extension).  Populate with ``sim.watchpoints.add(addr, len, name)``.
-        self.watchpoints = WatchpointSet()
-        self.halted = False
-        self.exit_status: Optional[int] = None
-        self.pc = 0
-        #: Ring buffer of recently executed PCs for diagnostics.
-        self.recent_pcs: List[int] = []
-        #: Optional per-instruction hook ``(sim, pc, instr) -> None``.
-        self.trace_hook: Optional[Callable[["Simulator", int, Instr], None]] = None
-        self._load_image()
+        super().__init__(executable, policy, syscall_handler, use_caches)
+        self._trace_hook: Optional[Callable[["Simulator", int, Instr], None]] = None
+        self._trace_adapter: Optional[Callable[[InstructionRetired], None]] = None
+        #: Per-slot executor bindings, parallel to ``executable.instructions``.
+        self._ops = bind_program(self)
+        # Parallel mnemonic/class name lists so the per-step instruction-mix
+        # accounting never touches Instr attributes on the hot path.
+        self._names = [instr.name for instr in self._instructions]
+        self._klasses = [instr.klass for instr in self._instructions]
 
     # ------------------------------------------------------------------
-    # image loading
+    # deprecated observation shim (prefer the event bus)
     # ------------------------------------------------------------------
 
-    def _load_image(self) -> None:
-        exe = self.executable
-        for i, word in enumerate(exe.text_words):
-            self.memory.write(exe.text_base + 4 * i, 4, word, 0)
-        if exe.data:
-            self.memory.write_bytes(exe.data_base, bytes(exe.data), False)
-        self.pc = exe.entry
-        self.regs.write(29, STACK_TOP)  # $sp
-        self._text_base = exe.text_base
-        self._instructions = exe.instructions
+    @property
+    def trace_hook(self) -> Optional[Callable[["Simulator", int, Instr], None]]:
+        """Deprecated per-instruction hook ``(sim, pc, instr) -> None``.
 
-    # ------------------------------------------------------------------
-    # memory plumbing (through caches when enabled)
-    # ------------------------------------------------------------------
+        Back-compat shim over an ``InstructionRetired`` subscription; new
+        code should subscribe to the event bus directly.  Unlike the old
+        pre-execution hook, the shim observes *retired* instructions, so a
+        faulting or detector-flagged instruction is not reported.
+        """
+        return self._trace_hook
 
-    def mem_read(self, addr: int, size: int) -> Tuple[int, int]:
-        if self.caches is not None:
-            return self.caches.read(addr & _MASK32, size)
-        return self.memory.read(addr, size)
+    @trace_hook.setter
+    def trace_hook(
+        self, hook: Optional[Callable[["Simulator", int, Instr], None]]
+    ) -> None:
+        if self._trace_adapter is not None:
+            self.events.unsubscribe(InstructionRetired, self._trace_adapter)
+            self._trace_adapter = None
+        self._trace_hook = hook
+        if hook is not None:
+            def adapter(event: InstructionRetired, _hook=hook) -> None:
+                _hook(self, event.pc, event.instr)
 
-    def mem_write(self, addr: int, size: int, value: int, taint: int) -> None:
-        if self.caches is not None:
-            self.caches.write(addr & _MASK32, size, value, taint)
-        else:
-            self.memory.write(addr, size, value, taint)
-
-    def flush_caches(self) -> None:
-        """Make RAM coherent with the cache hierarchy (tests, post-mortems)."""
-        if self.caches is not None:
-            self.caches.flush()
+            self._trace_adapter = self.events.subscribe(
+                InstructionRetired, adapter
+            )
 
     # ------------------------------------------------------------------
     # execution loop
@@ -158,354 +115,86 @@ class Simulator:
         Raises :class:`SecurityException` when the detector fires and
         :class:`ExecutionLimit` when the budget is exhausted.
         """
+        ops = self._ops
+        names = self._names
+        klasses = self._klasses
+        count = len(ops)
+        base = self._text_base
+        instructions = self._instructions
+        stats = self.stats
+        by_mnemonic = stats.by_mnemonic
+        by_class = stats.by_class
+        recent = self.recent_pcs
+        bus = self.events
+        retired_subs = bus.subscribers(InstructionRetired)
+        fault_subs = bus.subscribers(MemoryFaulted)
+        pc = self.pc
         budget = max_instructions
-        while not self.halted:
-            if budget <= 0:
-                raise ExecutionLimit(
-                    f"exceeded {max_instructions} instructions at pc={self.pc:#x}"
-                )
-            self.step()
-            budget -= 1
+        try:
+            while not self.halted:
+                if budget <= 0:
+                    raise ExecutionLimit(
+                        f"exceeded {max_instructions} instructions at pc={pc:#x}"
+                    )
+                index = (pc - base) >> 2
+                if pc & 3 or index < 0 or index >= count:
+                    fault = SimulatorFault(
+                        f"instruction fetch from {pc:#010x} (outside text segment)"
+                    )
+                    if fault_subs:
+                        bus.emit(MemoryFaulted(pc, str(fault)))
+                    raise fault
+                recent.append(pc)
+                stats.instructions += 1
+                by_mnemonic[names[index]] += 1
+                by_class[klasses[index]] += 1
+                try:
+                    next_pc = ops[index]()
+                except (SimulatorFault, MemoryFault) as exc:
+                    if fault_subs:
+                        bus.emit(MemoryFaulted(pc, str(exc)))
+                    raise
+                if retired_subs:
+                    bus.emit(
+                        InstructionRetired(
+                            pc, instructions[index], stats.instructions
+                        )
+                    )
+                pc = next_pc
+                budget -= 1
+        finally:
+            # On SecurityException / faults the pc stays at the offending
+            # instruction; on a clean halt it has advanced past the exit
+            # syscall -- same contract as before the decode-once refactor.
+            self.pc = pc
         return self.exit_status if self.exit_status is not None else 0
 
     def step(self) -> None:
-        """Execute a single instruction."""
+        """Execute a single instruction (the pipeline's EX-stage driver)."""
         pc = self.pc
-        instr = self.fetch(pc)
-        if self.trace_hook is not None:
-            self.trace_hook(self, pc, instr)
-        if len(self.recent_pcs) >= 32:
-            self.recent_pcs.pop(0)
+        index = (pc - self._text_base) >> 2
+        bus = self.events
+        fault_subs = bus.subscribers(MemoryFaulted)
+        if pc & 3 or not 0 <= index < len(self._ops):
+            fault = SimulatorFault(
+                f"instruction fetch from {pc:#010x} (outside text segment)"
+            )
+            if fault_subs:
+                bus.emit(MemoryFaulted(pc, str(fault)))
+            raise fault
+        stats = self.stats
+        instr = self._instructions[index]
         self.recent_pcs.append(pc)
-        self.stats.instructions += 1
-        self.stats.by_mnemonic[instr.name] += 1
-        self.stats.by_class[instr.klass] += 1
-        next_pc = (pc + 4) & _MASK32
-        name = instr.name
-        regs = self.regs
-        track = self.policy.track_taint
-
-        # ---- loads -----------------------------------------------------
-        if name in LOAD_INFO:
-            size, signed = LOAD_INFO[name]
-            base, base_taint = regs.read(instr.rs)
-            addr = (base + instr.imm) & _MASK32
-            self._check_dereference(KIND_LOAD, pc, instr, base, base_taint)
-            value, taint = self.mem_read(addr, size)
-            if signed:
-                bits = 8 * size
-                if value >> (bits - 1) & 1:
-                    value |= _MASK32 ^ ((1 << bits) - 1)
-                # Sign extension derives the upper bytes from the loaded
-                # value's top bit: replicate taint across the whole word.
-                if taint:
-                    taint = WORD_TAINTED
-            if not track:
-                taint = 0
-            regs.write(instr.rt, value, taint)
-            self.stats.loads += 1
-            if taint:
-                self.stats.tainted_results += 1
-            self.pc = next_pc
-            return
-
-        # ---- stores ----------------------------------------------------
-        if name in STORE_INFO:
-            size = STORE_INFO[name]
-            base, base_taint = regs.read(instr.rs)
-            addr = (base + instr.imm) & _MASK32
-            self._check_dereference(KIND_STORE, pc, instr, base, base_taint)
-            value, taint = regs.read(instr.rt)
-            if not track:
-                taint = 0
-            store_taint = taint & ((1 << size) - 1)
-            if store_taint and len(self.watchpoints):
-                self._check_annotation(pc, instr, addr, size, store_taint)
-            self.mem_write(addr, size, value, store_taint)
-            self.stats.stores += 1
-            self.pc = next_pc
-            return
-
-        # ---- branches (compare class: untaint operands) ------------------
-        if instr.klass == "branch":
-            self.stats.branches += 1
-            rs_val, _ = regs.read(instr.rs)
-            rt_val, _ = regs.read(instr.rt)
-            if track and self.policy.untaint_on_compare:
-                regs.set_taint(instr.rs, 0)
-                if name in ("beq", "bne"):
-                    regs.set_taint(instr.rt, 0)
-            taken = False
-            if name == "beq":
-                taken = rs_val == rt_val
-            elif name == "bne":
-                taken = rs_val != rt_val
-            elif name == "blez":
-                taken = _signed(rs_val) <= 0
-            elif name == "bgtz":
-                taken = _signed(rs_val) > 0
-            elif name == "bltz":
-                taken = _signed(rs_val) < 0
-            elif name == "bgez":
-                taken = _signed(rs_val) >= 0
-            if taken:
-                next_pc = (pc + 4 + (instr.imm << 2)) & _MASK32
-            self.pc = next_pc
-            return
-
-        # ---- jumps -------------------------------------------------------
-        if name == "j":
-            self.stats.jumps += 1
-            self.pc = instr.target
-            return
-        if name == "jal":
-            self.stats.jumps += 1
-            regs.write(31, (pc + 4) & _MASK32, 0)
-            self.pc = instr.target
-            return
-        if name == "jr":
-            self.stats.jumps += 1
-            target, taint = regs.read(instr.rs)
-            self._check_dereference(KIND_JUMP, pc, instr, target, taint)
-            self.pc = target
-            return
-        if name == "jalr":
-            self.stats.jumps += 1
-            target, taint = regs.read(instr.rs)
-            self._check_dereference(KIND_JUMP, pc, instr, target, taint)
-            regs.write(instr.rd, (pc + 4) & _MASK32, 0)
-            self.pc = target
-            return
-
-        # ---- system ------------------------------------------------------
-        if name == "syscall":
-            self.stats.syscalls += 1
-            if self.syscall_handler is None:
-                raise SimulatorFault(f"syscall at {pc:#x} with no kernel attached")
-            self.syscall_handler(self)
-            self.pc = next_pc
-            return
-        if name == "break":
-            raise SimulatorFault(f"break instruction at {pc:#x}")
-
-        # ---- ALU ----------------------------------------------------------
-        self._execute_alu(instr, track)
+        stats.instructions += 1
+        stats.by_mnemonic[instr.name] += 1
+        stats.by_class[instr.klass] += 1
+        try:
+            next_pc = self._ops[index]()
+        except (SimulatorFault, MemoryFault) as exc:
+            if fault_subs:
+                bus.emit(MemoryFaulted(pc, str(exc)))
+            raise
+        retired_subs = bus.subscribers(InstructionRetired)
+        if retired_subs:
+            bus.emit(InstructionRetired(pc, instr, stats.instructions))
         self.pc = next_pc
-
-    # ------------------------------------------------------------------
-    # detection
-    # ------------------------------------------------------------------
-
-    def _check_dereference(
-        self, kind: str, pc: int, instr: Instr, pointer: int, taint: int
-    ) -> None:
-        if self.policy.checks(kind):
-            self.stats.dereference_checks += 1
-        if taint & WORD_TAINTED:
-            self.stats.tainted_dereferences += 1
-        alert = self.detector.check(
-            kind=kind,
-            pc=pc,
-            disassembly=instr.text or instr.name,
-            pointer_value=pointer & _MASK32,
-            taint_mask=taint,
-            instruction_index=self.stats.instructions,
-            detail=self.executable.source_map.get(pc, ""),
-        )
-        if alert is not None:
-            self.stats.alerts += 1
-            raise SecurityException(alert)
-
-    def _check_annotation(
-        self, pc: int, instr: Instr, addr: int, size: int, taint: int
-    ) -> None:
-        """Raise when tainted bytes land inside annotated data (s5.3)."""
-        watchpoint = self.watchpoints.hit(addr & _MASK32, size)
-        if watchpoint is None:
-            return
-        alert = Alert(
-            pc=pc,
-            kind=KIND_ANNOTATION,
-            disassembly=instr.text or instr.name,
-            pointer_value=addr & _MASK32,
-            taint_mask=taint,
-            instruction_index=self.stats.instructions,
-            detail=f"tainted write into {watchpoint}",
-        )
-        self.detector.alerts.append(alert)
-        self.stats.alerts += 1
-        raise SecurityException(alert)
-
-    # ------------------------------------------------------------------
-    # ALU semantics + Table 1 taint rules
-    # ------------------------------------------------------------------
-
-    def _execute_alu(self, instr: Instr, track: bool) -> None:
-        name = instr.name
-        regs = self.regs
-        rs_val, rs_t = regs.read(instr.rs)
-        rt_val, rt_t = regs.read(instr.rt)
-        if not track:
-            rs_t = rt_t = 0
-
-        if name in ("add", "addu"):
-            result = (rs_val + rt_val) & _MASK32
-            taint = propagate_default(rs_t, rt_t)
-            dest = instr.rd
-        elif name in ("sub", "subu"):
-            result = (rs_val - rt_val) & _MASK32
-            taint = propagate_default(rs_t, rt_t)
-            dest = instr.rd
-        elif name == "and":
-            result = rs_val & rt_val
-            if track and self.policy.untaint_and_zero:
-                taint = propagate_and(rs_t, rs_val, rt_t, rt_val)
-            else:
-                taint = propagate_default(rs_t, rt_t)
-            dest = instr.rd
-        elif name == "or":
-            result = rs_val | rt_val
-            taint = propagate_default(rs_t, rt_t)
-            dest = instr.rd
-        elif name == "xor":
-            result = rs_val ^ rt_val
-            if (
-                track
-                and self.policy.untaint_xor_idiom
-                and instr.rs == instr.rt
-            ):
-                taint = 0
-            else:
-                taint = propagate_default(rs_t, rt_t)
-            dest = instr.rd
-        elif name == "nor":
-            result = ~(rs_val | rt_val) & _MASK32
-            taint = propagate_default(rs_t, rt_t)
-            dest = instr.rd
-        elif name in ("slt", "sltu"):
-            if name == "slt":
-                result = 1 if _signed(rs_val) < _signed(rt_val) else 0
-            else:
-                result = 1 if rs_val < rt_val else 0
-            taint = 0
-            if track and self.policy.untaint_on_compare:
-                regs.set_taint(instr.rs, 0)
-                regs.set_taint(instr.rt, 0)
-            dest = instr.rd
-        elif name in ("slti", "sltiu"):
-            if name == "slti":
-                result = 1 if _signed(rs_val) < instr.imm else 0
-            else:
-                result = 1 if rs_val < (instr.imm & _MASK32) else 0
-            taint = 0
-            if track and self.policy.untaint_on_compare:
-                regs.set_taint(instr.rs, 0)
-            dest = instr.rt
-        elif name in ("addi", "addiu"):
-            result = (rs_val + instr.imm) & _MASK32
-            taint = rs_t
-            dest = instr.rt
-        elif name == "andi":
-            result = rs_val & instr.imm
-            if track and self.policy.untaint_and_zero:
-                taint = propagate_and(rs_t, rs_val, 0, instr.imm)
-            else:
-                taint = rs_t
-            dest = instr.rt
-        elif name == "ori":
-            result = rs_val | instr.imm
-            taint = rs_t
-            dest = instr.rt
-        elif name == "xori":
-            result = rs_val ^ instr.imm
-            taint = rs_t
-            dest = instr.rt
-        elif name == "lui":
-            result = (instr.imm << 16) & _MASK32
-            taint = 0
-            dest = instr.rt
-        elif name in ("sll", "srl", "sra"):
-            shamt = instr.shamt
-            if name == "sll":
-                result = (rt_val << shamt) & _MASK32
-                direction = SHIFT_LEFT
-            elif name == "srl":
-                result = rt_val >> shamt
-                direction = SHIFT_RIGHT
-            else:
-                result = (_signed(rt_val) >> shamt) & _MASK32
-                direction = SHIFT_RIGHT
-            taint = propagate_shift(rt_t, direction) if shamt else rt_t
-            dest = instr.rd
-        elif name in ("sllv", "srlv", "srav"):
-            shamt = rs_val & 0x1F
-            if name == "sllv":
-                result = (rt_val << shamt) & _MASK32
-                direction = SHIFT_LEFT
-            elif name == "srlv":
-                result = rt_val >> shamt
-                direction = SHIFT_RIGHT
-            else:
-                result = (_signed(rt_val) >> shamt) & _MASK32
-                direction = SHIFT_RIGHT
-            taint = propagate_shift(rt_t, direction, amount_taint=rs_t)
-            dest = instr.rd
-        elif name in ("mult", "multu"):
-            if name == "mult":
-                product = _signed(rs_val) * _signed(rt_val) & 0xFFFFFFFFFFFFFFFF
-            else:
-                product = rs_val * rt_val
-            # Multiplication mixes every source byte into every result byte:
-            # collapse taint across the whole double word.
-            taint = WORD_TAINTED if (rs_t | rt_t) else 0
-            regs.lo = product & _MASK32
-            regs.hi = product >> 32 & _MASK32
-            regs.lo_taint = taint
-            regs.hi_taint = taint
-            if taint:
-                self.stats.tainted_results += 1
-            return
-        elif name in ("div", "divu"):
-            if rt_val == 0:
-                quotient, remainder = 0, rs_val  # MIPS leaves these undefined
-            elif name == "div":
-                a, b = _signed(rs_val), _signed(rt_val)
-                quotient = int(a / b)  # C-style truncation toward zero
-                remainder = a - quotient * b
-            else:
-                quotient, remainder = rs_val // rt_val, rs_val % rt_val
-            taint = WORD_TAINTED if (rs_t | rt_t) else 0
-            regs.lo = quotient & _MASK32
-            regs.hi = remainder & _MASK32
-            regs.lo_taint = taint
-            regs.hi_taint = taint
-            if taint:
-                self.stats.tainted_results += 1
-            return
-        elif name == "mflo":
-            result, taint = regs.lo, regs.lo_taint if track else 0
-            dest = instr.rd
-        elif name == "mfhi":
-            result, taint = regs.hi, regs.hi_taint if track else 0
-            dest = instr.rd
-        else:  # pragma: no cover - the decoder only produces known names
-            raise SimulatorFault(f"unimplemented instruction {name}")
-
-        if not track:
-            taint = 0
-        regs.write(dest, result, taint)
-        if taint and dest != 0:
-            self.stats.tainted_results += 1
-
-    # ------------------------------------------------------------------
-    # conveniences for the kernel / tests
-    # ------------------------------------------------------------------
-
-    def halt(self, status: int) -> None:
-        """Stop the machine (called by the kernel's SYS_EXIT)."""
-        self.halted = True
-        self.exit_status = status
-
-    @property
-    def alerts(self) -> List[Alert]:
-        return self.detector.alerts

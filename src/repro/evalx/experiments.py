@@ -33,6 +33,7 @@ from ..apps.wuftpd import (
 )
 from ..attacks.replay import RunResult, run_minic
 from ..attacks.scenarios import AttackScenario
+from ..core.events import TaintedDereference
 from ..core.policy import (
     ControlDataPolicy,
     DetectionPolicy,
@@ -106,18 +107,27 @@ class DetectionRecord:
 
 
 def run_synthetic_detections() -> List[DetectionRecord]:
+    """Replay the three synthetic attacks, observing detections through the
+    machine's event bus (a ``TaintedDereference`` event fires at the moment
+    the detector marks the instruction malicious)."""
     policy = PointerTaintPolicy()
     records = []
     for scenario in (exp1_scenario(), exp2_scenario(), exp3_scenario()):
-        result = scenario.run_attack(policy)
+        result = scenario.run_attack(
+            policy, record_events=(TaintedDereference,)
+        )
+        detections = (
+            result.events.of(TaintedDereference) if result.events else []
+        )
+        alert = detections[0].alert if detections else result.alert
         records.append(
             DetectionRecord(
                 scenario=scenario.name,
                 category=scenario.category,
                 policy=policy.name,
                 outcome=result.outcome,
-                alert=str(result.alert) if result.alert else "",
-                pointer=result.alert.pointer_value if result.alert else None,
+                alert=str(alert) if alert else "",
+                pointer=alert.pointer_value if alert else None,
             )
         )
     return records

@@ -46,12 +46,19 @@ def hexdump(memory, address: int, length: int = 32) -> List[str]:
 
 
 def recent_trace(result: RunResult, count: int = 8) -> List[str]:
-    """Disassembled tail of the executed-PC ring buffer."""
+    """Disassembled tail of the executed-PC ring buffer.
+
+    Prefers the replay layer's event-recorded trace (``result.trace``,
+    fed by ``InstructionRetired`` subscriptions) and falls back to the
+    machine's always-on ``recent_pcs`` deque.
+    """
     sim = result.sim
     if sim is None:
         return []
+    trace = getattr(result, "trace", None)
+    pcs = list(trace if trace else sim.recent_pcs)
     lines = []
-    for pc in sim.recent_pcs[-count:]:
+    for pc in pcs[-count:]:
         try:
             instr = sim.executable.instruction_at(pc)
             text = instr.text
