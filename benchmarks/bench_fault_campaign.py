@@ -1,0 +1,104 @@
+"""Fault-campaign throughput: snapshot reuse vs per-trial rebuild.
+
+Engineering data for the resilience subsystem: trials/second when every
+trial is forked from one golden checkpoint (rollback) versus paying the
+full machine rebuild (re-decode, re-bind, fresh kernel) per trial.  The
+gap is the whole point of checkpoint/rollback -- a campaign of hundreds of
+trials amortizes one decode.
+
+Emits ``BENCH_fault_campaign.json`` at the repo root and a rendered
+summary under ``benchmarks/results/``.  Also runnable standalone::
+
+    PYTHONPATH=src python benchmarks/bench_fault_campaign.py
+"""
+
+from bench_util import save_json, save_report
+
+from repro.evalx.reporting import render_kv
+from repro.fault import CampaignConfig, FaultCampaign, builtin_workload
+
+_SEED = 7
+_TRIALS = 30
+_WORKLOAD = "exp3"
+
+
+def _run_campaign(reuse_snapshots=True, trials=_TRIALS):
+    campaign = FaultCampaign(
+        builtin_workload(_WORKLOAD),
+        CampaignConfig(
+            seed=_SEED, trials=trials, reuse_snapshots=reuse_snapshots
+        ),
+    )
+    return campaign.run()
+
+
+def collect_campaign_record():
+    reused = _run_campaign(reuse_snapshots=True)
+    rebuilt = _run_campaign(reuse_snapshots=False)
+    # Identical trial records: rollback leaks nothing into the next trial.
+    assert reused.digest() == rebuilt.digest()
+    record = {
+        "workload": _WORKLOAD,
+        "seed": _SEED,
+        "trials": _TRIALS,
+        "golden_instructions": reused.golden.instructions,
+        "trials_per_sec_snapshot_reuse": round(reused.trials_per_second, 2),
+        "trials_per_sec_rebuild": round(rebuilt.trials_per_second, 2),
+        "snapshot_speedup": round(
+            reused.trials_per_second / rebuilt.trials_per_second, 2
+        )
+        if rebuilt.trials_per_second
+        else None,
+        "counts": reused.counts,
+        "digest": reused.digest(),
+    }
+    save_json("fault_campaign", record)
+    return record
+
+
+def test_bench_campaign_snapshot_reuse(benchmark):
+    result = benchmark(_run_campaign, True)
+    assert len(result.records) == _TRIALS
+    assert sum(result.counts.values()) == _TRIALS
+
+
+def test_bench_campaign_rebuild(benchmark):
+    result = benchmark(_run_campaign, False, 10)
+    assert len(result.records) == 10
+
+
+def test_campaign_record_artifact():
+    record = collect_campaign_record()
+    assert record["trials_per_sec_snapshot_reuse"] > 0
+    save_report(
+        "fault_campaign",
+        render_kv(
+            [
+                ("workload", record["workload"]),
+                ("seed / trials", f"{record['seed']} / {record['trials']}"),
+                ("golden instructions", record["golden_instructions"]),
+                (
+                    "trials/sec (snapshot reuse)",
+                    record["trials_per_sec_snapshot_reuse"],
+                ),
+                ("trials/sec (rebuild)", record["trials_per_sec_rebuild"]),
+                ("snapshot speedup", f"{record['snapshot_speedup']}x"),
+                ("outcome counts", record["counts"]),
+                ("note", "JSON record at BENCH_fault_campaign.json"),
+            ],
+            title="fault campaign throughput",
+        ),
+    )
+
+
+def main():
+    record = collect_campaign_record()
+    print("fault campaign throughput:")
+    print(f"  snapshot reuse  {record['trials_per_sec_snapshot_reuse']:>8} trials/s")
+    print(f"  rebuild         {record['trials_per_sec_rebuild']:>8} trials/s")
+    print(f"  speedup         {record['snapshot_speedup']:>8}x")
+    print("written: BENCH_fault_campaign.json")
+
+
+if __name__ == "__main__":
+    main()

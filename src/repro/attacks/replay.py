@@ -94,6 +94,7 @@ def run_executable(
     clients: Optional[Sequence[ScriptedClient]] = None,
     filesystem: Optional[SimFileSystem] = None,
     max_instructions: int = 20_000_000,
+    max_seconds: Optional[float] = None,
     use_caches: bool = False,
     use_pipeline: bool = False,
     taint_inputs: bool = True,
@@ -106,6 +107,11 @@ def run_executable(
     to the machine's event bus before execution; ``record_events`` names
     event types to capture into ``RunResult.events`` (an
     :class:`~repro.core.events.EventLog`).
+
+    ``max_instructions`` and ``max_seconds`` are enforced through the
+    machine-level watchdog, so they bound the run identically under the
+    functional and the pipeline engine; either limit ends the run with
+    ``OUTCOME_LIMIT``.
     """
     policy = policy if policy is not None else PointerTaintPolicy()
     network = SimNetwork()
@@ -132,6 +138,9 @@ def run_executable(
     result = RunResult(
         outcome=OUTCOME_EXIT, sim=sim, kernel=kernel, clients=client_list,
         events=log,
+    )
+    sim.arm_watchdog(
+        max_instructions=max_instructions, max_seconds=max_seconds
     )
     try:
         if use_pipeline:

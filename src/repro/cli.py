@@ -8,11 +8,14 @@ Examples::
     python -m repro disasm victim.c
     python -m repro report table2
     python -m repro report all
+    python -m repro campaign --builtin pointer-chase --seed 7 --trials 200
+    python -m repro campaign victim.c --stdin-text ok --recovery rollback-retry
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Dict, Optional, Sequence
 
@@ -106,6 +109,53 @@ def _build_parser() -> argparse.ArgumentParser:
         "name", choices=sorted(REPORTS) + ["all"],
         help="which artifact to regenerate",
     )
+
+    # Imported lazily in _command_campaign; the choices lists here must
+    # stay in sync with repro.fault.
+    campaign_parser = sub.add_parser(
+        "campaign",
+        help="run a seeded fault-injection campaign against a program",
+    )
+    campaign_parser.add_argument(
+        "file", nargs="?", default=None,
+        help="MiniC victim source (alternative to --builtin)",
+    )
+    campaign_parser.add_argument(
+        "--builtin", default=None,
+        help="built-in workload name (pointer-chase, exp1, exp2, exp3)",
+    )
+    campaign_parser.add_argument("--seed", type=int, default=7)
+    campaign_parser.add_argument("--trials", type=int, default=100)
+    campaign_parser.add_argument(
+        "--engine", choices=("functional", "pipeline"), default="functional"
+    )
+    campaign_parser.add_argument(
+        "--recovery",
+        choices=("halt", "kill-process", "rollback-retry"),
+        default="halt",
+        help="policy applied after detected/crash/timeout trials",
+    )
+    campaign_parser.add_argument(
+        "--kind", action="append", default=[],
+        help="restrict fault kinds (repeatable; default: all kinds)",
+    )
+    campaign_parser.add_argument("--caches", action="store_true",
+                                 help="run trials with the L1/L2 hierarchy")
+    campaign_parser.add_argument("--stdin-text", default=None,
+                                 help="golden-run stdin (latin-1 text)")
+    campaign_parser.add_argument("--stdin-file", default=None,
+                                 help="file whose bytes become stdin")
+    campaign_parser.add_argument("--arg", action="append", default=[],
+                                 help="victim argv entry (repeatable)")
+    campaign_parser.add_argument(
+        "--json", dest="json_path", default=None,
+        help="also write the machine-readable result to this path",
+    )
+    campaign_parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI gate: exit non-zero unless the campaign classified every "
+             "trial and detected at least one fault",
+    )
     return parser
 
 
@@ -170,6 +220,68 @@ def _command_disasm(args: argparse.Namespace, out=sys.stdout) -> int:
     return 0
 
 
+def _command_campaign(args: argparse.Namespace, out=sys.stdout) -> int:
+    from .evalx.fault_report import render_campaign_report
+    from .fault import (
+        CampaignConfig,
+        FAULT_KINDS,
+        FaultCampaign,
+        OUTCOMES,
+        Workload,
+        builtin_workload,
+    )
+
+    if (args.file is None) == (args.builtin is None):
+        raise SystemExit("campaign needs exactly one of FILE or --builtin")
+    if args.builtin is not None:
+        try:
+            workload = builtin_workload(args.builtin)
+        except KeyError as exc:
+            raise SystemExit(str(exc)) from None
+    else:
+        with open(args.file, "r", encoding="latin-1") as handle:
+            source = handle.read()
+        workload = Workload(
+            name=args.file,
+            source=source,
+            stdin=_read_stdin(args),
+            argv=tuple(args.arg),
+        )
+    config = CampaignConfig(
+        seed=args.seed,
+        trials=args.trials,
+        engine=args.engine,
+        recovery=args.recovery,
+        use_caches=args.caches,
+        kinds=tuple(args.kind) if args.kind else FAULT_KINDS,
+    )
+    try:
+        result = FaultCampaign(workload, config).run()
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    out.write(render_campaign_report(result) + "\n")
+    if args.json_path:
+        with open(args.json_path, "w") as handle:
+            json.dump(result.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.smoke:
+        counts = result.counts
+        problems = []
+        if sum(counts.values()) != args.trials:
+            problems.append(
+                f"classified {sum(counts.values())}/{args.trials} trials"
+            )
+        if any(r.outcome not in OUTCOMES for r in result.records):
+            problems.append("trial outside the outcome taxonomy")
+        if counts["detected"] < 1:
+            problems.append("no trial was detected")
+        if problems:
+            out.write("SMOKE FAIL: " + "; ".join(problems) + "\n")
+            return 1
+        out.write("SMOKE OK\n")
+    return 0
+
+
 def _command_report(args: argparse.Namespace, out=sys.stdout) -> int:
     names = sorted(REPORTS) if args.name == "all" else [args.name]
     for i, name in enumerate(names):
@@ -190,6 +302,8 @@ def main(argv: Optional[Sequence[str]] = None, out=sys.stdout) -> int:
         return _command_disasm(args, out=out)
     if args.command == "report":
         return _command_report(args, out=out)
+    if args.command == "campaign":
+        return _command_campaign(args, out=out)
     raise SystemExit(f"unknown command {args.command!r}")
 
 

@@ -12,12 +12,14 @@ from .events import (
     EVENT_TYPES,
     EventBus,
     EventLog,
+    FaultInjected,
     InstructionRetired,
     MemoryFaulted,
     SyscallEnter,
     SyscallExit,
     TaintPropagated,
     TaintedDereference,
+    TrialCompleted,
 )
 from .policy import (
     ControlDataPolicy,
@@ -37,8 +39,10 @@ __all__ = [
     "EVENT_TYPES",
     "EventBus",
     "EventLog",
+    "FaultInjected",
     "InstructionRetired",
     "MemoryFaulted",
+    "TrialCompleted",
     "SyscallEnter",
     "SyscallExit",
     "TaintPropagated",

@@ -62,6 +62,10 @@ class WatchpointSet:
                 return watchpoint
         return None
 
+    def restore(self, watchpoints) -> None:
+        """Replace the active set (checkpoint rollback), in place."""
+        self._watchpoints[:] = watchpoints
+
     def __len__(self) -> int:
         return len(self._watchpoints)
 

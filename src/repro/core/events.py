@@ -36,6 +36,16 @@ SyscallExit            the kernel returned from the syscall (``result`` is
 MemoryFaulted          instruction execution aborted with a machine-level
                        fault (bad fetch, unaligned or unmapped access);
                        fired just before the fault exception propagates.
+                       Both engines emit it, including the pipeline's fetch
+                       stage and faults raised inside the kernel while
+                       servicing a syscall.
+FaultInjected          the fault-injection subsystem corrupted live state
+                       (a memory/register/taint-bitmap bit flip, or a
+                       syscall-layer fault applied by the kernel).  Fired
+                       at the moment the corruption lands.
+TrialCompleted         a fault-injection campaign finished one trial and
+                       classified it (detected / masked / sdc / crash /
+                       timeout).
 =====================  =====================================================
 """
 
@@ -51,6 +61,8 @@ __all__ = [
     "SyscallEnter",
     "SyscallExit",
     "MemoryFaulted",
+    "FaultInjected",
+    "TrialCompleted",
     "EVENT_TYPES",
     "EventBus",
     "EventLog",
@@ -120,6 +132,29 @@ class MemoryFaulted:
     message: str
 
 
+@dataclass(frozen=True)
+class FaultInjected:
+    """The fault injector corrupted live machine or kernel state.
+
+    ``kind`` names the fault class (``"mem"``, ``"reg"``, ``"taint-mem"``,
+    ``"taint-reg"``, ``"syscall-errno"``, ``"syscall-short-read"``,
+    ``"syscall-truncate"``); ``detail`` describes exactly what was flipped.
+    """
+
+    pc: int
+    kind: str
+    detail: str
+
+
+@dataclass(frozen=True)
+class TrialCompleted:
+    """A fault-injection campaign classified one finished trial."""
+
+    index: int
+    outcome: str  # "detected" | "masked" | "sdc" | "crash" | "timeout"
+    detail: str
+
+
 #: Every event type the engines can publish.
 EVENT_TYPES: Tuple[type, ...] = (
     InstructionRetired,
@@ -128,6 +163,8 @@ EVENT_TYPES: Tuple[type, ...] = (
     SyscallEnter,
     SyscallExit,
     MemoryFaulted,
+    FaultInjected,
+    TrialCompleted,
 )
 
 Handler = Callable[[Any], None]

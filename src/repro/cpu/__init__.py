@@ -5,7 +5,7 @@ the predecoded executor bindings in :mod:`repro.cpu.dispatch`.
 """
 
 from .dispatch import BINDERS, bind_program, binds
-from .machine import MachineState, RECENT_PC_DEPTH
+from .machine import MachineSnapshot, MachineState, RECENT_PC_DEPTH
 from .pipeline import Pipeline, PipelineStats, STAGES
 from .simulator import ExecutionLimit, Simulator, SimulatorFault
 from .stats import ExecutionStats
@@ -14,6 +14,7 @@ __all__ = [
     "BINDERS",
     "bind_program",
     "binds",
+    "MachineSnapshot",
     "MachineState",
     "RECENT_PC_DEPTH",
     "Pipeline",

@@ -15,8 +15,10 @@ dereference checks.
 
 from __future__ import annotations
 
+import time
 from collections import deque
-from typing import Callable, Deque, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from ..core.annotations import WatchpointSet
 from ..core.detector import (
@@ -41,8 +43,29 @@ _MASK32 = 0xFFFFFFFF
 RECENT_PC_DEPTH = 32
 
 
-class ExecutionLimit(Exception):
-    """Raised when a run exceeds its instruction budget (runaway guard)."""
+class ExecutionLimit(RuntimeError):
+    """Raised when a run exceeds an execution limit (runaway guard).
+
+    A structured outcome rather than a hang: ``reason`` says which limit
+    tripped (``"instructions"``, ``"wallclock"``, or the pipeline's
+    ``"cycles"``), and ``pc``/``instructions`` carry the partial progress
+    the watchdog observed, so fault-injection campaigns can classify a
+    wedged trial and still report statistics for it.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        reason: str = "instructions",
+        pc: int = 0,
+        instructions: int = 0,
+        cycles: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.pc = pc
+        self.instructions = instructions
+        self.cycles = cycles
 
 
 class SimulatorFault(Exception):
@@ -52,6 +75,27 @@ class SimulatorFault(Exception):
     ends in one of these instead of a detector alert -- that distinction is
     what the coverage benchmarks report.
     """
+
+
+@dataclass(frozen=True)
+class MachineSnapshot:
+    """An immutable checkpoint of one machine's architectural state.
+
+    Produced by :meth:`MachineState.snapshot`; cheap to hold and to restore
+    repeatedly, which is what lets a fault campaign fork one golden run
+    into hundreds of fault trials without rebuilding the simulator.
+    """
+
+    pc: int
+    halted: bool
+    exit_status: Optional[int]
+    regs: Tuple
+    memory: Tuple[Dict[int, bytes], Dict[int, bytes], int]
+    caches: Optional[Tuple]
+    stats: ExecutionStats
+    recent_pcs: Tuple[int, ...]
+    alerts: Tuple
+    watchpoints: Tuple
 
 
 class MachineState:
@@ -96,6 +140,12 @@ class MachineState:
         #: Ring buffer of recently executed PCs for diagnostics (always on;
         #: a bounded deque append costs O(1) per instruction).
         self.recent_pcs: Deque[int] = deque(maxlen=RECENT_PC_DEPTH)
+        #: Watchdog: absolute ceiling on ``stats.instructions`` (None = no
+        #: limit).  Both engines enforce it, so a budget armed here means
+        #: the same thing under the functional and the pipeline engine.
+        self.instruction_limit: Optional[int] = None
+        #: Watchdog: ``time.monotonic()`` deadline (None = no deadline).
+        self.deadline: Optional[float] = None
         self._load_image()
 
     # ------------------------------------------------------------------
@@ -132,6 +182,107 @@ class MachineState:
         """Make RAM coherent with the cache hierarchy (tests, post-mortems)."""
         if self.caches is not None:
             self.caches.flush()
+
+    # ------------------------------------------------------------------
+    # watchdog (shared limit guard for both execution engines)
+    # ------------------------------------------------------------------
+
+    def arm_watchdog(
+        self,
+        max_instructions: Optional[int] = None,
+        max_seconds: Optional[float] = None,
+    ) -> None:
+        """Bound further execution by an instruction budget and/or a
+        wall-clock deadline.
+
+        The limits are enforced by *both* engines (the functional loop
+        checks inline, the pipeline checks every cycle through
+        :meth:`enforce_watchdog`), converting a runaway or wedged run into
+        a structured :class:`ExecutionLimit` instead of a hang.
+        """
+        if max_instructions is not None:
+            self.instruction_limit = self.stats.instructions + max_instructions
+        if max_seconds is not None:
+            self.deadline = time.monotonic() + max_seconds
+
+    def disarm_watchdog(self) -> None:
+        """Remove both watchdog limits."""
+        self.instruction_limit = None
+        self.deadline = None
+
+    def enforce_watchdog(self) -> None:
+        """Raise :class:`ExecutionLimit` when an armed limit has tripped."""
+        executed = self.stats.instructions
+        limit = self.instruction_limit
+        if limit is not None and executed >= limit:
+            raise ExecutionLimit(
+                f"watchdog: instruction budget exhausted at pc={self.pc:#x} "
+                f"after {executed} instructions",
+                reason="instructions",
+                pc=self.pc,
+                instructions=executed,
+            )
+        deadline = self.deadline
+        if deadline is not None and time.monotonic() >= deadline:
+            raise ExecutionLimit(
+                f"watchdog: wall-clock deadline exceeded at pc={self.pc:#x} "
+                f"after {executed} instructions",
+                reason="wallclock",
+                pc=self.pc,
+                instructions=executed,
+            )
+
+    # ------------------------------------------------------------------
+    # checkpoint / rollback
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> "MachineSnapshot":
+        """Capture the complete architectural state of this machine.
+
+        Covers registers (values + taint), memory (data pages + the taint
+        bitmap), the cache hierarchy when enabled, the PC, halt state,
+        execution statistics, detector alerts, watchpoints, and the
+        recent-PC ring.  The event bus and its subscribers are deliberately
+        *not* captured: observers persist across rollback.
+        """
+        return MachineSnapshot(
+            pc=self.pc,
+            halted=self.halted,
+            exit_status=self.exit_status,
+            regs=self.regs.snapshot(),
+            memory=self.memory.snapshot(),
+            caches=self.caches.snapshot() if self.caches is not None else None,
+            stats=self.stats.clone(),
+            recent_pcs=tuple(self.recent_pcs),
+            alerts=tuple(self.detector.alerts),
+            watchpoints=tuple(self.watchpoints),
+        )
+
+    def restore(self, snapshot: "MachineSnapshot") -> None:
+        """Roll the machine back to a snapshot.
+
+        Every restored container is mutated *in place* -- the predecoded
+        executor bindings close over the live register lists, the stats
+        object, and the memory/cache objects, so rollback must never swap
+        those objects out.  After ``restore`` the same bound program can be
+        re-run without re-binding.
+        """
+        if (snapshot.caches is None) != (self.caches is None):
+            raise ValueError(
+                "snapshot/machine cache configuration mismatch"
+            )
+        self.pc = snapshot.pc
+        self.halted = snapshot.halted
+        self.exit_status = snapshot.exit_status
+        self.regs.restore(snapshot.regs)
+        self.memory.restore(snapshot.memory)
+        if self.caches is not None and snapshot.caches is not None:
+            self.caches.restore(snapshot.caches)
+        self.stats.restore(snapshot.stats)
+        self.recent_pcs.clear()
+        self.recent_pcs.extend(snapshot.recent_pcs)
+        self.detector.alerts[:] = snapshot.alerts
+        self.watchpoints.restore(snapshot.watchpoints)
 
     # ------------------------------------------------------------------
     # detection (shared by every executor binding)

@@ -29,6 +29,7 @@ from typing import List, Optional
 
 from ..core.detector import Alert, SecurityException
 from ..isa.instructions import Instr
+from .machine import ExecutionLimit
 from .simulator import Simulator
 
 #: Pipeline stage names in flow order.
@@ -97,11 +98,24 @@ class Pipeline:
         """Run to process exit; returns exit status.
 
         Raises :class:`SecurityException` on the retirement cycle of a
-        marked-malicious instruction.
+        marked-malicious instruction, and
+        :class:`~repro.cpu.machine.ExecutionLimit` when the cycle budget or
+        a machine-level watchdog limit (instruction budget / wall-clock
+        deadline armed via ``sim.arm_watchdog``) trips -- the same guard
+        the functional engine enforces, so a budget means one thing
+        regardless of engine.
         """
+        sim = self.sim
         while not self.halted:
             if self.pstats.cycles >= max_cycles:
-                raise RuntimeError(f"exceeded {max_cycles} cycles")
+                raise ExecutionLimit(
+                    f"exceeded {max_cycles} cycles at pc={sim.pc:#x}",
+                    reason="cycles",
+                    pc=sim.pc,
+                    instructions=sim.stats.instructions,
+                    cycles=self.pstats.cycles,
+                )
+            sim.enforce_watchdog()
             self.cycle()
         return self.sim.exit_status or 0
 

@@ -22,6 +22,7 @@ neither does this machine.
 
 from __future__ import annotations
 
+from time import monotonic as _monotonic
 from typing import Callable, Optional
 
 from ..core.events import InstructionRetired, MemoryFaulted
@@ -104,16 +105,24 @@ class Simulator(MachineState):
     def fetch(self, pc: int) -> Instr:
         index = (pc - self._text_base) >> 2
         if pc & 3 or not 0 <= index < len(self._instructions):
-            raise SimulatorFault(
+            fault = SimulatorFault(
                 f"instruction fetch from {pc:#010x} (outside text segment)"
             )
+            fault_subs = self.events.subscribers(MemoryFaulted)
+            if fault_subs:
+                self.events.emit(MemoryFaulted(pc, str(fault)))
+            raise fault
         return self._instructions[index]
 
     def run(self, max_instructions: int = 50_000_000) -> int:
         """Run until exit or alert; returns the process exit status.
 
         Raises :class:`SecurityException` when the detector fires and
-        :class:`ExecutionLimit` when the budget is exhausted.
+        :class:`ExecutionLimit` when the instruction budget -- the smaller
+        of ``max_instructions`` and any machine-level watchdog limit armed
+        via :meth:`~repro.cpu.machine.MachineState.arm_watchdog` -- is
+        exhausted, or when an armed wall-clock deadline passes (checked
+        every 2048 instructions to keep the hot path cheap).
         """
         ops = self._ops
         names = self._names
@@ -130,11 +139,31 @@ class Simulator(MachineState):
         fault_subs = bus.subscribers(MemoryFaulted)
         pc = self.pc
         budget = max_instructions
+        limit = self.instruction_limit
+        if limit is not None:
+            budget = min(budget, max(0, limit - stats.instructions))
+        deadline = self.deadline
+        monotonic = _monotonic
         try:
             while not self.halted:
                 if budget <= 0:
                     raise ExecutionLimit(
-                        f"exceeded {max_instructions} instructions at pc={pc:#x}"
+                        f"exceeded instruction budget at pc={pc:#x}",
+                        reason="instructions",
+                        pc=pc,
+                        instructions=stats.instructions,
+                    )
+                if (
+                    deadline is not None
+                    and stats.instructions & 2047 == 0
+                    and monotonic() >= deadline
+                ):
+                    raise ExecutionLimit(
+                        f"watchdog: wall-clock deadline exceeded at "
+                        f"pc={pc:#x}",
+                        reason="wallclock",
+                        pc=pc,
+                        instructions=stats.instructions,
                     )
                 index = (pc - base) >> 2
                 if pc & 3 or index < 0 or index >= count:

@@ -41,6 +41,35 @@ class ExecutionStats:
     #: Per-taint-class execution counts (alu/shift/and/compare/...).
     by_class: Counter = field(default_factory=Counter)
 
+    def clone(self) -> "ExecutionStats":
+        """Independent copy (checkpointing)."""
+        copy = ExecutionStats()
+        copy.restore(self)
+        return copy
+
+    def restore(self, other: "ExecutionStats") -> None:
+        """Overwrite every counter with ``other``'s, in place.
+
+        In-place because the execution engines capture the stats object (and
+        its counters) in bound-executor closures: rollback must mutate the
+        captured object, not swap it out.
+        """
+        self.instructions = other.instructions
+        self.loads = other.loads
+        self.stores = other.stores
+        self.branches = other.branches
+        self.jumps = other.jumps
+        self.syscalls = other.syscalls
+        self.tainted_results = other.tainted_results
+        self.dereference_checks = other.dereference_checks
+        self.tainted_dereferences = other.tainted_dereferences
+        self.alerts = other.alerts
+        self.input_bytes_tainted = other.input_bytes_tainted
+        self.by_mnemonic.clear()
+        self.by_mnemonic.update(other.by_mnemonic)
+        self.by_class.clear()
+        self.by_class.update(other.by_class)
+
     def merge(self, other: "ExecutionStats") -> None:
         """Accumulate another run's counters into this one."""
         self.instructions += other.instructions

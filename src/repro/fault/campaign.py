@@ -1,0 +1,604 @@
+"""The deterministic, seed-driven fault-injection campaign runner.
+
+A campaign answers the classic dependability question for this machine:
+*when live state is corrupted, how does the run end?*  The procedure is
+the standard SWIFI loop, built on this repo's checkpoint/rollback and
+watchdog primitives:
+
+1. **Golden run.**  Build the workload once, checkpoint the pre-run state
+   (machine + kernel), run fault-free, and record the observable baseline:
+   exit status, stdout, instruction count, the set of touched data pages,
+   and per-PC / per-syscall retirement counts for trigger sampling.
+2. **Plan.**  From ``random.Random(seed)``, draw the full list of
+   ``(Trigger, FaultSpec)`` pairs up front.  The plan depends only on the
+   seed and the golden run, never on trial outcomes, so a campaign is
+   bit-for-bit reproducible.
+3. **Trials.**  For each plan entry: roll back to the pre-run checkpoint
+   (cheap -- the simulator and its decoded program are reused), arm the
+   watchdog (instruction budget = ``slack`` x golden length, plus a
+   generous wall-clock safety net), arm the fault, run, classify:
+
+   =========  ==========================================================
+   detected   the taintedness detector raised a security exception
+   crash      a machine-level fault (bad fetch, bad size, wild syscall)
+   timeout    the watchdog converted a runaway trial into ExecutionLimit
+   masked     clean exit, observable output identical to golden
+   sdc        clean exit, observable output differs (silent corruption)
+   =========  ==========================================================
+
+4. **Recovery.**  On an abnormal ending the configured policy runs:
+   ``halt`` keeps the verdict, ``kill-process`` records the process as
+   terminated, ``rollback-retry`` restores the pre-run checkpoint and
+   re-executes *without* the fault -- the trial is ``recovered`` when the
+   retry reproduces the golden observable exactly, which doubles as a
+   proof that rollback really does restore a clean pre-fault state.
+
+Determinism: timeouts are decided by the deterministic instruction budget
+(the wall-clock deadline is a safety net orders of magnitude looser), all
+sampling pools are sorted, and the digest over the trial records makes two
+same-seed campaigns comparable with one string equality.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.detector import SecurityException
+from ..core.events import InstructionRetired, SyscallEnter, TrialCompleted
+from ..core.policy import PointerTaintPolicy
+from ..cpu.machine import ExecutionLimit, SimulatorFault
+from ..cpu.pipeline import Pipeline
+from ..cpu.simulator import Simulator
+from ..kernel.syscalls import Kernel, SyscallFault
+from ..libc.build import build_program
+from ..mem.layout import PAGE_SIZE
+from ..mem.tainted_memory import MemoryFault
+from .checkpoint import Checkpoint
+from .faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultSpec,
+    STATE_FAULT_KINDS,
+    SYSCALL_FAULT_KINDS,
+    SYSCALL_FAULT_MODES,
+)
+from .triggers import Trigger
+from .workloads import Workload
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignResult",
+    "FaultCampaign",
+    "GoldenRun",
+    "OUTCOME_CRASH",
+    "OUTCOME_DETECTED",
+    "OUTCOME_MASKED",
+    "OUTCOME_SDC",
+    "OUTCOME_TIMEOUT",
+    "OUTCOMES",
+    "RECOVERY_POLICIES",
+    "TrialRecord",
+]
+
+OUTCOME_DETECTED = "detected"
+OUTCOME_MASKED = "masked"
+OUTCOME_SDC = "sdc"
+OUTCOME_CRASH = "crash"
+OUTCOME_TIMEOUT = "timeout"
+
+#: The complete trial-outcome taxonomy (every trial lands in exactly one).
+OUTCOMES = (
+    OUTCOME_DETECTED,
+    OUTCOME_MASKED,
+    OUTCOME_SDC,
+    OUTCOME_CRASH,
+    OUTCOME_TIMEOUT,
+)
+
+#: What to do after an abnormal trial ending (detected/crash/timeout).
+RECOVERY_POLICIES = ("halt", "kill-process", "rollback-retry")
+
+#: Instruction budget for the golden run (a broken workload must not hang
+#: the campaign either).
+_GOLDEN_BUDGET = 20_000_000
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """One classified fault trial."""
+
+    index: int
+    trigger: str
+    fault: str
+    outcome: str
+    detail: str
+    instructions: int
+    injected: bool
+    recovered: Optional[bool] = None
+
+    def key(self) -> Tuple:
+        """The fields covered by the campaign digest."""
+        return (
+            self.index,
+            self.trigger,
+            self.fault,
+            self.outcome,
+            self.detail,
+            self.instructions,
+            self.injected,
+            self.recovered,
+        )
+
+
+@dataclass
+class CampaignConfig:
+    """Knobs for one campaign.
+
+    ``instruction_slack`` scales the golden instruction count into the
+    per-trial watchdog budget; ``max_seconds`` is a wall-clock *safety
+    net* that should never fire before the instruction budget on a
+    healthy host (timeout classification stays deterministic).
+    """
+
+    seed: int = 7
+    trials: int = 100
+    engine: str = "functional"  # | "pipeline"
+    recovery: str = "halt"
+    use_caches: bool = False
+    instruction_slack: float = 4.0
+    max_seconds: float = 30.0
+    reuse_snapshots: bool = True
+    kinds: Tuple[str, ...] = FAULT_KINDS
+
+    def __post_init__(self) -> None:
+        if self.engine not in ("functional", "pipeline"):
+            raise ValueError(f"unknown engine {self.engine!r}")
+        if self.recovery not in RECOVERY_POLICIES:
+            raise ValueError(f"unknown recovery policy {self.recovery!r}")
+        unknown = set(self.kinds) - set(FAULT_KINDS)
+        if unknown:
+            raise ValueError(f"unknown fault kinds {sorted(unknown)}")
+        if not self.kinds:
+            raise ValueError("campaign needs at least one fault kind")
+
+
+@dataclass(frozen=True)
+class GoldenRun:
+    """Observable baseline of the fault-free run."""
+
+    exit_status: int
+    stdout: str
+    instructions: int
+    data_pages: Tuple[int, ...]
+    pc_counts: Tuple[Tuple[int, int], ...]
+    syscall_counts: Tuple[Tuple[int, int], ...]
+
+    @property
+    def observable(self) -> Tuple[int, str]:
+        return (self.exit_status, self.stdout)
+
+
+@dataclass
+class CampaignResult:
+    """Everything a finished campaign produced."""
+
+    workload: str
+    config: CampaignConfig
+    golden: GoldenRun
+    records: List[TrialRecord] = field(default_factory=list)
+    elapsed: float = 0.0
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        counts = {outcome: 0 for outcome in OUTCOMES}
+        for record in self.records:
+            counts[record.outcome] += 1
+        return counts
+
+    @property
+    def injected_count(self) -> int:
+        return sum(1 for r in self.records if r.injected)
+
+    @property
+    def recovered_count(self) -> int:
+        return sum(1 for r in self.records if r.recovered)
+
+    @property
+    def trials_per_second(self) -> float:
+        return len(self.records) / self.elapsed if self.elapsed > 0 else 0.0
+
+    def digest(self) -> str:
+        """SHA-256 over every trial record: two same-seed campaigns agree
+        on this string iff they agree on every classified trial."""
+        hasher = hashlib.sha256()
+        for record in self.records:
+            hasher.update(repr(record.key()).encode())
+        return hasher.hexdigest()
+
+    def kind_outcome_matrix(self) -> Dict[str, Dict[str, int]]:
+        """fault kind -> outcome -> count."""
+        matrix: Dict[str, Dict[str, int]] = {}
+        for record in self.records:
+            kind = record.fault.split("@")[0]
+            row = matrix.setdefault(
+                kind, {outcome: 0 for outcome in OUTCOMES}
+            )
+            row[record.outcome] += 1
+        return matrix
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary (written by ``repro campaign --json``)."""
+        return {
+            "workload": self.workload,
+            "seed": self.config.seed,
+            "trials": len(self.records),
+            "engine": self.config.engine,
+            "recovery": self.config.recovery,
+            "use_caches": self.config.use_caches,
+            "golden": {
+                "exit_status": self.golden.exit_status,
+                "stdout": self.golden.stdout,
+                "instructions": self.golden.instructions,
+            },
+            "counts": self.counts,
+            "injected": self.injected_count,
+            "recovered": self.recovered_count,
+            "digest": self.digest(),
+            "elapsed_seconds": round(self.elapsed, 3),
+            "trials_per_second": round(self.trials_per_second, 2),
+            "records": [
+                {
+                    "index": r.index,
+                    "trigger": r.trigger,
+                    "fault": r.fault,
+                    "outcome": r.outcome,
+                    "detail": r.detail,
+                    "instructions": r.instructions,
+                    "injected": r.injected,
+                    "recovered": r.recovered,
+                }
+                for r in self.records
+            ],
+        }
+
+
+class FaultCampaign:
+    """Run one campaign over one workload.
+
+    Args:
+        workload: the victim program and its golden input.
+        config: campaign knobs.
+        schedule: explicit ``(Trigger, FaultSpec)`` pairs overriding the
+            seeded plan (used by the engine-agreement tests); ``trials``
+            is then ``len(schedule)``.
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        config: Optional[CampaignConfig] = None,
+        schedule: Optional[Sequence[Tuple[Trigger, FaultSpec]]] = None,
+    ) -> None:
+        self.workload = workload
+        self.config = config if config is not None else CampaignConfig()
+        self.schedule = list(schedule) if schedule is not None else None
+        self.executable = build_program(workload.source)
+
+    # ------------------------------------------------------------------
+    # machine lifecycle
+    # ------------------------------------------------------------------
+
+    def _make_machine(self) -> Tuple[Simulator, Kernel]:
+        workload = self.workload
+        kernel = Kernel(
+            argv=[workload.name, *workload.argv],
+            stdin=workload.stdin,
+        )
+        sim = Simulator(
+            self.executable,
+            PointerTaintPolicy(),
+            syscall_handler=kernel,
+            use_caches=self.config.use_caches,
+        )
+        kernel.attach(sim)
+        return sim, kernel
+
+    def _run_engine(self, sim: Simulator) -> int:
+        if self.config.engine == "pipeline":
+            return Pipeline(sim).run()
+        return sim.run()
+
+    # ------------------------------------------------------------------
+    # phase 1: golden run
+    # ------------------------------------------------------------------
+
+    def _golden_run(
+        self, sim: Simulator, kernel: Kernel
+    ) -> GoldenRun:
+        pc_counts: Dict[int, int] = {}
+        syscall_counts: Dict[int, int] = {}
+
+        def count_pc(event: InstructionRetired) -> None:
+            pc_counts[event.pc] = pc_counts.get(event.pc, 0) + 1
+
+        def count_syscall(event: SyscallEnter) -> None:
+            syscall_counts[event.number] = (
+                syscall_counts.get(event.number, 0) + 1
+            )
+
+        sim.events.subscribe(InstructionRetired, count_pc)
+        sim.events.subscribe(SyscallEnter, count_syscall)
+        sim.arm_watchdog(
+            max_instructions=_GOLDEN_BUDGET,
+            max_seconds=self.config.max_seconds,
+        )
+        try:
+            exit_status = self._run_engine(sim)
+        except Exception as exc:
+            raise ValueError(
+                f"workload {self.workload.name!r} golden run must exit "
+                f"cleanly, got {type(exc).__name__}: {exc}"
+            ) from exc
+        finally:
+            sim.disarm_watchdog()
+            sim.events.unsubscribe(InstructionRetired, count_pc)
+            sim.events.unsubscribe(SyscallEnter, count_syscall)
+
+        text_start = self.executable.text_base & ~(PAGE_SIZE - 1)
+        text_end = self.executable.text_base + 4 * len(
+            self.executable.text_words
+        )
+        data_pages = tuple(
+            page
+            for page in sim.memory.page_addresses()
+            if not text_start <= page < text_end
+        )
+        return GoldenRun(
+            exit_status=exit_status,
+            stdout=kernel.process.stdout_text,
+            instructions=sim.stats.instructions,
+            data_pages=data_pages,
+            pc_counts=tuple(sorted(pc_counts.items())),
+            syscall_counts=tuple(sorted(syscall_counts.items())),
+        )
+
+    # ------------------------------------------------------------------
+    # phase 2: the seeded plan
+    # ------------------------------------------------------------------
+
+    def _build_plan(
+        self, golden: GoldenRun, rng: random.Random
+    ) -> List[Tuple[Trigger, FaultSpec]]:
+        if self.schedule is not None:
+            return list(self.schedule)
+        input_numbers = [
+            number for number, _ in golden.syscall_counts if number in (3, 64)
+        ]
+        kinds = [
+            kind
+            for kind in self.config.kinds
+            # Syscall-layer faults need an input syscall to perturb.
+            if kind in STATE_FAULT_KINDS or input_numbers
+        ]
+        if not kinds:
+            raise ValueError(
+                "no applicable fault kinds: workload performs no input "
+                "syscalls and only syscall kinds were requested"
+            )
+        pcs = [pc for pc, _ in golden.pc_counts]
+        pc_count = dict(golden.pc_counts)
+        # PC triggers sample *dynamic* occurrences (count-weighted), so a
+        # fault is as likely to land in a hot loop as uniform-over-time
+        # injection would make it -- the standard SWIFI fault model.
+        pc_weights = [pc_count[pc] for pc in pcs]
+        kind_weights = [
+            3 if kind in STATE_FAULT_KINDS else 1 for kind in kinds
+        ]
+        plan: List[Tuple[Trigger, FaultSpec]] = []
+        for _ in range(self.config.trials):
+            kind = rng.choices(kinds, weights=kind_weights)[0]
+            if kind in SYSCALL_FAULT_KINDS:
+                number = rng.choice(input_numbers)
+                occurrence = rng.randint(
+                    1, dict(golden.syscall_counts)[number]
+                )
+                trigger = Trigger("syscall", number, occurrence)
+                spec = FaultSpec(kind)
+            else:
+                if rng.random() < 0.5:
+                    trigger = Trigger(
+                        "insn", rng.randint(1, golden.instructions)
+                    )
+                else:
+                    pc = rng.choices(pcs, weights=pc_weights)[0]
+                    occurrence = rng.randint(1, min(pc_count[pc], 16))
+                    trigger = Trigger("pc", pc, occurrence)
+                if kind in ("mem", "taint-mem"):
+                    page = rng.choice(golden.data_pages)
+                    target = page + rng.randrange(PAGE_SIZE)
+                    # One or two flipped bits per fault (single-bit upsets
+                    # dominate, but multi-bit upsets exist).
+                    mask = 1 << rng.randrange(8)
+                    if rng.random() < 0.25:
+                        mask |= 1 << rng.randrange(8)
+                elif kind == "reg":
+                    target = rng.randint(1, 31)
+                    mask = 1 << rng.randrange(32)
+                    if rng.random() < 0.25:
+                        mask |= 1 << rng.randrange(32)
+                else:  # taint-reg
+                    target = rng.randint(1, 31)
+                    mask = 1 << rng.randrange(4)
+                spec = FaultSpec(kind, target, mask)
+            plan.append((trigger, spec))
+        return plan
+
+    # ------------------------------------------------------------------
+    # phase 3 + 4: trials and recovery
+    # ------------------------------------------------------------------
+
+    def _trial_budget(self, golden: GoldenRun) -> int:
+        return int(self.config.instruction_slack * golden.instructions) + 10_000
+
+    def _run_trial(
+        self,
+        sim: Simulator,
+        kernel: Kernel,
+        golden: GoldenRun,
+        trigger: Trigger,
+        spec: FaultSpec,
+    ) -> Tuple[str, str, bool]:
+        """One faulted execution; returns (outcome, detail, injected)."""
+        injector: Optional[FaultInjector] = None
+        if trigger.kind == "syscall":
+            kernel.syscall_fault = SyscallFault(
+                mode=SYSCALL_FAULT_MODES[spec.kind],
+                number=trigger.value,
+                occurrence=trigger.occurrence,
+            )
+        else:
+            injector = FaultInjector(sim, trigger, spec)
+        sim.arm_watchdog(
+            max_instructions=self._trial_budget(golden),
+            max_seconds=self.config.max_seconds,
+        )
+        try:
+            exit_status = self._run_engine(sim)
+        except SecurityException as exc:
+            return OUTCOME_DETECTED, f"alert: {exc.alert}", self._fired(
+                injector, kernel
+            )
+        except (SimulatorFault, MemoryFault) as exc:
+            return (
+                OUTCOME_CRASH,
+                f"{type(exc).__name__}: {exc}",
+                self._fired(injector, kernel),
+            )
+        except ExecutionLimit as exc:
+            return (
+                OUTCOME_TIMEOUT,
+                f"watchdog[{exc.reason}] after {exc.instructions} "
+                f"instructions",
+                self._fired(injector, kernel),
+            )
+        finally:
+            sim.disarm_watchdog()
+            if injector is not None:
+                injector.detach()
+        injected = self._fired(injector, kernel)
+        observable = (exit_status, kernel.process.stdout_text)
+        if observable == golden.observable:
+            return OUTCOME_MASKED, "output identical to golden", injected
+        return (
+            OUTCOME_SDC,
+            f"exit={exit_status} stdout differs from golden",
+            injected,
+        )
+
+    @staticmethod
+    def _fired(injector: Optional[FaultInjector], kernel: Kernel) -> bool:
+        if injector is not None:
+            return injector.fired
+        fault = kernel.syscall_fault
+        return bool(fault is not None and fault.fired)
+
+    def _recover(
+        self,
+        sim: Simulator,
+        kernel: Kernel,
+        checkpoint: Checkpoint,
+        golden: GoldenRun,
+        outcome: str,
+        detail: str,
+    ) -> Tuple[str, Optional[bool]]:
+        """Apply the recovery policy after an abnormal trial ending."""
+        policy = self.config.recovery
+        if policy == "halt" or outcome not in (
+            OUTCOME_DETECTED,
+            OUTCOME_CRASH,
+            OUTCOME_TIMEOUT,
+        ):
+            return detail, None
+        if policy == "kill-process":
+            sim.halt(137)
+            return detail + "; process killed (exit 137)", None
+        # rollback-retry: restore the pre-fault checkpoint and re-execute
+        # without the fault.  The fault is gone by construction (the
+        # injector detached, the kernel fault is cleared below), so a
+        # matching retry proves the rollback restored clean state.
+        kernel.syscall_fault = None
+        checkpoint.restore(sim, kernel)
+        sim.arm_watchdog(
+            max_instructions=self._trial_budget(golden),
+            max_seconds=self.config.max_seconds,
+        )
+        try:
+            exit_status = self._run_engine(sim)
+        except Exception as exc:
+            sim.disarm_watchdog()
+            return (
+                detail + f"; retry failed ({type(exc).__name__})",
+                False,
+            )
+        sim.disarm_watchdog()
+        recovered = (exit_status, kernel.process.stdout_text) == (
+            golden.observable
+        )
+        suffix = (
+            "; rollback-retry reproduced golden"
+            if recovered
+            else "; rollback-retry diverged from golden"
+        )
+        return detail + suffix, recovered
+
+    # ------------------------------------------------------------------
+    # the campaign
+    # ------------------------------------------------------------------
+
+    def run(self) -> CampaignResult:
+        sim, kernel = self._make_machine()
+        checkpoint = Checkpoint(sim, kernel)
+        golden = self._golden_run(sim, kernel)
+        rng = random.Random(self.config.seed)
+        plan = self._build_plan(golden, rng)
+        result = CampaignResult(
+            workload=self.workload.name, config=self.config, golden=golden
+        )
+        trial_subs = sim.events.subscribers(TrialCompleted)
+        start = time.perf_counter()
+        for index, (trigger, spec) in enumerate(plan):
+            if self.config.reuse_snapshots:
+                checkpoint.restore(sim, kernel)
+            else:
+                # Benchmark mode: pay the full rebuild (re-decode, re-bind,
+                # fresh kernel) every trial instead of one rollback.
+                sim, kernel = self._make_machine()
+                checkpoint = Checkpoint(sim, kernel)
+                trial_subs = sim.events.subscribers(TrialCompleted)
+            outcome, detail, injected = self._run_trial(
+                sim, kernel, golden, trigger, spec
+            )
+            instructions = sim.stats.instructions
+            detail, recovered = self._recover(
+                sim, kernel, checkpoint, golden, outcome, detail
+            )
+            kernel.syscall_fault = None
+            record = TrialRecord(
+                index=index,
+                trigger=trigger.spec(),
+                fault=spec.describe(),
+                outcome=outcome,
+                detail=detail,
+                instructions=instructions,
+                injected=injected,
+                recovered=recovered,
+            )
+            result.records.append(record)
+            if trial_subs:
+                sim.events.emit(TrialCompleted(index, outcome, detail))
+        result.elapsed = time.perf_counter() - start
+        return result

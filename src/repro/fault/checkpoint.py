@@ -1,0 +1,49 @@
+"""Whole-trial checkpointing: machine + kernel + campaign RNG.
+
+A :class:`Checkpoint` bundles the three state domains a fault trial can
+touch -- the architectural machine state
+(:meth:`~repro.cpu.machine.MachineState.snapshot`), the OS-side process
+state (:meth:`~repro.kernel.syscalls.Kernel.snapshot`), and optionally a
+``random.Random`` stream -- so a campaign captures *one* pre-run
+checkpoint and rolls all of it back before every trial.  Restores are
+reusable: the same checkpoint restores any number of times.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["Checkpoint"]
+
+
+class Checkpoint:
+    """An immutable restore point for one simulated process.
+
+    Args:
+        sim: the machine to capture (any
+            :class:`~repro.cpu.machine.MachineState`).
+        kernel: the attached :class:`~repro.kernel.syscalls.Kernel`
+            (omit for bare-metal machines with no syscall handler).
+        rng: a ``random.Random`` whose stream position should roll back
+            together with the machine.
+    """
+
+    __slots__ = ("machine", "kernel", "rng_state")
+
+    def __init__(self, sim, kernel=None, rng=None) -> None:
+        self.machine = sim.snapshot()
+        self.kernel = kernel.snapshot() if kernel is not None else None
+        self.rng_state = rng.getstate() if rng is not None else None
+
+    def restore(self, sim, kernel=None, rng=None) -> None:
+        """Roll every captured domain back (in place; see the machine and
+        kernel ``restore`` docstrings for the identity guarantees)."""
+        sim.restore(self.machine)
+        if kernel is not None:
+            if self.kernel is None:
+                raise ValueError("checkpoint captured no kernel state")
+            kernel.restore(self.kernel)
+        if rng is not None:
+            if self.rng_state is None:
+                raise ValueError("checkpoint captured no RNG state")
+            rng.setstate(self.rng_state)

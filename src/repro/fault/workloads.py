@@ -1,0 +1,118 @@
+"""Built-in campaign workloads: clean golden runs worth corrupting.
+
+A campaign needs a victim whose *golden* (fault-free) run exits cleanly
+with deterministic observable output -- otherwise "masked" and "silent
+data corruption" are undefined.  The built-ins:
+
+* ``pointer-chase`` -- the campaign's reference victim, written for fault
+  *sensitivity*: it reads tainted input, keeps live pointers in registers
+  and in a stack-resident pointer table, and chases them through a heap
+  array for thousands of loads.  Bit flips in the pointer table produce
+  wild (but typically silent) reads; taint-shadow flips on any of the
+  live pointers are caught by the detector at the very next dereference;
+  flips in the input buffer or heap values surface as silent data
+  corruption in the printed checksum.
+* ``exp1`` / ``exp2`` / ``exp3`` -- the paper's Figure 2 victims running
+  their *benign* inputs, so campaigns can measure how an ordinary
+  (non-attacked) execution of the section 5.1.1 programs responds to
+  hardware faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from ..apps.synthetic import EXP1_SOURCE, EXP2_SOURCE, EXP3_SOURCE
+
+__all__ = ["BUILTIN_WORKLOADS", "Workload", "builtin_workload"]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One campaign victim: a MiniC program plus its golden input."""
+
+    name: str
+    source: str
+    stdin: bytes = b""
+    argv: Tuple[str, ...] = field(default_factory=tuple)
+    description: str = ""
+
+
+POINTER_CHASE_SOURCE = r"""
+int main(void) {
+    char buf[40];
+    int *vals;
+    int *slots[8];
+    int *p;
+    int i;
+    int h;
+    int n;
+    n = read(0, buf, 32);
+    if (n < 1) {
+        n = 1;
+    }
+    vals = malloc(256);
+    i = 0;
+    while (i < 64) {
+        vals[i] = i * 13 + 7;
+        i = i + 1;
+    }
+    i = 0;
+    while (i < 8) {
+        slots[i] = vals + (i * 5 % 64);
+        i = i + 1;
+    }
+    h = 0;
+    i = 0;
+    while (i < 2048) {
+        p = slots[i % 8];
+        h = h + p[(i * 7) % 64] + buf[i % n];
+        i = i + 1;
+    }
+    printf("h=%d\n", h);
+    return 0;
+}
+"""
+
+
+BUILTIN_WORKLOADS: Dict[str, Workload] = {
+    "pointer-chase": Workload(
+        name="pointer-chase",
+        source=POINTER_CHASE_SOURCE,
+        stdin=b"pointer-chase campaign seed input\n",
+        description=(
+            "reference victim: tainted input feeding a checksum computed "
+            "through a stack-resident pointer table over a heap array"
+        ),
+    ),
+    "exp1": Workload(
+        name="exp1",
+        source=EXP1_SOURCE,
+        stdin=b"short\n",
+        description="Figure 2 stack-overflow victim, benign input",
+    ),
+    "exp2": Workload(
+        name="exp2",
+        source=EXP2_SOURCE,
+        stdin=b"ok\n",
+        description="Figure 2 heap-corruption victim, benign input",
+    ),
+    "exp3": Workload(
+        name="exp3",
+        source=EXP3_SOURCE,
+        stdin=b"plain text, no directives",
+        description="Figure 2 format-string victim, benign input",
+    ),
+}
+
+
+def builtin_workload(name: str) -> Workload:
+    """Look up a built-in workload by name (KeyError lists the choices)."""
+    try:
+        return BUILTIN_WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown builtin workload {name!r}; "
+            f"choices: {', '.join(sorted(BUILTIN_WORKLOADS))}"
+        ) from None

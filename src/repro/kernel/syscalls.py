@@ -15,10 +15,14 @@ return codes are produced by the (trusted) kernel.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Union
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple, Union
 
+from ..core.events import FaultInjected
 from ..isa.instructions import REG_A0, REG_A1, REG_A2, REG_V0
 from ..mem.layout import PAGE_SIZE
+from ..mem.tainted_memory import MemoryFault
 from .filesystem import OpenFile, SimFileSystem
 from .network import Connection, ListeningSocket, SimNetwork
 from .process import ProcessState, build_initial_stack
@@ -46,8 +50,67 @@ _FD_STDIN = 0
 _FD_STDOUT = 1
 _FD_STDERR = 2
 
+#: Largest user/kernel copy the kernel will attempt.  A corrupted count
+#: register (a fault-injection staple) would otherwise ask the kernel to
+#: materialize gigabytes; raising a machine fault instead lets campaign
+#: classification file the trial as a crash.
+MAX_TRANSFER = 1 << 20
+
 #: Objects a file descriptor can refer to.
 _FdObject = Union[OpenFile, Connection, ListeningSocket, str]
+
+#: Syscalls that deliver external input (targets for short-read and
+#: truncated-input faults).
+_INPUT_SYSCALLS = frozenset({3, 64})  # SYS_READ, SYS_RECV
+
+
+@dataclass
+class SyscallFault:
+    """A kernel-layer fault armed on one :class:`Kernel`.
+
+    Modes:
+
+    * ``"errno"`` -- the matching syscall is not serviced at all; the
+      kernel writes ``errno_result`` (default -1) to ``$v0``.
+    * ``"short-read"`` -- a matching input syscall delivers at most half
+      of the requested byte count.
+    * ``"truncate-input"`` -- all *pending* external input (remaining
+      stdin, queued network segments) is dropped before the matching
+      input syscall is serviced, so it and every later read sees a
+      truncated stream.
+
+    ``number`` restricts matching to one syscall number (None = any for
+    ``errno``, any input syscall for the other modes); ``occurrence`` is
+    the 1-based matching call on which the fault fires.  Each armed fault
+    fires exactly once.
+    """
+
+    mode: str
+    number: Optional[int] = None
+    occurrence: int = 1
+    errno_result: int = -1
+    fired: bool = False
+    seen: int = field(default=0, repr=False)
+
+    def matches(self, number: int) -> bool:
+        if self.number is not None:
+            return number == self.number
+        if self.mode == "errno":
+            return True
+        return number in _INPUT_SYSCALLS
+
+    def describe(self) -> str:
+        target = "*" if self.number is None else str(self.number)
+        return f"syscall-{self.mode}@{target}#{self.occurrence}"
+
+
+class KernelSnapshot:
+    """Opaque checkpoint of one :class:`Kernel`'s mutable state."""
+
+    __slots__ = ("state",)
+
+    def __init__(self, state: tuple) -> None:
+        self.state = state
 
 
 class Kernel:
@@ -90,6 +153,8 @@ class Kernel:
         }
         self._next_fd = 3
         self._sim = None
+        #: Armed syscall-layer fault (fault-injection campaigns), or None.
+        self.syscall_fault: Optional[SyscallFault] = None
 
     # ------------------------------------------------------------------
     # process setup
@@ -122,12 +187,63 @@ class Kernel:
         a0 = sim.regs.value(REG_A0)
         a1 = sim.regs.value(REG_A1)
         a2 = sim.regs.value(REG_A2)
+        fault = self.syscall_fault
+        if fault is not None and not fault.fired and fault.matches(number):
+            fault.seen += 1
+            if fault.seen >= fault.occurrence:
+                fault.fired = True
+                result, a2 = self._apply_syscall_fault(fault, sim, number, a2)
+                if result is not None:
+                    sim.regs.write(REG_V0, result & 0xFFFFFFFF, 0)
+                    return
         handler = self._handlers.get(number)
         if handler is None:
-            raise KeyError(f"unknown syscall {number} at pc={sim.pc:#x}")
+            # A machine-level fault, not a host-side KeyError: corrupted
+            # $v0 values land here under fault injection, and the engines
+            # turn the fault into a MemoryFaulted event + crash outcome.
+            from ..cpu.machine import SimulatorFault
+
+            raise SimulatorFault(
+                f"unknown syscall {number} at pc={sim.pc:#x}"
+            )
         result = handler(self, sim, a0, a1, a2)
         if result is not None:
             sim.regs.write(REG_V0, result & 0xFFFFFFFF, 0)
+
+    def _apply_syscall_fault(
+        self, fault: SyscallFault, sim, number: int, count: int
+    ) -> Tuple[Optional[int], int]:
+        """Apply an armed fault.
+
+        Returns ``(result, count)``: a non-None ``result`` short-circuits
+        the real handler (errno injection); otherwise the handler runs
+        with the (possibly reduced) ``count``.
+        """
+        if fault.mode == "errno":
+            detail = f"{fault.describe()}: returned {fault.errno_result}"
+            result: Optional[int] = fault.errno_result
+        elif fault.mode == "short-read":
+            short = count // 2
+            detail = f"{fault.describe()}: count {count} -> {short}"
+            result = None
+            count = short
+        elif fault.mode == "truncate-input":
+            dropped = len(self.process.stdin)
+            del self.process.stdin[:]
+            for obj in self._fds.values():
+                if isinstance(obj, Connection):
+                    dropped += sum(len(s) for s in obj.peer._queue)
+                    obj.peer._queue.clear()
+            detail = f"{fault.describe()}: dropped {dropped} pending bytes"
+            result = None
+        else:
+            raise ValueError(f"unknown syscall fault mode {fault.mode!r}")
+        subs = sim.events.subscribers(FaultInjected)
+        if subs:
+            sim.events.emit(
+                FaultInjected(sim.pc, f"syscall-{fault.mode}", detail)
+            )
+        return result, count
 
     # ------------------------------------------------------------------
     # helpers
@@ -155,6 +271,11 @@ class Kernel:
             sim.stats.input_bytes_tainted += len(data)
 
     def _copy_out(self, sim, addr: int, count: int) -> bytes:
+        if count > MAX_TRANSFER:
+            raise MemoryFault(
+                f"implausible transfer of {count} bytes from {addr:#010x} "
+                f"(corrupted count?)"
+            )
         if sim.caches is None:
             return sim.memory.read_bytes(addr, count)
         out = bytearray()
@@ -170,6 +291,47 @@ class Kernel:
                 break
             out.append(byte)
         return out.decode("latin-1")
+
+    # ------------------------------------------------------------------
+    # checkpoint / rollback
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> "KernelSnapshot":
+        """Capture all mutable OS-side state of this process.
+
+        One deepcopy of the whole bundle preserves the identity sharing
+        between descriptor-table entries and the network/filesystem
+        objects they point at.
+        """
+        return KernelSnapshot(
+            copy.deepcopy(
+                (
+                    self.process,
+                    self.fs,
+                    self.net,
+                    self._fds,
+                    self._next_fd,
+                    self.syscall_fault,
+                )
+            )
+        )
+
+    def restore(self, snapshot: "KernelSnapshot") -> None:
+        """Roll the kernel back to a snapshot (reusable: the snapshot is
+        deep-copied again on every restore).
+
+        The :class:`~repro.kernel.process.ProcessState` object keeps its
+        identity (its fields are overwritten in place) so holders of
+        ``kernel.process`` stay valid across rollback; descriptor-table,
+        filesystem, and network objects are replaced wholesale.
+        """
+        process, fs, net, fds, next_fd, fault = copy.deepcopy(snapshot.state)
+        self.process.__dict__.update(process.__dict__)
+        self.fs = fs
+        self.net = net
+        self._fds = fds
+        self._next_fd = next_fd
+        self.syscall_fault = fault
 
     # ------------------------------------------------------------------
     # syscall implementations

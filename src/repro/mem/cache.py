@@ -190,6 +190,36 @@ class Cache:
                     self._writeback(set_index, line)
                     line.dirty = False
 
+    # -- checkpointing -------------------------------------------------------
+
+    def snapshot(self) -> tuple:
+        """Copy-out of every line (tag/data/taint/state) plus counters."""
+        lines = tuple(
+            tuple(
+                (line.tag, bytes(line.data), bytes(line.taint),
+                 line.valid, line.dirty, line.lru)
+                for line in ways
+            )
+            for ways in self._sets
+        )
+        stats = (self.stats.hits, self.stats.misses, self.stats.writebacks)
+        return lines, stats, self._clock
+
+    def restore(self, snapshot: tuple) -> None:
+        """Roll this cache level back to a snapshot, in place."""
+        lines, stats, clock = snapshot
+        for ways, saved_ways in zip(self._sets, lines):
+            for line, saved in zip(ways, saved_ways):
+                tag, data, taint, valid, dirty, lru = saved
+                line.tag = tag
+                line.data[:] = data
+                line.taint[:] = taint
+                line.valid = valid
+                line.dirty = dirty
+                line.lru = lru
+        self.stats.hits, self.stats.misses, self.stats.writebacks = stats
+        self._clock = clock
+
 
 class CacheHierarchy:
     """An L1 + L2 hierarchy in front of :class:`TaintedMemory`.
@@ -232,3 +262,13 @@ class CacheHierarchy:
         """Flush both levels so RAM reflects all cached state."""
         self.l1.flush()
         self.l2.flush()
+
+    def snapshot(self) -> tuple:
+        """Copy-out of both levels (line contents, taint, LRU, counters)."""
+        return self.l1.snapshot(), self.l2.snapshot()
+
+    def restore(self, snapshot: tuple) -> None:
+        """Roll both levels back to a snapshot, in place."""
+        l1, l2 = snapshot
+        self.l1.restore(l1)
+        self.l2.restore(l2)

@@ -55,6 +55,31 @@ class RegisterFile:
             return
         self.taints[number] = taint_mask & WORD_TAINTED
 
+    def snapshot(self) -> Tuple:
+        """Immutable copy of the whole architectural register state."""
+        return (
+            tuple(self.values),
+            tuple(self.taints),
+            self.hi,
+            self.lo,
+            self.hi_taint,
+            self.lo_taint,
+        )
+
+    def restore(self, snapshot: Tuple) -> None:
+        """Roll the register file back to a snapshot, in place.
+
+        In place because the executor bindings capture the ``values`` and
+        ``taints`` lists themselves; rollback must not replace them.
+        """
+        values, taints, hi, lo, hi_taint, lo_taint = snapshot
+        self.values[:] = values
+        self.taints[:] = taints
+        self.hi = hi
+        self.lo = lo
+        self.hi_taint = hi_taint
+        self.lo_taint = lo_taint
+
     def tainted_registers(self) -> List[int]:
         """Register numbers currently holding any tainted byte."""
         return [n for n in range(32) if self.taints[n]]

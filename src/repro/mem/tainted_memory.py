@@ -50,6 +50,38 @@ class TaintedMemory:
         """Number of pages materialized so far."""
         return len(self._pages)
 
+    def page_addresses(self) -> Tuple[int, ...]:
+        """Base addresses of materialized pages, ascending (fault-target
+        sampling and snapshot digests need a deterministic order)."""
+        return tuple(sorted(self._pages))
+
+    def snapshot(self) -> Tuple[Dict[int, bytes], Dict[int, bytes], int]:
+        """Copy-out of all materialized pages, their shadow taint, and the
+        tainted-write counter."""
+        return (
+            {base: bytes(page) for base, page in self._pages.items()},
+            {base: bytes(page) for base, page in self._taint_pages.items()},
+            self.tainted_bytes_written,
+        )
+
+    def restore(
+        self, snapshot: Tuple[Dict[int, bytes], Dict[int, bytes], int]
+    ) -> None:
+        """Roll memory (data + taint bitmap) back to a snapshot, in place.
+
+        Pages materialized after the snapshot are dropped, so a rolled-back
+        machine cannot observe a fault trial's wild writes even through
+        ``mapped_pages()``.
+        """
+        pages, taint_pages, tainted_bytes_written = snapshot
+        self._pages.clear()
+        self._taint_pages.clear()
+        for base, data in pages.items():
+            self._pages[base] = bytearray(data)
+        for base, data in taint_pages.items():
+            self._taint_pages[base] = bytearray(data)
+        self.tainted_bytes_written = tainted_bytes_written
+
     # ------------------------------------------------------------------
     # scalar accesses (hot path: used by the execution engines)
     # ------------------------------------------------------------------

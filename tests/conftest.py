@@ -1,8 +1,49 @@
-"""Pytest fixtures shared across the suite."""
+"""Pytest fixtures shared across the suite, plus a hang watchdog.
+
+Every test gets a per-test timeout so a wedged simulator loop fails fast
+instead of hanging the suite.  When the ``pytest-timeout`` plugin is
+installed (CI) it owns the job; otherwise a SIGALRM fallback covers POSIX
+hosts running tests on the main thread.
+"""
+
+import signal
+import threading
 
 import pytest
 
 from tests.helpers import asm_main, run_asm
+
+#: Per-test wall-clock budget (seconds) for the SIGALRM fallback.
+TEST_TIMEOUT_SECONDS = 120
+
+
+def pytest_configure(config):
+    config._use_alarm_fallback = (
+        config.pluginmanager.getplugin("timeout") is None
+        and hasattr(signal, "SIGALRM")
+    )
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    use_alarm = (
+        item.config._use_alarm_fallback
+        and threading.current_thread() is threading.main_thread()
+    )
+    if use_alarm:
+        def on_alarm(signum, frame):
+            raise TimeoutError(
+                f"test exceeded {TEST_TIMEOUT_SECONDS}s (SIGALRM fallback)"
+            )
+
+        previous = signal.signal(signal.SIGALRM, on_alarm)
+        signal.alarm(TEST_TIMEOUT_SECONDS)
+    try:
+        yield
+    finally:
+        if use_alarm:
+            signal.alarm(0)
+            signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

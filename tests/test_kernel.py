@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.policy import PointerTaintPolicy
-from repro.cpu.simulator import Simulator
+from repro.cpu.simulator import Simulator, SimulatorFault
 from repro.isa.assembler import assemble
 from repro.kernel.filesystem import (
     O_APPEND,
@@ -103,7 +103,9 @@ class TestFileSyscalls:
         assert sim.regs.value(16) == 0xFFFFFFFF
 
     def test_unknown_syscall_raises(self):
-        with pytest.raises(KeyError, match="unknown syscall"):
+        # A machine fault (not a host KeyError): corrupted $v0 values under
+        # fault injection must classify as a crash, not kill the harness.
+        with pytest.raises(SimulatorFault, match="unknown syscall"):
             run_with_kernel("li $v0, 222\nsyscall\n" + EXIT)
 
 

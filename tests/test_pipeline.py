@@ -85,9 +85,25 @@ class TestPipelineBasics:
         assert pipeline.pstats.cycles < 70
 
     def test_cycle_limit_guard(self):
+        from repro.cpu.machine import ExecutionLimit
+
         _, pipeline = make_machines(".text\n_start: b _start\n")
-        with pytest.raises(RuntimeError, match="cycles"):
+        with pytest.raises(ExecutionLimit, match="cycles") as exc:
             pipeline.run(max_cycles=500)
+        assert exc.value.reason == "cycles"
+        assert exc.value.cycles == 500
+
+    def test_instruction_budget_matches_functional_engine(self):
+        """The shared MachineState watchdog bounds the pipeline engine with
+        the same instruction semantics as the functional engine."""
+        from repro.cpu.machine import ExecutionLimit
+
+        _, pipeline = make_machines(".text\n_start: b _start\n")
+        pipeline.sim.arm_watchdog(max_instructions=100)
+        with pytest.raises(ExecutionLimit) as exc:
+            pipeline.run()
+        assert exc.value.reason == "instructions"
+        assert pipeline.sim.stats.instructions == 100
 
 
 class TestRetirementException:
