@@ -6,10 +6,14 @@ processor, feed it an overlong input, and watch the pointer-taintedness
 detector stop the attack at the exact instruction the paper describes:
 the function return (``jr $31``) consuming a tainted return address.
 
+Everything goes through the stable :class:`repro.Session` facade -- one
+object picks the policy, the engine, and the observability (metrics /
+structured tracing), and every run returns the same result family.
+
 Run:  python examples/quickstart.py
 """
 
-from repro import ControlDataPolicy, NullPolicy, PointerTaintPolicy, run_minic
+from repro import Session
 
 VULNERABLE_PROGRAM = r"""
 void greet(void) {
@@ -30,15 +34,15 @@ ATTACK_INPUT = b"a" * 24  # rolls over the saved frame pointer + return addr
 
 
 def main() -> None:
+    session = Session(policy="paper", metrics=True)
+
     print("=== benign input, paper's pointer-taintedness policy ===")
-    result = run_minic(VULNERABLE_PROGRAM, PointerTaintPolicy(),
-                       stdin=BENIGN_INPUT)
+    result = session.run_minic(VULNERABLE_PROGRAM, stdin=BENIGN_INPUT)
     print(f"outcome: {result.describe()}")
     print(f"stdout : {result.stdout!r}")
 
     print("\n=== attack input, paper's pointer-taintedness policy ===")
-    result = run_minic(VULNERABLE_PROGRAM, PointerTaintPolicy(),
-                       stdin=ATTACK_INPUT)
+    result = session.run_minic(VULNERABLE_PROGRAM, stdin=ATTACK_INPUT)
     print(f"outcome: {result.describe()}")
     assert result.detected
     print(f"alert  : tainted {result.alert.kind} of "
@@ -47,17 +51,25 @@ def main() -> None:
           "return address)")
 
     print("\n=== same attack on an unprotected machine ===")
-    result = run_minic(VULNERABLE_PROGRAM, NullPolicy(), stdin=ATTACK_INPUT)
+    result = session.run_minic(VULNERABLE_PROGRAM, policy="none",
+                               stdin=ATTACK_INPUT)
     print(f"outcome: {result.describe()}")
     print("(control flow left the program: the attack succeeded)")
 
     print("\n=== same attack under a control-data-only baseline (Minos/SPE) ===")
-    result = run_minic(VULNERABLE_PROGRAM, ControlDataPolicy(),
-                       stdin=ATTACK_INPUT)
+    result = session.run_minic(VULNERABLE_PROGRAM, policy="control-data",
+                               stdin=ATTACK_INPUT)
     print(f"outcome: {result.describe()}")
     print("(this one IS control data, so the baseline also catches it; "
           "run attack_gallery.py to see the non-control-data attacks "
           "only pointer-taintedness stops)")
+
+    print("\n=== what the session measured across those four runs ===")
+    counters = session.metrics.to_dict()["counters"]
+    print(f"instructions retired : {counters['run.instructions']:,}")
+    print(f"dereference checks   : {counters['run.dereference_checks']:,}")
+    print(f"alerts raised        : {counters['run.alerts']}")
+    print("(pass metrics=True / trace='t.jsonl' to any Session for more)")
 
 
 if __name__ == "__main__":

@@ -19,21 +19,37 @@ The package provides:
 * :mod:`repro.apps`, :mod:`repro.attacks`, :mod:`repro.evalx` -- the
   evaluation programs (Figure 2, WU-FTPD, NULL HTTPD, GHTTPD, traceroute,
   SPEC-like benign workloads), attack payloads/replay, and one experiment
-  runner per paper table/figure.
+  runner per paper table/figure;
+* :mod:`repro.obs`, :mod:`repro.api` -- the observability layer (metrics
+  registry, structured JSONL tracing, profiling hooks over the event bus)
+  and the stable :class:`~repro.api.Session` facade that unifies runs,
+  campaigns, and experiments behind one result schema.
 
-Quickstart::
+Quickstart (the stable facade)::
 
-    from repro import PointerTaintPolicy, run_minic
+    from repro import Session
 
-    result = run_minic(
+    session = Session(policy="paper", metrics=True)
+    result = session.run_minic(
         'int main(void){ char b[8]; gets(b); return 0; }',
-        PointerTaintPolicy(),
         stdin=b"A" * 32,
     )
     assert result.detected   # tainted return address caught at jr $ra
+    print(result.to_json()["metrics"]["counters"]["run.instructions"])
+
+The pre-facade helpers (``run_minic``/``run_executable``) remain
+importable as stable shims.
 """
 
+from .api import (
+    ExperimentResult,
+    Session,
+    TraceConfig,
+    validate_result_json,
+)
 from .attacks.replay import RunResult, run_executable, run_minic
+from .builder import build_machine
+from .obs import MetricsRegistry, Observer, TraceRecorder
 from .core.detector import Alert, SecurityException, TaintednessDetector
 from .core.policy import (
     ControlDataPolicy,
@@ -51,6 +67,14 @@ from .libc.build import build_program
 __version__ = "1.0.0"
 
 __all__ = [
+    "ExperimentResult",
+    "MetricsRegistry",
+    "Observer",
+    "Session",
+    "TraceConfig",
+    "TraceRecorder",
+    "build_machine",
+    "validate_result_json",
     "RunResult",
     "run_executable",
     "run_minic",

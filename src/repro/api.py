@@ -1,0 +1,543 @@
+"""Stable facade over the whole reproduction: ``repro.api.Session``.
+
+Before this module, the repo had four divergent entry points -- the
+replay harness (:func:`repro.attacks.replay.run_executable`), the fault
+campaign runner (:class:`repro.fault.campaign.FaultCampaign`), the evalx
+experiment runners, and the CLI's internal plumbing -- each with its own
+keyword conventions and its own ad-hoc result shape.  :class:`Session`
+unifies them:
+
+* one place to pick the **policy** (by name or instance), the **engine**
+  (``"functional"`` or ``"pipeline"``), and the cache model;
+* one place to attach **observability**: a
+  :class:`~repro.obs.metrics.MetricsRegistry` (``metrics=True`` or your
+  own registry) and a structured **trace** (ring buffer and/or streaming
+  JSONL, see :class:`TraceConfig`);
+* one **result family**: every ``run_*`` method returns an object with a
+  ``to_json()`` that validates against the unified schema
+  (:func:`validate_result_json`) -- ``{"kind", "detected", "stats",
+  "metrics"}`` plus kind-specific extras.
+
+Quickstart::
+
+    from repro.api import Session
+
+    session = Session(policy="paper", metrics=True)
+    result = session.run_minic(VICTIM_SOURCE, stdin=b"a" * 64)
+    assert result.detected
+    print(result.to_json()["metrics"]["counters"]["run.instructions"])
+
+The pre-facade entry points (``repro.run_minic``/``run_executable``, the
+raw ``FaultCampaign``) remain importable as thin, stable shims; new code
+should use the facade.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Sequence, Union
+
+from .attacks.replay import RunResult, run_executable as _run_executable
+from .core.policy import (
+    ControlDataPolicy,
+    DetectionPolicy,
+    NullPolicy,
+    PointerTaintPolicy,
+)
+from .fault.campaign import CampaignConfig, CampaignResult, FaultCampaign
+from .fault.workloads import Workload, builtin_workload
+from .isa.program import Executable
+from .libc.build import build_program
+from .obs import MetricsRegistry, Observer, TraceRecorder
+
+__all__ = [
+    "ENGINES",
+    "ExperimentResult",
+    "POLICIES",
+    "RESULT_KINDS",
+    "Session",
+    "TraceConfig",
+    "resolve_policy",
+    "validate_result_json",
+]
+
+#: Policy aliases accepted everywhere a policy can be named (the CLI's
+#: ``--policy`` choices come from here too).
+POLICIES: Dict[str, Callable[[], DetectionPolicy]] = {
+    "paper": PointerTaintPolicy,
+    "pointer-taintedness": PointerTaintPolicy,
+    "control-data": ControlDataPolicy,
+    "none": NullPolicy,
+}
+
+#: Execution engines a session can drive.
+ENGINES = ("functional", "pipeline")
+
+#: The unified result family.
+RESULT_KINDS = ("run", "campaign", "experiment")
+
+
+def resolve_policy(
+    policy: Union[None, str, DetectionPolicy, Callable[[], DetectionPolicy]],
+) -> DetectionPolicy:
+    """Turn a policy spec (alias, instance, factory, None) into an instance."""
+    if policy is None:
+        return PointerTaintPolicy()
+    if isinstance(policy, str):
+        try:
+            return POLICIES[policy]()
+        except KeyError:
+            raise ValueError(
+                f"unknown policy {policy!r}; choose from {sorted(POLICIES)}"
+            ) from None
+    if isinstance(policy, DetectionPolicy):
+        return policy
+    if callable(policy):
+        return policy()
+    raise TypeError(f"cannot resolve policy from {policy!r}")
+
+
+@dataclass
+class TraceConfig:
+    """How a session records traces.
+
+    ``path`` streams every record to a JSONL file as it fires (constant
+    memory for arbitrarily long runs); the bounded ring of the last
+    ``limit`` records is always kept and is exposed as
+    ``session.last_trace``.  ``events`` follows the
+    :func:`repro.obs.trace.resolve_event_types` grammar (None = every
+    event type except ``InstructionRetired``; ``"all"`` = everything).
+    """
+
+    path: Optional[str] = None
+    events: Union[None, str, Sequence] = None
+    limit: int = 65536
+
+    @classmethod
+    def coerce(
+        cls, value: Union[None, bool, str, "TraceConfig"]
+    ) -> Optional["TraceConfig"]:
+        if value is None or value is False:
+            return None
+        if value is True:
+            return cls()
+        if isinstance(value, str):
+            return cls(path=value)
+        if isinstance(value, cls):
+            return value
+        raise TypeError(f"cannot build a TraceConfig from {value!r}")
+
+
+@dataclass
+class ExperimentResult:
+    """One evalx artifact run through the facade."""
+
+    name: str
+    data: Any
+    report: str = ""
+    detected: bool = False
+    stats: Dict[str, Any] = field(default_factory=dict)
+    metrics: Optional[dict] = None
+    elapsed: float = 0.0
+
+    def to_json(self) -> dict:
+        return {
+            "kind": "experiment",
+            "name": self.name,
+            "detected": self.detected,
+            "stats": dict(self.stats, elapsed_seconds=round(self.elapsed, 4)),
+            "metrics": self.metrics if self.metrics is not None else {},
+        }
+
+
+def validate_result_json(payload: Any) -> dict:
+    """Assert ``payload`` matches the unified result schema; return it.
+
+    Required shape (extras are allowed)::
+
+        {"kind": "run" | "campaign" | "experiment",
+         "detected": <bool>,
+         "stats": <dict>,
+         "metrics": <dict>}
+    """
+    problems = []
+    if not isinstance(payload, dict):
+        raise ValueError(f"result payload must be a dict, got {type(payload)}")
+    kind = payload.get("kind")
+    if kind not in RESULT_KINDS:
+        problems.append(f"kind={kind!r} not in {RESULT_KINDS}")
+    if not isinstance(payload.get("detected"), bool):
+        problems.append("'detected' must be a bool")
+    if not isinstance(payload.get("stats"), dict):
+        problems.append("'stats' must be a dict")
+    if not isinstance(payload.get("metrics"), dict):
+        problems.append("'metrics' must be a dict")
+    if problems:
+        raise ValueError(
+            "result does not match the unified schema: " + "; ".join(problems)
+        )
+    return payload
+
+
+class Session:
+    """The stable entry point for everything this repo can run.
+
+    Args:
+        policy: detection policy -- alias (``"paper"``,
+            ``"control-data"``, ``"none"``), instance, or factory.
+        engine: ``"functional"`` (fast interpreter) or ``"pipeline"``
+            (cycle-level five-stage model).
+        use_caches: route data accesses through the taint-carrying L1/L2
+            hierarchy.
+        metrics: ``True`` for a fresh :class:`MetricsRegistry`, or pass
+            a registry to share one across sessions.  Counters accumulate
+            across this session's runs.
+        trace: ``True`` (ring only), a JSONL path, or a
+            :class:`TraceConfig`.
+        max_instructions: default per-run watchdog budget.
+    """
+
+    def __init__(
+        self,
+        policy: Union[None, str, DetectionPolicy, Callable] = "paper",
+        engine: str = "functional",
+        use_caches: bool = False,
+        metrics: Union[None, bool, MetricsRegistry] = None,
+        trace: Union[None, bool, str, TraceConfig] = None,
+        max_instructions: int = 20_000_000,
+    ) -> None:
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; choose {ENGINES}")
+        self.policy_spec = policy
+        self.engine = engine
+        self.use_caches = use_caches
+        if metrics is True:
+            metrics = MetricsRegistry()
+        elif metrics is False:
+            metrics = None
+        self.metrics: Optional[MetricsRegistry] = metrics
+        self.trace = TraceConfig.coerce(trace)
+        self.max_instructions = max_instructions
+        #: The most recent run's trace recorder (ring buffer inspection).
+        self.last_trace: Optional[TraceRecorder] = None
+        self._trace_paths_opened: set = set()
+
+    # ------------------------------------------------------------------
+    # observability plumbing
+    # ------------------------------------------------------------------
+
+    def _open_trace_stream(self):
+        if self.trace is None or self.trace.path is None:
+            return None
+        # First run truncates; later runs of the same session append, so
+        # one JSONL file can hold a whole session's stream.
+        mode = "a" if self.trace.path in self._trace_paths_opened else "w"
+        self._trace_paths_opened.add(self.trace.path)
+        return open(self.trace.path, mode, encoding="utf-8")
+
+    def _instrument(self, sim):
+        """Attach observer + tracer to a machine; returns a finalizer.
+
+        The finalizer (called with the finished result, or None) stops
+        the wall timer, harvests post-run statistics, detaches all
+        subscriptions, closes the trace stream, and stamps the metrics
+        dump onto the result.
+        """
+        observer = None
+        started = None
+        if self.metrics is not None:
+            observer = Observer(self.metrics).attach(sim)
+            started = time.perf_counter()
+        tracer = None
+        stream = None
+        if self.trace is not None:
+            stream = self._open_trace_stream()
+            tracer = TraceRecorder(
+                events=self.trace.events,
+                limit=self.trace.limit,
+                stream=stream,
+            ).attach(sim.events)
+            self.last_trace = tracer
+
+        def finalize(result=None) -> None:
+            if observer is not None:
+                self.metrics.timer("run.wall_seconds").add(
+                    time.perf_counter() - started
+                )
+                observer.harvest(sim, getattr(result, "pstats", None))
+                observer.detach()
+            if tracer is not None:
+                tracer.detach()
+            if stream is not None:
+                stream.close()
+            if result is not None and self.metrics is not None:
+                result.metrics = self.metrics.to_dict()
+
+        return finalize
+
+    # ------------------------------------------------------------------
+    # run: single executions (replaces ad-hoc run_minic/run_executable)
+    # ------------------------------------------------------------------
+
+    def run_executable(
+        self,
+        exe: Executable,
+        policy: Union[None, str, DetectionPolicy] = None,
+        **kwargs: Any,
+    ) -> RunResult:
+        """Run a built executable; returns a :class:`RunResult`.
+
+        Keyword arguments (``stdin``, ``argv``, ``clients``,
+        ``filesystem``, ``subscribers``, ``record_events``, ...) are the
+        replay harness's; session defaults fill ``max_instructions``,
+        ``use_caches``, and the engine choice.
+        """
+        kwargs.setdefault("max_instructions", self.max_instructions)
+        kwargs.setdefault("use_caches", self.use_caches)
+        kwargs.setdefault("use_pipeline", self.engine == "pipeline")
+        resolved = (
+            resolve_policy(policy)
+            if policy is not None
+            else resolve_policy(self.policy_spec)
+        )
+        return _run_executable(
+            exe, resolved, instrument=self._instrument, **kwargs
+        )
+
+    def run_minic(
+        self,
+        source: str,
+        policy: Union[None, str, DetectionPolicy] = None,
+        **kwargs: Any,
+    ) -> RunResult:
+        """Compile a MiniC program against the libc and run it."""
+        return self.run_executable(build_program(source), policy, **kwargs)
+
+    # ------------------------------------------------------------------
+    # campaign: seeded fault injection (replaces raw FaultCampaign use)
+    # ------------------------------------------------------------------
+
+    def run_campaign(
+        self,
+        source: Optional[str] = None,
+        *,
+        builtin: Optional[str] = None,
+        workload: Optional[Workload] = None,
+        name: Optional[str] = None,
+        stdin: bytes = b"",
+        argv: Sequence[str] = (),
+        schedule: Optional[Sequence] = None,
+        **config_kwargs: Any,
+    ) -> CampaignResult:
+        """Run a fault-injection campaign; returns a
+        :class:`CampaignResult`.
+
+        Exactly one of ``source`` (MiniC text), ``builtin`` (workload
+        name), or ``workload`` must be given.  ``config_kwargs`` feed
+        :class:`CampaignConfig` (``seed``, ``trials``, ``recovery``,
+        ``kinds``, ...); the session supplies ``engine`` and
+        ``use_caches`` defaults.
+        """
+        given = [x is not None for x in (source, builtin, workload)]
+        if sum(given) != 1:
+            raise ValueError(
+                "run_campaign needs exactly one of source=, builtin=, "
+                "workload="
+            )
+        if builtin is not None:
+            workload = builtin_workload(builtin)
+        elif source is not None:
+            workload = Workload(
+                name=name or "<minic>",
+                source=source,
+                stdin=stdin,
+                argv=tuple(argv),
+            )
+        config_kwargs.setdefault("engine", self.engine)
+        config_kwargs.setdefault("use_caches", self.use_caches)
+        config = CampaignConfig(**config_kwargs)
+
+        finalizers = []
+
+        def instrument(sim) -> None:
+            # A rebuild (reuse_snapshots=False) brings a fresh machine;
+            # move the observability wiring over to it.
+            while finalizers:
+                finalizers.pop()(None)
+            finalizers.append(self._instrument(sim))
+
+        needs_instrument = self.metrics is not None or self.trace is not None
+        campaign = FaultCampaign(
+            workload,
+            config,
+            schedule=schedule,
+            instrument=instrument if needs_instrument else None,
+        )
+        result = campaign.run()
+        while finalizers:
+            finalizers.pop()(None)
+        if self.metrics is not None:
+            reg = self.metrics
+            reg.counter("campaign.runs").inc()
+            reg.gauge("campaign.trials_per_second").set(
+                round(result.trials_per_second, 2)
+            )
+            result.metrics = reg.to_dict()
+        return result
+
+    # ------------------------------------------------------------------
+    # experiment: the paper's tables and figures (evalx facade)
+    # ------------------------------------------------------------------
+
+    def run_experiment(
+        self, name: str, render: bool = True
+    ) -> ExperimentResult:
+        """Run one paper artifact; returns an :class:`ExperimentResult`.
+
+        ``name`` is an evalx artifact key (``fig1``, ``fig2``,
+        ``table2``, ``table3``, ``table4``, ``sec54``, ``coverage``).
+        With ``render=True`` the paper-style text report is included.
+        When the session has a registry, the workload runs harvest into
+        it under the same metric names every other harness uses, plus an
+        ``experiment.<name>.seconds`` timer.
+        """
+        from .evalx import experiments as ex
+
+        adapters = {
+            "fig1": self._exp_fig1,
+            "fig2": self._exp_fig2,
+            "table2": self._exp_table2,
+            "table3": self._exp_table3,
+            "table4": self._exp_table4,
+            "sec54": self._exp_sec54,
+            "coverage": self._exp_coverage,
+        }
+        if name not in adapters:
+            raise ValueError(
+                f"unknown experiment {name!r}; choose from {sorted(adapters)}"
+            )
+        timer = (
+            self.metrics.timer(f"experiment.{name}.seconds").start()
+            if self.metrics is not None
+            else None
+        )
+        start = time.perf_counter()
+        result = adapters[name](ex)
+        result.elapsed = time.perf_counter() - start
+        if timer is not None:
+            timer.stop()
+        if render:
+            result.report = {
+                "fig1": ex.report_fig1,
+                "fig2": ex.report_fig2,
+                "table2": ex.report_table2,
+                "table3": ex.report_table3,
+                "table4": ex.report_table4,
+                "sec54": ex.report_sec54,
+                "coverage": ex.report_coverage_matrix,
+            }[name]()
+        if self.metrics is not None:
+            result.metrics = self.metrics.to_dict()
+        return result
+
+    # -- per-artifact adapters ------------------------------------------
+
+    def _exp_fig1(self, ex) -> ExperimentResult:
+        data = ex.run_fig1()
+        return ExperimentResult(
+            name="fig1",
+            data=data,
+            stats={
+                "memory_corruption_share_pct": round(data["memory_share"], 1),
+                "advisory_classes": len(data["rows"]),
+            },
+        )
+
+    def _exp_fig2(self, ex) -> ExperimentResult:
+        records = ex.run_synthetic_detections(registry=self.metrics)
+        detected = sum(1 for r in records if r.detected)
+        return ExperimentResult(
+            name="fig2",
+            data=records,
+            detected=detected > 0,
+            stats={
+                "scenarios": len(records),
+                "detected": detected,
+                "outcomes": {r.scenario: r.outcome for r in records},
+            },
+        )
+
+    def _exp_table2(self, ex) -> ExperimentResult:
+        data = ex.run_table2(registry=self.metrics)
+        result = data["result"]
+        return ExperimentResult(
+            name="table2",
+            data=data,
+            detected=result.detected,
+            stats={
+                "detected": result.detected,
+                "alert": str(result.alert) if result.alert else None,
+                "uid_address": data["uid_address"],
+                "unprotected_outcome": data["unprotected"].outcome,
+            },
+        )
+
+    def _exp_table3(self, ex) -> ExperimentResult:
+        rows = ex.run_table3(registry=self.metrics)
+        alerts = sum(r.alerts for r in rows)
+        return ExperimentResult(
+            name="table3",
+            data=rows,
+            detected=alerts > 0,  # any alert here is a *false positive*
+            stats={
+                "workloads": len(rows),
+                "instructions": sum(r.instructions for r in rows),
+                "false_positives": alerts,
+            },
+        )
+
+    def _exp_table4(self, ex) -> ExperimentResult:
+        rows = ex.run_table4()
+        return ExperimentResult(
+            name="table4",
+            data=rows,
+            detected=any(r.detected for r in rows),
+            stats={
+                "scenarios": len(rows),
+                "escaped": sum(1 for r in rows if not r.detected),
+            },
+        )
+
+    def _exp_sec54(self, ex) -> ExperimentResult:
+        rows = ex.run_sec54()
+        return ExperimentResult(
+            name="sec54",
+            data=rows,
+            stats={
+                "workloads": len(rows),
+                "extra_instructions": sum(
+                    r.instructions_tracking - r.instructions_no_tracking
+                    for r in rows
+                ),
+                "max_software_overhead_pct": round(
+                    max(r.software_overhead_pct for r in rows), 4
+                ),
+            },
+        )
+
+    def _exp_coverage(self, ex) -> ExperimentResult:
+        matrix = ex.run_coverage_matrix()
+        detected = sum(1 for row in matrix if row["pointer-taintedness"])
+        return ExperimentResult(
+            name="coverage",
+            data=matrix,
+            detected=detected > 0,
+            stats={
+                "scenarios": len(matrix),
+                "detected_by_paper_policy": detected,
+                "detected_by_control_data": sum(
+                    1 for row in matrix if row["control-data-only"]
+                ),
+            },
+        )

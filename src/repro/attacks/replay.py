@@ -6,17 +6,24 @@ fault (what a successful corruption often ends in on an unprotected CPU),
 or instruction-budget exhaustion.  The result also exposes the kernel's
 compromise indicators (programs exec'd, privilege changes) so benchmarks can
 report whether an *undetected* attack actually succeeded.
+
+.. deprecated::
+    ``run_executable``/``run_minic`` remain as the stable low-level entry
+    points, but new code should go through :class:`repro.api.Session`,
+    which adds metrics/tracing wiring and the unified result schema on
+    top of the same implementation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
+from ..builder import build_machine
 from ..core.detector import Alert, SecurityException
 from ..core.events import EventLog, InstructionRetired
 from ..core.policy import DetectionPolicy, PointerTaintPolicy
-from ..cpu.pipeline import Pipeline
+from ..cpu.pipeline import Pipeline, PipelineStats
 from ..cpu.simulator import ExecutionLimit, Simulator, SimulatorFault
 from ..isa.program import Executable
 from ..kernel.filesystem import SimFileSystem
@@ -45,6 +52,11 @@ class RunResult:
     clients: List[ScriptedClient] = field(default_factory=list)
     #: Events recorded during the run (see ``record_events=``), or None.
     events: Optional[EventLog] = None
+    #: Cycle-level counters when the pipeline engine ran, else None.
+    pstats: Optional[PipelineStats] = None
+    #: Metrics-registry dump attached by :class:`repro.api.Session`
+    #: (None when the run was not instrumented).
+    metrics: Optional[dict] = None
 
     @property
     def detected(self) -> bool:
@@ -84,6 +96,37 @@ class RunResult:
             return "LIMIT instruction budget exhausted"
         return f"EXIT status={self.exit_status}"
 
+    def to_json(self) -> dict:
+        """Unified result payload (see ``repro.api.validate_result_json``).
+
+        Every result family in the repo -- run, campaign, experiment --
+        shares the ``{"kind", "detected", "stats", "metrics"}`` shape so
+        all ``--json`` CLI outputs validate against one schema.
+        """
+        stats: dict = {
+            "outcome": self.outcome,
+            "exit_status": self.exit_status,
+            "alert": str(self.alert) if self.alert is not None else None,
+            "fault": self.fault or None,
+            "executed_programs": self.executed_programs,
+        }
+        if self.sim is not None:
+            stats.update(self.sim.stats.summary())
+        if self.pstats is not None:
+            stats.update(
+                cycles=self.pstats.cycles,
+                fetch_stalls=self.pstats.fetch_stalls,
+                drain_cycles=self.pstats.drain_cycles,
+                cpi=round(self.pstats.cpi, 4),
+            )
+        return {
+            "kind": "run",
+            "detected": self.detected,
+            "outcome": self.outcome,
+            "stats": stats,
+            "metrics": self.metrics if self.metrics is not None else {},
+        }
+
 
 def run_executable(
     exe: Executable,
@@ -100,6 +143,7 @@ def run_executable(
     taint_inputs: bool = True,
     subscribers: Optional[Sequence] = None,
     record_events: Sequence[type] = (),
+    instrument: Optional[Callable[[Simulator], Optional[Callable]]] = None,
 ) -> RunResult:
     """Run an executable image under a policy; never raises for outcomes.
 
@@ -107,6 +151,12 @@ def run_executable(
     to the machine's event bus before execution; ``record_events`` names
     event types to capture into ``RunResult.events`` (an
     :class:`~repro.core.events.EventLog`).
+
+    ``instrument`` is the observability hook used by
+    :class:`repro.api.Session`: it is called with the freshly built
+    simulator (before execution) and may return a finalizer that is
+    called with the finished :class:`RunResult` (after execution) --
+    e.g. to harvest metrics and close trace streams.
 
     ``max_instructions`` and ``max_seconds`` are enforced through the
     machine-level watchdog, so they bound the run identically under the
@@ -118,18 +168,18 @@ def run_executable(
     client_list = list(clients or [])
     for client in client_list:
         network.connect_client(client)
-    kernel = Kernel(
+    sim, kernel = build_machine(
+        exe,
+        policy,
         argv=argv,
         env=env,
         stdin=stdin,
         filesystem=filesystem,
         network=network,
         taint_inputs=taint_inputs,
+        use_caches=use_caches,
     )
-    sim = Simulator(
-        exe, policy, syscall_handler=kernel, use_caches=use_caches
-    )
-    kernel.attach(sim)
+    finalizer = instrument(sim) if instrument is not None else None
     for event_type, handler in subscribers or ():
         sim.events.subscribe(event_type, handler)
     log = (
@@ -144,7 +194,9 @@ def run_executable(
     )
     try:
         if use_pipeline:
-            result.exit_status = Pipeline(sim).run()
+            pipeline = Pipeline(sim)
+            result.pstats = pipeline.pstats
+            result.exit_status = pipeline.run()
         else:
             result.exit_status = sim.run(max_instructions=max_instructions)
     except SecurityException as exc:
@@ -156,6 +208,8 @@ def run_executable(
     except ExecutionLimit as exc:
         result.outcome = OUTCOME_LIMIT
         result.fault = str(exc)
+    if finalizer is not None:
+        finalizer(result)
     return result
 
 

@@ -4,12 +4,19 @@ Examples::
 
     python -m repro run victim.c --stdin-text "aaaaaaaaaaaaaaaaaaaaaaaa" --explain
     python -m repro run server.c --policy control-data --arg -g --arg 123
+    python -m repro run victim.c --stdin-text attack --metrics --trace-out t.jsonl
     python -m repro asm program.s --stdin-file input.bin
     python -m repro disasm victim.c
     python -m repro report table2
     python -m repro report all
     python -m repro campaign --builtin pointer-chase --seed 7 --trials 200
     python -m repro campaign victim.c --stdin-text ok --recovery rollback-retry
+    python -m repro trace t.jsonl --summary
+    python -m repro trace t.jsonl --event TaintedDereference --limit 20
+
+All ``--json`` outputs follow the unified result schema
+(:func:`repro.api.validate_result_json`): ``{"kind", "detected",
+"stats", "metrics"}`` plus kind-specific extras.
 """
 
 from __future__ import annotations
@@ -19,26 +26,15 @@ import json
 import sys
 from typing import Callable, Dict, Optional, Sequence
 
-from .attacks.replay import run_executable
+from .api import POLICIES, Session, TraceConfig
 from .core.events import InstructionRetired
-from .core.policy import (
-    ControlDataPolicy,
-    DetectionPolicy,
-    NullPolicy,
-    PointerTaintPolicy,
-)
 from .evalx import experiments
 from .evalx.forensics import explain
 from .isa.assembler import assemble
 from .libc.build import build_program
+from .obs.trace import read_trace, render_trace, summarize_trace
 
-#: --policy choices.
-POLICIES: Dict[str, Callable[[], DetectionPolicy]] = {
-    "paper": PointerTaintPolicy,
-    "pointer-taintedness": PointerTaintPolicy,
-    "control-data": ControlDataPolicy,
-    "none": NullPolicy,
-}
+__all__ = ["POLICIES", "REPORTS", "main"]
 
 #: report subcommand choices -> renderers.
 REPORTS: Dict[str, Callable[[], str]] = {
@@ -50,6 +46,19 @@ REPORTS: Dict[str, Callable[[], str]] = {
     "sec54": experiments.report_sec54,
     "coverage": experiments.report_coverage_matrix,
 }
+
+
+def _add_observability_options(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--metrics", action="store_true",
+                   help="collect and print the metrics registry")
+    p.add_argument("--trace-out", default=None, metavar="PATH",
+                   help="stream a structured JSONL trace to PATH "
+                        "(render it later with `repro trace PATH`)")
+    p.add_argument("--trace-events", default=None, metavar="CSV",
+                   help="comma-separated event types to trace, or 'all' "
+                        "(default: every event except InstructionRetired)")
+    p.add_argument("--json", dest="json_path", default=None, metavar="PATH",
+                   help="write the unified machine-readable result to PATH")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -86,6 +95,7 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--trace", action="store_true",
                        help="print every retired instruction "
                             "(index, pc, disassembly)")
+        _add_observability_options(p)
 
     run_parser = sub.add_parser("run", help="compile and run a MiniC program")
     add_run_options(run_parser)
@@ -148,13 +158,31 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign_parser.add_argument("--arg", action="append", default=[],
                                  help="victim argv entry (repeatable)")
     campaign_parser.add_argument(
-        "--json", dest="json_path", default=None,
-        help="also write the machine-readable result to this path",
-    )
-    campaign_parser.add_argument(
         "--smoke", action="store_true",
         help="CI gate: exit non-zero unless the campaign classified every "
              "trial and detected at least one fault",
+    )
+    _add_observability_options(campaign_parser)
+
+    trace_parser = sub.add_parser(
+        "trace", help="render, filter, or summarize a saved JSONL trace"
+    )
+    trace_parser.add_argument("file", help="JSONL trace written by --trace-out")
+    trace_parser.add_argument(
+        "--event", action="append", default=[],
+        help="keep only this event type (repeatable; default: all)",
+    )
+    trace_parser.add_argument(
+        "--pc", default=None,
+        help="keep only records at this pc (hex like 0x400120, or decimal)",
+    )
+    trace_parser.add_argument(
+        "--limit", type=int, default=None,
+        help="keep only the last N records after filtering",
+    )
+    trace_parser.add_argument(
+        "--summary", action="store_true",
+        help="print per-event-type counts instead of the records",
     )
     return parser
 
@@ -178,10 +206,29 @@ def _build(path: str, raw_asm: bool):
     return build_program(source)
 
 
+def _make_session(args: argparse.Namespace, engine: str) -> Session:
+    trace = None
+    if args.trace_out is not None or args.trace_events is not None:
+        trace = TraceConfig(path=args.trace_out, events=args.trace_events)
+    return Session(
+        policy=args.policy if hasattr(args, "policy") else "paper",
+        engine=engine,
+        use_caches=args.caches,
+        metrics=bool(args.metrics) or None,
+        trace=trace,
+        max_instructions=getattr(args, "max_instructions", 20_000_000),
+    )
+
+
+def _write_json(path: str, payload: dict) -> None:
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
 def _command_run(args: argparse.Namespace, raw_asm: bool,
                  out=sys.stdout) -> int:
     exe = _build(args.file, raw_asm)
-    policy = POLICIES[args.policy]()
     argv = [args.file] + list(args.arg)
     subscribers = []
     if args.trace:
@@ -190,23 +237,27 @@ def _command_run(args: argparse.Namespace, raw_asm: bool,
             out.write(f"[trace] {event.index:>8}  {event.pc:08x}: {text}\n")
 
         subscribers.append((InstructionRetired, _print_retired))
-    result = run_executable(
+    session = _make_session(
+        args, engine="pipeline" if args.pipeline else "functional"
+    )
+    result = session.run_executable(
         exe,
-        policy,
         stdin=_read_stdin(args),
         argv=argv,
-        max_instructions=args.max_instructions,
-        use_caches=args.caches,
-        use_pipeline=args.pipeline,
         subscribers=subscribers,
     )
+    policy_name = POLICIES[args.policy]().name
     if result.stdout:
         out.write(result.stdout)
         if not result.stdout.endswith("\n"):
             out.write("\n")
-    out.write(f"[{policy.name}] {result.describe()}\n")
+    out.write(f"[{policy_name}] {result.describe()}\n")
     if args.explain:
         out.write(explain(result) + "\n")
+    if args.metrics and session.metrics is not None:
+        out.write(session.metrics.render() + "\n")
+    if args.json_path:
+        _write_json(args.json_path, result.to_json())
     if result.detected:
         return 2
     if result.outcome in ("fault", "limit"):
@@ -222,48 +273,45 @@ def _command_disasm(args: argparse.Namespace, out=sys.stdout) -> int:
 
 def _command_campaign(args: argparse.Namespace, out=sys.stdout) -> int:
     from .evalx.fault_report import render_campaign_report
-    from .fault import (
-        CampaignConfig,
-        FAULT_KINDS,
-        FaultCampaign,
-        OUTCOMES,
-        Workload,
-        builtin_workload,
-    )
+    from .fault import FAULT_KINDS, OUTCOMES
 
     if (args.file is None) == (args.builtin is None):
         raise SystemExit("campaign needs exactly one of FILE or --builtin")
-    if args.builtin is not None:
-        try:
-            workload = builtin_workload(args.builtin)
-        except KeyError as exc:
-            raise SystemExit(str(exc)) from None
-    else:
-        with open(args.file, "r", encoding="latin-1") as handle:
-            source = handle.read()
-        workload = Workload(
-            name=args.file,
-            source=source,
-            stdin=_read_stdin(args),
-            argv=tuple(args.arg),
-        )
-    config = CampaignConfig(
+    trace = None
+    if args.trace_out is not None or args.trace_events is not None:
+        trace = TraceConfig(path=args.trace_out, events=args.trace_events)
+    session = Session(
+        engine=args.engine,
+        use_caches=args.caches,
+        metrics=bool(args.metrics) or None,
+        trace=trace,
+    )
+    kwargs = dict(
         seed=args.seed,
         trials=args.trials,
-        engine=args.engine,
         recovery=args.recovery,
-        use_caches=args.caches,
         kinds=tuple(args.kind) if args.kind else FAULT_KINDS,
     )
     try:
-        result = FaultCampaign(workload, config).run()
-    except ValueError as exc:
+        if args.builtin is not None:
+            result = session.run_campaign(builtin=args.builtin, **kwargs)
+        else:
+            with open(args.file, "r", encoding="latin-1") as handle:
+                source = handle.read()
+            result = session.run_campaign(
+                source,
+                name=args.file,
+                stdin=_read_stdin(args),
+                argv=tuple(args.arg),
+                **kwargs,
+            )
+    except (KeyError, ValueError) as exc:
         raise SystemExit(str(exc)) from None
     out.write(render_campaign_report(result) + "\n")
+    if args.metrics and session.metrics is not None:
+        out.write(session.metrics.render() + "\n")
     if args.json_path:
-        with open(args.json_path, "w") as handle:
-            json.dump(result.to_dict(), handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        _write_json(args.json_path, result.to_json())
     if args.smoke:
         counts = result.counts
         problems = []
@@ -279,6 +327,29 @@ def _command_campaign(args: argparse.Namespace, out=sys.stdout) -> int:
             out.write("SMOKE FAIL: " + "; ".join(problems) + "\n")
             return 1
         out.write("SMOKE OK\n")
+    return 0
+
+
+def _command_trace(args: argparse.Namespace, out=sys.stdout) -> int:
+    try:
+        records = list(read_trace(args.file))
+    except (OSError, ValueError) as exc:
+        raise SystemExit(str(exc)) from None
+    if args.summary:
+        counts = summarize_trace(records)
+        out.write(f"{args.file}: {len(records)} records\n")
+        for name in sorted(counts):
+            out.write(f"  {name:<20} {counts[name]:>10,}\n")
+        return 0
+    pc = int(args.pc, 0) if args.pc is not None else None
+    events = args.event if args.event else "all"
+    try:
+        rendered = render_trace(
+            records, events=events, pc=pc, limit=args.limit
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    out.write(rendered + "\n")
     return 0
 
 
@@ -304,6 +375,8 @@ def main(argv: Optional[Sequence[str]] = None, out=sys.stdout) -> int:
         return _command_report(args, out=out)
     if args.command == "campaign":
         return _command_campaign(args, out=out)
+    if args.command == "trace":
+        return _command_trace(args, out=out)
     raise SystemExit(f"unknown command {args.command!r}")
 
 

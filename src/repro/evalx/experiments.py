@@ -41,8 +41,21 @@ from ..core.policy import (
     PointerTaintPolicy,
 )
 from ..libc.build import build_program
+from ..obs import MetricsRegistry, Observer
 from .cert import figure1_rows, memory_corruption_share
 from .reporting import check, render_kv, render_table
+
+
+def _harvest(registry: Optional[MetricsRegistry], result: RunResult) -> None:
+    """Fold one run's statistics into an experiment's registry.
+
+    Uses the same :class:`~repro.obs.profile.Observer` harvest (and thus
+    the same metric names -- ``run.instructions``, ``run.alerts``,
+    ``opcode.*``, ...) every other harness reports through, so Table 2/3
+    numbers are directly comparable with campaign and CLI metrics.
+    """
+    if registry is not None and result.sim is not None:
+        Observer(registry).harvest(result.sim, result.pstats)
 
 
 def real_world_scenarios() -> List[AttackScenario]:
@@ -106,7 +119,9 @@ class DetectionRecord:
         return self.outcome == "alert"
 
 
-def run_synthetic_detections() -> List[DetectionRecord]:
+def run_synthetic_detections(
+    registry: Optional[MetricsRegistry] = None,
+) -> List[DetectionRecord]:
     """Replay the three synthetic attacks, observing detections through the
     machine's event bus (a ``TaintedDereference`` event fires at the moment
     the detector marks the instruction malicious)."""
@@ -116,6 +131,7 @@ def run_synthetic_detections() -> List[DetectionRecord]:
         result = scenario.run_attack(
             policy, record_events=(TaintedDereference,)
         )
+        _harvest(registry, result)
         detections = (
             result.events.of(TaintedDereference) if result.events else []
         )
@@ -149,9 +165,12 @@ def report_fig2() -> str:
 # Table 2: the WU-FTPD session transcript
 # ---------------------------------------------------------------------------
 
-def run_table2() -> Dict[str, object]:
+def run_table2(
+    registry: Optional[MetricsRegistry] = None,
+) -> Dict[str, object]:
     scenario = wuftpd_scenario()
     result = scenario.run_attack(PointerTaintPolicy())
+    _harvest(registry, result)
     unprotected = scenario.run_attack(NullPolicy())
     passwd_after = (
         unprotected.kernel.fs.read_file("/etc/passwd")
@@ -247,6 +266,7 @@ class FalsePositiveRow:
 def run_table3(
     workloads: Optional[Sequence[SpecWorkload]] = None,
     policy: Optional[DetectionPolicy] = None,
+    registry: Optional[MetricsRegistry] = None,
 ) -> List[FalsePositiveRow]:
     workloads = workloads if workloads is not None else SPEC_WORKLOADS
     policy = policy if policy is not None else PointerTaintPolicy()
@@ -255,6 +275,7 @@ def run_table3(
         exe = build_program(workload.source)
         stdin = workload.make_input()
         result = run_minic(workload.source, policy, stdin=stdin)
+        _harvest(registry, result)
         if result.outcome != "exit":
             raise AssertionError(
                 f"benign workload {workload.name} did not exit cleanly: "

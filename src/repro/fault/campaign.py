@@ -45,8 +45,9 @@ import hashlib
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..builder import build_machine
 from ..core.detector import SecurityException
 from ..core.events import InstructionRetired, SyscallEnter, TrialCompleted
 from ..core.policy import PointerTaintPolicy
@@ -191,6 +192,9 @@ class CampaignResult:
     golden: GoldenRun
     records: List[TrialRecord] = field(default_factory=list)
     elapsed: float = 0.0
+    #: Metrics-registry dump attached by :class:`repro.api.Session`
+    #: (None when the campaign was not instrumented).
+    metrics: Optional[dict] = None
 
     @property
     def counts(self) -> Dict[str, int]:
@@ -265,6 +269,21 @@ class CampaignResult:
             ],
         }
 
+    def to_json(self) -> dict:
+        """Unified result payload (see ``repro.api.validate_result_json``).
+
+        The full per-trial detail stays under ``"stats"`` (the historical
+        :meth:`to_dict` shape); ``"digest"`` is surfaced at the top level
+        so reproducibility checks need not descend into the stats.
+        """
+        return {
+            "kind": "campaign",
+            "detected": self.counts[OUTCOME_DETECTED] > 0,
+            "digest": self.digest(),
+            "stats": self.to_dict(),
+            "metrics": self.metrics if self.metrics is not None else {},
+        }
+
 
 class FaultCampaign:
     """Run one campaign over one workload.
@@ -275,6 +294,11 @@ class FaultCampaign:
         schedule: explicit ``(Trigger, FaultSpec)`` pairs overriding the
             seeded plan (used by the engine-agreement tests); ``trials``
             is then ``len(schedule)``.
+        instrument: observability hook (used by
+            :class:`repro.api.Session`): called with every freshly built
+            simulator -- the initial machine and any
+            ``reuse_snapshots=False`` rebuild -- so metric observers and
+            trace recorders survive machine replacement.
     """
 
     def __init__(
@@ -282,10 +306,12 @@ class FaultCampaign:
         workload: Workload,
         config: Optional[CampaignConfig] = None,
         schedule: Optional[Sequence[Tuple[Trigger, FaultSpec]]] = None,
+        instrument: Optional[Callable[[Simulator], object]] = None,
     ) -> None:
         self.workload = workload
         self.config = config if config is not None else CampaignConfig()
         self.schedule = list(schedule) if schedule is not None else None
+        self.instrument = instrument
         self.executable = build_program(workload.source)
 
     # ------------------------------------------------------------------
@@ -294,17 +320,15 @@ class FaultCampaign:
 
     def _make_machine(self) -> Tuple[Simulator, Kernel]:
         workload = self.workload
-        kernel = Kernel(
-            argv=[workload.name, *workload.argv],
-            stdin=workload.stdin,
-        )
-        sim = Simulator(
+        sim, kernel = build_machine(
             self.executable,
             PointerTaintPolicy(),
-            syscall_handler=kernel,
+            argv=[workload.name, *workload.argv],
+            stdin=workload.stdin,
             use_caches=self.config.use_caches,
         )
-        kernel.attach(sim)
+        if self.instrument is not None:
+            self.instrument(sim)
         return sim, kernel
 
     def _run_engine(self, sim: Simulator) -> int:

@@ -116,11 +116,15 @@ class KernelSnapshot:
 class Kernel:
     """The simulated operating system bound to one process.
 
-    Use as the simulator's ``syscall_handler``::
+    Installed as the simulator's ``syscall_handler``.  Do not wire the
+    pair by hand -- :func:`repro.builder.build_machine` is the one
+    construction path (it builds the kernel, installs it on the
+    simulator, and attaches the process image in the right order)::
 
-        kernel = Kernel(argv=["prog"], stdin=b"hello")
-        sim = Simulator(exe, policy, syscall_handler=kernel)
-        kernel.attach(sim)
+        from repro.builder import build_machine
+
+        sim, kernel = build_machine(exe, policy, argv=["prog"],
+                                    stdin=b"hello")
         sim.run()
     """
 

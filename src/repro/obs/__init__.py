@@ -1,0 +1,57 @@
+"""Observability layer: metrics, structured tracing, profiling hooks.
+
+Everything the paper claims is a *measurement* -- detection points
+(Table 2), false positives on benign workloads (Table 3), pipeline
+overhead (section 5.4) -- so this package turns every run into
+inspectable telemetry over the typed event bus:
+
+* :mod:`repro.obs.metrics` -- counters, gauges, fixed-bucket histograms,
+  and explicitly scoped timers in a :class:`MetricsRegistry`;
+* :mod:`repro.obs.trace` -- a :class:`TraceRecorder` that flattens bus
+  events into bounded-ring or streaming-JSONL trace records, plus the
+  readers behind ``python -m repro trace``;
+* :mod:`repro.obs.profile` -- the :class:`Observer` that wires a machine
+  into a registry (live event handlers + post-run stats harvest).
+
+The engines keep their zero-subscriber fast path: with no registry and
+no trace attached, nothing subscribes and no event object is allocated
+(``benchmarks/bench_observability.py`` holds the proof).
+"""
+
+from .metrics import (
+    Counter,
+    DEFAULT_BUCKET_EDGES,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+)
+from .profile import Observer
+from .trace import (
+    DEFAULT_TRACE_EVENTS,
+    TRACE_SCHEMA_VERSION,
+    TraceRecorder,
+    event_to_record,
+    read_trace,
+    render_trace,
+    resolve_event_types,
+    summarize_trace,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKET_EDGES",
+    "DEFAULT_TRACE_EVENTS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observer",
+    "TRACE_SCHEMA_VERSION",
+    "Timer",
+    "TraceRecorder",
+    "event_to_record",
+    "read_trace",
+    "render_trace",
+    "resolve_event_types",
+    "summarize_trace",
+]

@@ -1,0 +1,278 @@
+"""Metrics primitives: counters, gauges, histograms, explicit timers.
+
+The registry is the measurement substrate every harness in this repo
+shares: the :class:`~repro.obs.profile.Observer` fills it from the event
+bus and post-run statistics, the :class:`repro.api.Session` facade exposes
+it per run, and every unified ``--json`` result carries its dump under the
+``"metrics"`` key -- so a detection experiment, a fault campaign, and a
+throughput benchmark all report through the same metric names.
+
+Design constraints (from the hot-path budget of the execution engines):
+
+* **No wall-clock reads in hot paths.**  Counters and gauges are pure
+  integer/float cells; histograms bucket by precomputed edges.  Wall-clock
+  time enters only through :class:`Timer`, which reads the clock exactly
+  when explicitly started and stopped (whole-run or whole-phase scopes).
+* **Get-or-create identity.**  ``registry.counter("x")`` always returns
+  the same object, so observers can capture the cell once and call
+  ``inc()`` without a dict lookup per event.
+* **JSON-ready.**  ``to_dict()`` emits plain dicts of numbers, suitable
+  for the unified result schema and the ``BENCH_*.json`` records.
+
+Metric-name taxonomy (dotted, lowercase; the profiler and the engines
+agree on these):
+
+=========================  ================================================
+``run.*``                  whole-run counters harvested from ExecutionStats
+                           (``run.instructions``, ``run.loads``, ...)
+``opcode.<mnemonic>``      per-opcode retire counts
+``taintclass.<class>``     per-taint-rule-class retire counts
+``taint.flow.<dest>``      TaintPropagated events by destination
+                           (``reg`` / ``mem`` / ``hilo``)
+``detector.*``             alerts and tainted-dereference activity
+``syscall.*``              per-number counts and inter-syscall gaps
+``cache.l1.*/l2.*``        hit/miss/writeback counts when caches are on
+``pipeline.*``             cycles and the stall breakdown (pipeline engine)
+``fault.*``                fault-injection activity
+``campaign.*``             per-outcome trial counts
+``experiment.*``           per-artifact timers from the evalx harness
+=========================  ================================================
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from time import perf_counter
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKET_EDGES",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Timer",
+]
+
+#: Power-of-two upper bucket edges (1 .. 2^20); an implicit +inf bucket
+#: catches everything above.  Suited to instruction-count distributions.
+DEFAULT_BUCKET_EDGES: Tuple[int, ...] = tuple(1 << i for i in range(21))
+
+
+class Counter:
+    """A monotonically increasing integer cell."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A set-to-latest value (throughput, ratios, configuration facts)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Gauge({self.name}={self.value})"
+
+
+class Histogram:
+    """Fixed-bucket-edge histogram (no per-observation allocation).
+
+    ``edges`` are inclusive upper bounds of each bucket; one extra
+    overflow bucket collects observations above the last edge.  The edge
+    list is fixed at construction so hot-path ``observe`` is a bisect
+    plus an increment.
+    """
+
+    __slots__ = ("name", "edges", "buckets", "count", "total", "min", "max")
+
+    def __init__(
+        self, name: str, edges: Sequence[float] = DEFAULT_BUCKET_EDGES
+    ) -> None:
+        if not edges or list(edges) != sorted(edges):
+            raise ValueError("histogram edges must be a sorted, non-empty list")
+        self.name = name
+        self.edges: Tuple[float, ...] = tuple(edges)
+        self.buckets: List[int] = [0] * (len(self.edges) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.buckets[bisect_left(self.edges, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "edges": list(self.edges),
+            "buckets": list(self.buckets),
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class Timer:
+    """Explicitly scoped wall-clock accumulator.
+
+    The clock is read only inside ``start()``/``stop()`` (or the context
+    manager), never implicitly -- timers wrap whole runs or phases, not
+    per-instruction work.
+    """
+
+    __slots__ = ("name", "count", "seconds", "_started")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.seconds = 0.0
+        self._started: Optional[float] = None
+
+    def start(self) -> "Timer":
+        self._started = perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._started is None:
+            raise RuntimeError(f"timer {self.name!r} stopped without start")
+        elapsed = perf_counter() - self._started
+        self._started = None
+        self.count += 1
+        self.seconds += elapsed
+        return elapsed
+
+    def add(self, seconds: float) -> None:
+        """Record an externally measured duration."""
+        self.count += 1
+        self.seconds += seconds
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+class MetricsRegistry:
+    """A named collection of metrics with get-or-create semantics.
+
+    One registry spans a :class:`repro.api.Session`: successive runs
+    accumulate into the same cells, which is what a campaign or a
+    multi-workload experiment wants.  Create a fresh registry per run for
+    per-run numbers.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+
+    # -- get-or-create accessors ---------------------------------------
+
+    def _get(self, name: str, cls, *args):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, *args)
+            self._metrics[name] = metric
+            return metric
+        if not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(
+        self, name: str, edges: Sequence[float] = DEFAULT_BUCKET_EDGES
+    ) -> Histogram:
+        return self._get(name, Histogram, edges)
+
+    def timer(self, name: str) -> Timer:
+        return self._get(name, Timer)
+
+    # -- introspection --------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def counters(self) -> Iterable[Counter]:
+        return (m for m in self._metrics.values() if isinstance(m, Counter))
+
+    def to_dict(self) -> dict:
+        """JSON-ready dump, grouped by metric kind, names sorted."""
+        out: dict = {"counters": {}, "gauges": {}, "histograms": {}, "timers": {}}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                out["counters"][name] = metric.value
+            elif isinstance(metric, Gauge):
+                out["gauges"][name] = metric.value
+            elif isinstance(metric, Histogram):
+                out["histograms"][name] = metric.to_dict()
+            elif isinstance(metric, Timer):
+                out["timers"][name] = {
+                    "count": metric.count,
+                    "seconds": metric.seconds,
+                }
+        return out
+
+    def render(self, title: str = "metrics") -> str:
+        """Human-readable dump (the CLI's ``--metrics`` output)."""
+        lines = [f"{title}:"]
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                lines.append(f"  {name:<40} {metric.value:>14,}")
+            elif isinstance(metric, Gauge):
+                lines.append(f"  {name:<40} {metric.value:>14.4g}")
+            elif isinstance(metric, Histogram):
+                lines.append(
+                    f"  {name:<40} count={metric.count} "
+                    f"mean={metric.mean:.1f} min={metric.min} max={metric.max}"
+                )
+            elif isinstance(metric, Timer):
+                lines.append(
+                    f"  {name:<40} {metric.seconds:>12.4f}s "
+                    f"(x{metric.count})"
+                )
+        if len(lines) == 1:
+            lines.append("  (empty)")
+        return "\n".join(lines)

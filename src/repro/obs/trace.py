@@ -1,0 +1,274 @@
+"""Structured trace recording over the event bus (bounded ring or JSONL).
+
+A :class:`TraceRecorder` subscribes to a chosen subset of the machine's
+typed events (:mod:`repro.core.events`) and turns each into one flat,
+JSON-ready record.  Two sinks, usable together:
+
+* a **bounded ring buffer** (``deque(maxlen=limit)``) -- always on, so a
+  crashed or detected run keeps its last ``limit`` events for post-mortems
+  without unbounded memory growth;
+* a **streaming JSONL file** -- one record per line, written as events
+  fire, so arbitrarily long runs trace to disk in constant memory.
+
+Trace record schema (one JSON object per line / ring slot)::
+
+    {"seq": <int>,            # 1-based emission order within this recorder
+     "event": <type name>,    # e.g. "TaintPropagated"
+     ...payload fields...}    # per-type, see _RECORD_FIELDS below
+
+Every record of a given event type carries the same keys, so a saved
+trace is mechanically filterable (the ``python -m repro trace`` subcommand
+renders, filters, and summarizes these files).
+
+``InstructionRetired`` is *not* traced by default -- it fires once per
+dynamic instruction and dominates any trace; opt in explicitly
+(``events="all"`` or include it in the event list) when you want a full
+instruction trace.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import IO, Any, Dict, Iterable, Iterator, List, Optional, Sequence, Union
+
+from ..core.events import (
+    EVENT_TYPES,
+    EventBus,
+    FaultInjected,
+    InstructionRetired,
+    MemoryFaulted,
+    SyscallEnter,
+    SyscallExit,
+    TaintPropagated,
+    TaintedDereference,
+    TrialCompleted,
+)
+
+__all__ = [
+    "DEFAULT_TRACE_EVENTS",
+    "TRACE_SCHEMA_VERSION",
+    "TraceRecorder",
+    "event_to_record",
+    "read_trace",
+    "render_trace",
+    "resolve_event_types",
+    "summarize_trace",
+]
+
+#: Bumped when a record's keys change shape.
+TRACE_SCHEMA_VERSION = 1
+
+#: Event-type name -> class, for resolving CLI/Session selections.
+EVENT_BY_NAME: Dict[str, type] = {cls.__name__: cls for cls in EVENT_TYPES}
+
+#: Traced by default: everything except the per-instruction firehose.
+DEFAULT_TRACE_EVENTS = tuple(
+    cls for cls in EVENT_TYPES if cls is not InstructionRetired
+)
+
+
+def resolve_event_types(
+    events: Union[None, str, Sequence[Union[str, type]]],
+) -> tuple:
+    """Normalize an event selection into a tuple of event classes.
+
+    Accepts ``None`` (the default set), the string ``"all"``, or a
+    sequence of class names / classes (names matched case-insensitively).
+    """
+    if events is None:
+        return DEFAULT_TRACE_EVENTS
+    if isinstance(events, str):
+        if events.lower() == "all":
+            return EVENT_TYPES
+        events = [part.strip() for part in events.split(",") if part.strip()]
+    resolved = []
+    lowered = {name.lower(): cls for name, cls in EVENT_BY_NAME.items()}
+    for item in events:
+        if isinstance(item, type):
+            if item not in EVENT_TYPES:
+                raise ValueError(f"unknown event type {item!r}")
+            resolved.append(item)
+            continue
+        cls = lowered.get(str(item).lower())
+        if cls is None:
+            raise ValueError(
+                f"unknown event name {item!r}; choose from "
+                f"{sorted(EVENT_BY_NAME)} or 'all'"
+            )
+        resolved.append(cls)
+    return tuple(dict.fromkeys(resolved))  # dedupe, keep order
+
+
+def _instr_text(instr: Any) -> str:
+    text = getattr(instr, "text", "") or getattr(instr, "name", "")
+    return str(text)
+
+
+def event_to_record(event: Any, seq: int) -> dict:
+    """Flatten one typed event into the JSON-ready trace record."""
+    record: dict = {"seq": seq, "event": type(event).__name__}
+    if isinstance(event, InstructionRetired):
+        record.update(pc=event.pc, index=event.index,
+                      text=_instr_text(event.instr))
+    elif isinstance(event, TaintPropagated):
+        record.update(pc=event.pc, dest_kind=event.dest_kind,
+                      dest=event.dest, taint=event.taint,
+                      text=_instr_text(event.instr))
+    elif isinstance(event, TaintedDereference):
+        alert = event.alert
+        record.update(
+            pc=event.pc,
+            kind=event.kind,
+            pointer=getattr(alert, "pointer_value", None),
+            taint=getattr(alert, "taint_mask", None),
+            alert=str(alert),
+        )
+    elif isinstance(event, SyscallEnter):
+        record.update(pc=event.pc, number=event.number)
+    elif isinstance(event, SyscallExit):
+        record.update(pc=event.pc, number=event.number, result=event.result)
+    elif isinstance(event, MemoryFaulted):
+        record.update(pc=event.pc, message=event.message)
+    elif isinstance(event, FaultInjected):
+        record.update(pc=event.pc, kind=event.kind, detail=event.detail)
+    elif isinstance(event, TrialCompleted):
+        record.update(index=event.index, outcome=event.outcome,
+                      detail=event.detail)
+    else:  # pragma: no cover - future event types degrade gracefully
+        record.update(repr=repr(event))
+    return record
+
+
+class TraceRecorder:
+    """Subscribes to a bus, keeps a bounded ring, optionally streams JSONL.
+
+    Args:
+        events: event selection (see :func:`resolve_event_types`).
+        limit: ring-buffer depth (the last ``limit`` records survive).
+        stream: an open text file to write one JSON line per record, or
+            None for ring-only recording.
+    """
+
+    def __init__(
+        self,
+        events: Union[None, str, Sequence] = None,
+        limit: int = 65536,
+        stream: Optional[IO[str]] = None,
+    ) -> None:
+        self.event_types = resolve_event_types(events)
+        self.ring: deque = deque(maxlen=limit)
+        self.stream = stream
+        self.seq = 0
+        self.counts: Dict[str, int] = {}
+        self._bus: Optional[EventBus] = None
+
+    # -- wiring ----------------------------------------------------------
+
+    def attach(self, bus: EventBus) -> "TraceRecorder":
+        if self._bus is not None:
+            raise RuntimeError("recorder already attached")
+        self._bus = bus
+        for event_type in self.event_types:
+            bus.subscribe(event_type, self.record)
+        return self
+
+    def detach(self) -> None:
+        if self._bus is None:
+            return
+        for event_type in self.event_types:
+            self._bus.unsubscribe(event_type, self.record)
+        self._bus = None
+
+    # -- recording -------------------------------------------------------
+
+    def record(self, event: Any) -> None:
+        self.seq += 1
+        record = event_to_record(event, self.seq)
+        name = record["event"]
+        self.counts[name] = self.counts.get(name, 0) + 1
+        self.ring.append(record)
+        if self.stream is not None:
+            self.stream.write(json.dumps(record, sort_keys=True) + "\n")
+
+    @property
+    def records(self) -> List[dict]:
+        """The ring's contents, oldest first."""
+        return list(self.ring)
+
+    def write_jsonl(self, path: str) -> None:
+        """Dump the ring to ``path`` (one record per line)."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in self.ring:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+# ---------------------------------------------------------------------------
+# saved-trace consumption (the `repro trace` subcommand)
+# ---------------------------------------------------------------------------
+
+def read_trace(path: str) -> Iterator[dict]:
+    """Yield records from a JSONL trace file (blank lines skipped)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: not a JSON trace record: {exc}"
+                ) from None
+            if not isinstance(record, dict) or "event" not in record:
+                raise ValueError(
+                    f"{path}:{lineno}: record missing 'event' field"
+                )
+            yield record
+
+
+def summarize_trace(records: Iterable[dict]) -> Dict[str, int]:
+    """Per-event-type record counts."""
+    counts: Dict[str, int] = {}
+    for record in records:
+        name = record.get("event", "?")
+        counts[name] = counts.get(name, 0) + 1
+    return counts
+
+
+def _format_record(record: dict) -> str:
+    head = f"{record.get('seq', 0):>8}  {record['event']:<18}"
+    parts = []
+    for key in sorted(record):
+        if key in ("seq", "event"):
+            continue
+        value = record[key]
+        if key in ("pc", "pointer", "dest") and isinstance(value, int):
+            value = f"{value:#010x}"
+        parts.append(f"{key}={value}")
+    return head + " " + " ".join(parts)
+
+
+def render_trace(
+    records: Iterable[dict],
+    events: Union[None, str, Sequence] = "all",
+    pc: Optional[int] = None,
+    limit: Optional[int] = None,
+) -> str:
+    """Render records as aligned text, optionally filtered.
+
+    ``events`` filters by type (same grammar as the recorder), ``pc``
+    keeps records whose pc matches, ``limit`` keeps the *last* N after
+    filtering (mirroring the ring semantics).
+    """
+    wanted = {cls.__name__ for cls in resolve_event_types(events)}
+    kept = [
+        r for r in records
+        if r.get("event") in wanted
+        and (pc is None or r.get("pc") == pc)
+    ]
+    if limit is not None:
+        kept = kept[-limit:]
+    if not kept:
+        return "(no matching trace records)"
+    return "\n".join(_format_record(r) for r in kept)

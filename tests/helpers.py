@@ -4,10 +4,10 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
-from repro.core.policy import DetectionPolicy, PointerTaintPolicy
+from repro.builder import build_machine
+from repro.core.policy import DetectionPolicy
 from repro.cpu.simulator import Simulator
 from repro.isa.assembler import assemble
-from repro.kernel.syscalls import Kernel
 
 
 def run_asm(
@@ -23,15 +23,13 @@ def run_asm(
     The program should terminate via ``li $v0,1; syscall`` (SYS_EXIT with
     the status in $a0); ``run_asm`` returns ``(simulator, exit_status)``.
     """
-    exe = assemble(source)
-    kernel = Kernel(stdin=stdin, argv=argv)
-    sim = Simulator(
-        exe,
-        policy if policy is not None else PointerTaintPolicy(),
-        syscall_handler=kernel,
+    sim, _kernel = build_machine(
+        assemble(source),
+        policy,
+        stdin=stdin,
+        argv=argv,
         use_caches=use_caches,
     )
-    kernel.attach(sim)
     status = sim.run(max_instructions=max_instructions)
     return sim, status
 

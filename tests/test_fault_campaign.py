@@ -412,9 +412,14 @@ class TestCampaignCli:
         import json
 
         payload = json.loads(json_path.read_text())
-        assert payload["trials"] == 10
-        assert len(payload["records"]) == 10
+        # Unified result schema: {"kind","detected","stats","metrics"}
+        # with the reproducibility digest kept at the top level.
+        assert payload["kind"] == "campaign"
+        assert isinstance(payload["detected"], bool)
+        assert payload["stats"]["trials"] == 10
+        assert len(payload["stats"]["records"]) == 10
         assert payload["digest"]
+        assert payload["digest"] == payload["stats"]["digest"]
 
     def test_smoke_gate_fails_without_detection(self):
         # exp1 with a syscall-only kind set cannot alert: errno injection

@@ -1,0 +1,122 @@
+"""Unit tests for the metrics registry primitives."""
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_BUCKET_EDGES,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+)
+
+
+class TestCounterGauge:
+    def test_counter_increments(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_gauge_keeps_latest(self):
+        g = Gauge("x")
+        g.set(1.5)
+        g.set(0.25)
+        assert g.value == 0.25
+
+
+class TestHistogram:
+    def test_bucketing_is_inclusive_upper_edge(self):
+        h = Histogram("h", edges=(10, 100))
+        for value in (1, 10, 11, 100, 101):
+            h.observe(value)
+        # buckets: <=10, <=100, overflow
+        assert h.buckets == [2, 2, 1]
+        assert h.count == 5
+        assert h.min == 1 and h.max == 101
+        assert h.mean == pytest.approx(223 / 5)
+
+    def test_rejects_unsorted_or_empty_edges(self):
+        with pytest.raises(ValueError):
+            Histogram("h", edges=(5, 1))
+        with pytest.raises(ValueError):
+            Histogram("h", edges=())
+
+    def test_default_edges_are_powers_of_two(self):
+        assert DEFAULT_BUCKET_EDGES[0] == 1
+        assert DEFAULT_BUCKET_EDGES[-1] == 1 << 20
+
+    def test_to_dict_shape(self):
+        h = Histogram("h", edges=(2,))
+        h.observe(1)
+        d = h.to_dict()
+        assert d["count"] == 1
+        assert d["buckets"] == [1, 0]
+        assert d["edges"] == [2]
+
+
+class TestTimer:
+    def test_context_manager_accumulates(self):
+        t = Timer("t")
+        with t:
+            pass
+        with t:
+            pass
+        assert t.count == 2
+        assert t.seconds >= 0.0
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer("t").stop()
+
+    def test_add_records_external_duration(self):
+        t = Timer("t")
+        t.add(1.25)
+        assert t.count == 1
+        assert t.seconds == 1.25
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_kind_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError):
+            reg.gauge("a")
+
+    def test_to_dict_groups_by_kind(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", edges=(1,)).observe(0)
+        reg.timer("t").add(0.5)
+        d = reg.to_dict()
+        assert d["counters"] == {"c": 3}
+        assert d["gauges"] == {"g": 1.5}
+        assert d["histograms"]["h"]["count"] == 1
+        assert d["timers"]["t"] == {"count": 1, "seconds": 0.5}
+
+    def test_render_mentions_every_metric(self):
+        reg = MetricsRegistry()
+        reg.counter("run.instructions").inc(42)
+        reg.gauge("run.ratio").set(0.5)
+        text = reg.render()
+        assert "run.instructions" in text
+        assert "42" in text
+        assert "run.ratio" in text
+
+    def test_render_empty(self):
+        assert "(empty)" in MetricsRegistry().render()
+
+    def test_len_contains_names(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.counter("a")
+        assert len(reg) == 2
+        assert "a" in reg and "zz" not in reg
+        assert reg.names() == ["a", "b"]
