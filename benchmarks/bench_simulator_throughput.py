@@ -9,12 +9,22 @@ Besides the pytest-benchmark table, the run emits a machine-readable
 trajectory is tracked across PRs.  Also runnable standalone::
 
     PYTHONPATH=src python benchmarks/bench_simulator_throughput.py
+    PYTHONPATH=src python benchmarks/bench_simulator_throughput.py --check
+
+``--check`` is the taint-plane regression guard: it re-measures the
+functional engine in **bit mode** and exits non-zero if throughput fell
+more than ``--tolerance`` (default 10%) below the recorded
+``functional_ips`` baseline -- without rewriting the baseline file.  The
+label-mode provenance sidecar must never tax the default configuration.
 """
 
+import argparse
+import json
+import sys
 import time
 
 import pytest
-from bench_util import save_json, save_report
+from bench_util import REPO_ROOT, save_json, save_report
 
 from repro.attacks.replay import run_minic
 from repro.core.policy import PointerTaintPolicy
@@ -149,14 +159,55 @@ def test_bench_minic_program(benchmark):
     )
 
 
-def main():
+def check_against_baseline(tolerance=0.10, repeats=5, out=print):
+    """Bit-mode regression guard against the recorded baseline.
+
+    One-sided: only a *drop* below ``baseline * (1 - tolerance)`` fails
+    (faster is always fine).  The baseline JSON is read, never rewritten
+    -- regenerating it is a deliberate act, not a side effect of the
+    guard.  Returns a process exit code.
+    """
+    path = REPO_ROOT / "BENCH_simulator_throughput.json"
+    baseline = json.loads(path.read_text())["functional_ips"]
+    current = _throughput(_run_functional, repeats=repeats)
+    floor = baseline * (1.0 - tolerance)
+    out(f"bit-mode functional throughput: {current:>12,.0f} i/s")
+    out(f"recorded baseline:              {baseline:>12,} i/s")
+    out(f"allowed floor (-{tolerance:.0%}):           {floor:>12,.0f} i/s")
+    if current < floor:
+        out(
+            f"BENCH GUARD FAIL: bit-mode throughput fell "
+            f"{(1 - current / baseline):.1%} below the recorded baseline"
+        )
+        return 1
+    out("BENCH GUARD OK")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="simulator throughput benchmark / regression guard"
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="guard mode: compare bit-mode throughput against the "
+             "recorded BENCH_simulator_throughput.json without rewriting it",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.10,
+        help="allowed fractional drop below the baseline (default 0.10)",
+    )
+    args = parser.parse_args(argv)
+    if args.check:
+        return check_against_baseline(tolerance=args.tolerance)
     record = collect_throughput_record()
     print("simulator throughput (best of N):")
     for key in ("functional_ips", "cached_ips", "pipeline_ips"):
         print(f"  {key:<28} {record[key]:>12,}")
     print(f"  speedup vs pre-refactor      {record['speedup_vs_pre_refactor']:>11}x")
     print("written: BENCH_simulator_throughput.json")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

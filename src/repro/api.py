@@ -160,6 +160,12 @@ def validate_result_json(payload: Any) -> dict:
          "detected": <bool>,
          "stats": <dict>,
          "metrics": <dict>}
+
+    When ``stats`` carries a ``"provenance"`` list (label-mode runs),
+    each entry must be a dict with the :class:`repro.taint.TaintLabel`
+    fields: ``source_kind`` (non-empty str), ``offset_range`` (pair of
+    ints), ``insn_index`` (int), ``describe`` (str); ``syscall`` and
+    ``fd`` may be null.
     """
     problems = []
     if not isinstance(payload, dict):
@@ -173,6 +179,48 @@ def validate_result_json(payload: Any) -> dict:
         problems.append("'stats' must be a dict")
     if not isinstance(payload.get("metrics"), dict):
         problems.append("'metrics' must be a dict")
+    provenance = (
+        payload["stats"].get("provenance")
+        if isinstance(payload.get("stats"), dict)
+        else None
+    )
+    if provenance is not None:
+        if not isinstance(provenance, list) or not provenance:
+            problems.append("'stats.provenance' must be a non-empty list")
+        else:
+            for i, entry in enumerate(provenance):
+                where = f"stats.provenance[{i}]"
+                if not isinstance(entry, dict):
+                    problems.append(f"{where} must be a dict")
+                    continue
+                if not (
+                    isinstance(entry.get("source_kind"), str)
+                    and entry["source_kind"]
+                ):
+                    problems.append(
+                        f"{where}.source_kind must be a non-empty str"
+                    )
+                rng = entry.get("offset_range")
+                if not (
+                    isinstance(rng, (list, tuple))
+                    and len(rng) == 2
+                    and all(isinstance(x, int) for x in rng)
+                ):
+                    problems.append(
+                        f"{where}.offset_range must be a pair of ints"
+                    )
+                if not isinstance(entry.get("insn_index"), int):
+                    problems.append(f"{where}.insn_index must be an int")
+                if not isinstance(entry.get("describe"), str):
+                    problems.append(f"{where}.describe must be a str")
+                for optional in ("syscall", "fd"):
+                    value = entry.get(optional)
+                    if value is not None and not isinstance(
+                        value, (str, int)
+                    ):
+                        problems.append(
+                            f"{where}.{optional} must be null, str, or int"
+                        )
     if problems:
         raise ValueError(
             "result does not match the unified schema: " + "; ".join(problems)
@@ -196,6 +244,12 @@ class Session:
         trace: ``True`` (ring only), a JSONL path, or a
             :class:`TraceConfig`.
         max_instructions: default per-run watchdog budget.
+        taint_labels: run the taint plane in **label mode** -- every
+            external-input copy-in is tagged with a provenance label
+            (``read(fd=4) bytes 96..99``) and detection alerts carry the
+            tainting input's byte ranges (``alert.provenance``, surfaced
+            in ``to_json()["stats"]["provenance"]``).  Detection verdicts
+            and statistics are identical to the default bit mode.
     """
 
     def __init__(
@@ -206,12 +260,14 @@ class Session:
         metrics: Union[None, bool, MetricsRegistry] = None,
         trace: Union[None, bool, str, TraceConfig] = None,
         max_instructions: int = 20_000_000,
+        taint_labels: bool = False,
     ) -> None:
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}; choose {ENGINES}")
         self.policy_spec = policy
         self.engine = engine
         self.use_caches = use_caches
+        self.taint_labels = taint_labels
         if metrics is True:
             metrics = MetricsRegistry()
         elif metrics is False:
@@ -296,6 +352,7 @@ class Session:
         kwargs.setdefault("max_instructions", self.max_instructions)
         kwargs.setdefault("use_caches", self.use_caches)
         kwargs.setdefault("use_pipeline", self.engine == "pipeline")
+        kwargs.setdefault("taint_labels", self.taint_labels)
         resolved = (
             resolve_policy(policy)
             if policy is not None
@@ -356,6 +413,7 @@ class Session:
             )
         config_kwargs.setdefault("engine", self.engine)
         config_kwargs.setdefault("use_caches", self.use_caches)
+        config_kwargs.setdefault("taint_labels", self.taint_labels)
         config = CampaignConfig(**config_kwargs)
 
         finalizers = []

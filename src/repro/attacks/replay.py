@@ -110,6 +110,10 @@ class RunResult:
             "fault": self.fault or None,
             "executed_programs": self.executed_programs,
         }
+        if self.alert is not None and self.alert.provenance:
+            stats["provenance"] = [
+                label.to_dict() for label in self.alert.provenance
+            ]
         if self.sim is not None:
             stats.update(self.sim.stats.summary())
         if self.pstats is not None:
@@ -141,6 +145,7 @@ def run_executable(
     use_caches: bool = False,
     use_pipeline: bool = False,
     taint_inputs: bool = True,
+    taint_labels: bool = False,
     subscribers: Optional[Sequence] = None,
     record_events: Sequence[type] = (),
     instrument: Optional[Callable[[Simulator], Optional[Callable]]] = None,
@@ -178,6 +183,7 @@ def run_executable(
         network=network,
         taint_inputs=taint_inputs,
         use_caches=use_caches,
+        taint_labels=taint_labels,
     )
     finalizer = instrument(sim) if instrument is not None else None
     for event_type, handler in subscribers or ():

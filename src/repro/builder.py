@@ -38,6 +38,7 @@ def build_machine(
     uid: int = 1000,
     taint_inputs: bool = True,
     use_caches: bool = False,
+    taint_labels: bool = False,
 ) -> Tuple[Simulator, Kernel]:
     """Build a fully wired machine: kernel, simulator, attached process.
 
@@ -46,6 +47,10 @@ def build_machine(
     registers).  The caller picks the engine afterwards: ``sim.run()``
     for the functional engine or ``Pipeline(sim).run()`` for the
     cycle-level model -- both drive the same machine state and event bus.
+
+    ``taint_labels=True`` puts the machine's taint plane in label mode:
+    every external-input copy-in gets a provenance label and detection
+    exceptions carry the tainting input's byte ranges.
     """
     kernel = Kernel(
         argv=argv,
@@ -61,6 +66,7 @@ def build_machine(
         policy,
         syscall_handler=kernel,
         use_caches=use_caches,
+        taint_labels=taint_labels,
     )
     kernel.attach(sim)
     return sim, kernel

@@ -9,6 +9,8 @@ Examples::
     python -m repro disasm victim.c
     python -m repro report table2
     python -m repro report all
+    python -m repro run victim.c --stdin-text attack --taint-labels --explain
+    python -m repro forensics victim.c --stdin-text attack --provenance
     python -m repro campaign --builtin pointer-chase --seed 7 --trials 200
     python -m repro campaign victim.c --stdin-text ok --recovery rollback-retry
     python -m repro trace t.jsonl --summary
@@ -90,6 +92,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="use the 5-stage pipeline engine")
         p.add_argument("--caches", action="store_true",
                        help="route data accesses through the L1/L2 hierarchy")
+        p.add_argument("--taint-labels", action="store_true",
+                       help="run the taint plane in label mode: alerts "
+                            "carry input-provenance byte ranges")
         p.add_argument("--explain", action="store_true",
                        help="print a forensic report for the outcome")
         p.add_argument("--trace", action="store_true",
@@ -102,6 +107,17 @@ def _build_parser() -> argparse.ArgumentParser:
 
     asm_parser = sub.add_parser("asm", help="assemble and run a raw program")
     add_run_options(asm_parser)
+
+    forensics_parser = sub.add_parser(
+        "forensics",
+        help="run a MiniC program in label mode and print the forensic "
+             "report (who tainted the pointer)",
+    )
+    add_run_options(forensics_parser)
+    forensics_parser.add_argument(
+        "--provenance", action="store_true",
+        help="render the tainting-input byte ranges for a detected attack",
+    )
 
     disasm_parser = sub.add_parser(
         "disasm", help="print the disassembly of a compiled program"
@@ -151,6 +167,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     campaign_parser.add_argument("--caches", action="store_true",
                                  help="run trials with the L1/L2 hierarchy")
+    campaign_parser.add_argument("--taint-labels", action="store_true",
+                                 help="run trials with the taint plane in "
+                                      "label mode (same digest, provenance "
+                                      "available)")
     campaign_parser.add_argument("--stdin-text", default=None,
                                  help="golden-run stdin (latin-1 text)")
     campaign_parser.add_argument("--stdin-file", default=None,
@@ -217,6 +237,7 @@ def _make_session(args: argparse.Namespace, engine: str) -> Session:
         metrics=bool(args.metrics) or None,
         trace=trace,
         max_instructions=getattr(args, "max_instructions", 20_000_000),
+        taint_labels=getattr(args, "taint_labels", False),
     )
 
 
@@ -265,6 +286,46 @@ def _command_run(args: argparse.Namespace, raw_asm: bool,
     return (result.exit_status or 0) & 0xFF
 
 
+def _command_forensics(args: argparse.Namespace, out=sys.stdout) -> int:
+    from .evalx.forensics import provenance_report
+
+    exe = _build(args.file, raw_asm=False)
+    argv = [args.file] + list(args.arg)
+    trace = None
+    if args.trace_out is not None or args.trace_events is not None:
+        trace = TraceConfig(path=args.trace_out, events=args.trace_events)
+    # Forensics always runs in label mode with a registry: provenance and
+    # the taint.labels.* gauges ARE the report.
+    session = Session(
+        policy=args.policy,
+        engine="pipeline" if args.pipeline else "functional",
+        use_caches=args.caches,
+        metrics=True,
+        trace=trace,
+        max_instructions=args.max_instructions,
+        taint_labels=True,
+    )
+    result = session.run_executable(
+        exe, stdin=_read_stdin(args), argv=argv
+    )
+    out.write(explain(result) + "\n")
+    if args.provenance:
+        out.write("provenance:\n")
+        out.write(provenance_report(result) + "\n")
+    gauges = session.metrics.to_dict()["gauges"]
+    for name in ("taint.labels.allocated", "taint.labelsets.interned"):
+        out.write(f"{name}: {int(gauges.get(name, 0))}\n")
+    if args.metrics:
+        out.write(session.metrics.render() + "\n")
+    if args.json_path:
+        _write_json(args.json_path, result.to_json())
+    if result.detected:
+        return 2
+    if result.outcome in ("fault", "limit"):
+        return 3
+    return (result.exit_status or 0) & 0xFF
+
+
 def _command_disasm(args: argparse.Namespace, out=sys.stdout) -> int:
     exe = _build(args.file, args.raw_asm)
     out.write(exe.disassembly() + "\n")
@@ -285,6 +346,7 @@ def _command_campaign(args: argparse.Namespace, out=sys.stdout) -> int:
         use_caches=args.caches,
         metrics=bool(args.metrics) or None,
         trace=trace,
+        taint_labels=args.taint_labels,
     )
     kwargs = dict(
         seed=args.seed,
@@ -369,6 +431,8 @@ def main(argv: Optional[Sequence[str]] = None, out=sys.stdout) -> int:
         return _command_run(args, raw_asm=False, out=out)
     if args.command == "asm":
         return _command_run(args, raw_asm=True, out=out)
+    if args.command == "forensics":
+        return _command_forensics(args, out=out)
     if args.command == "disasm":
         return _command_disasm(args, out=out)
     if args.command == "report":

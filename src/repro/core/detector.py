@@ -15,7 +15,7 @@ which the simulated OS turns into process termination.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from .taint import word_mask_is_tainted
 
@@ -49,12 +49,22 @@ class Alert:
     taint_mask: int
     instruction_index: int = 0
     detail: str = ""
+    #: Provenance chain in label mode: the :class:`repro.taint.labels.
+    #: TaintLabel` records whose input bytes the dereferenced pointer
+    #: derives from.  Empty in bit mode.  Not part of ``__str__`` so the
+    #: rendered alert line (and every digest built on it) is identical
+    #: across modes.
+    provenance: Tuple = ()
 
     def __str__(self) -> str:
         return (
             f"{self.pc:x}: {self.disassembly}   "
             f"pointer={self.pointer_value:#010x} taint={self.taint_mask:#x}"
         )
+
+    def describe_provenance(self) -> List[str]:
+        """Human-readable provenance lines (empty in bit mode)."""
+        return [label.describe() for label in self.provenance]
 
 
 class SecurityException(Exception):
@@ -92,13 +102,15 @@ class TaintednessDetector:
         taint_mask: int,
         instruction_index: int = 0,
         detail: str = "",
+        provenance: Tuple = (),
     ) -> Optional[Alert]:
         """Check one dereference; return an :class:`Alert` if it is malicious.
 
         The caller (pipeline retirement logic or functional simulator) is
         responsible for raising :class:`SecurityException` for the returned
         alert -- detection and exception delivery are separate pipeline
-        stages in the paper's design.
+        stages in the paper's design.  ``provenance`` is the pointer's
+        resolved label chain when the taint plane runs in label mode.
         """
         if not word_mask_is_tainted(taint_mask):
             return None
@@ -112,6 +124,7 @@ class TaintednessDetector:
             taint_mask=taint_mask,
             instruction_index=instruction_index,
             detail=detail,
+            provenance=provenance,
         )
         self.alerts.append(alert)
         return alert

@@ -34,6 +34,16 @@ instruction malicious, and :class:`~repro.cpu.machine.SimulatorFault` /
 Per-step bookkeeping that is identical for every instruction (instruction
 count, mnemonic/class mix, the recent-PC ring, retirement events) is done
 by the engines; executors maintain only their class-specific counters.
+
+Label flow
+----------
+Every binder captures ``flow = m.plane.flow`` at bind time: None in bit
+mode, the :class:`~repro.taint.plane.TaintPlane` itself in label mode.
+Label propagation mirrors the Table 1 taint rules but lives exclusively
+inside the existing tainted slow-path blocks behind ``flow is not None``
+guards, so bit mode executes byte-for-byte the same hot path as before
+the label plane existed.  Flow calls receive the *pre-writeback* source
+taint masks for gating, because a destination register may alias a source.
 """
 
 from __future__ import annotations
@@ -120,6 +130,7 @@ def _bind_load(instr: Instr, pc: int, m: MachineState) -> Executor:
     extension = _MASK32 ^ ((1 << (8 * size)) - 1)
     bus = m.events
     taint_subs = bus.subscribers(TaintPropagated)
+    flow = m.plane.flow
 
     def op() -> int:
         if checked:
@@ -127,8 +138,11 @@ def _bind_load(instr: Instr, pc: int, m: MachineState) -> Executor:
         base = values[rs]
         base_taint = taints[rs]
         if base_taint:
-            deref(KIND_LOAD, pc, disasm, detail, base, base_taint)
-        value, taint = mem_read((base + imm) & _MASK32, size)
+            deref(KIND_LOAD, pc, disasm, detail, base, base_taint,
+                  flow.reg_sid(rs) if flow is not None else 0)
+        addr = (base + imm) & _MASK32
+        value, mem_taint = mem_read(addr, size)
+        taint = mem_taint
         if signed:
             if value & sign_bit:
                 value |= extension
@@ -144,6 +158,11 @@ def _bind_load(instr: Instr, pc: int, m: MachineState) -> Executor:
         stats.loads += 1
         if taint:
             stats.tainted_results += 1
+            if flow is not None and rt:
+                # Gate on the mask the read returned (authoritative even
+                # when the bytes came from a dirty cache line), not the
+                # sign-extension-replicated register mask.
+                flow.on_load(rt, addr, size, mem_taint)
             if taint_subs:
                 bus.emit(TaintPropagated(pc, instr, "reg", rt, taint))
         return npc
@@ -169,6 +188,7 @@ def _bind_store(instr: Instr, pc: int, m: MachineState) -> Executor:
     checked = m.policy.checks(KIND_STORE)
     bus = m.events
     taint_subs = bus.subscribers(TaintPropagated)
+    flow = m.plane.flow
 
     def op() -> int:
         if checked:
@@ -176,13 +196,17 @@ def _bind_store(instr: Instr, pc: int, m: MachineState) -> Executor:
         base = values[rs]
         base_taint = taints[rs]
         if base_taint:
-            deref(KIND_STORE, pc, disasm, detail, base, base_taint)
+            deref(KIND_STORE, pc, disasm, detail, base, base_taint,
+                  flow.reg_sid(rs) if flow is not None else 0)
         addr = (base + imm) & _MASK32
         value = values[rt]
         store_taint = (taints[rt] & size_mask) if track else 0
         if store_taint:
             if len(watchpoints):
-                annotation(pc, disasm, addr, size, store_taint)
+                annotation(pc, disasm, addr, size, store_taint,
+                           flow.reg_sid(rt) if flow is not None else 0)
+            if flow is not None:
+                flow.on_store(addr, size, rt, store_taint)
             if taint_subs:
                 bus.emit(TaintPropagated(pc, instr, "mem", addr, store_taint))
         mem_write(addr, size, value, store_taint)
@@ -270,6 +294,7 @@ def _bind_jr(instr: Instr, pc: int, m: MachineState) -> Executor:
     disasm = instr.text or instr.name
     detail = m.executable.source_map.get(pc, "")
     checked = m.policy.checks(KIND_JUMP)
+    flow = m.plane.flow
 
     def op() -> int:
         stats.jumps += 1
@@ -278,7 +303,8 @@ def _bind_jr(instr: Instr, pc: int, m: MachineState) -> Executor:
         if checked:
             stats.dereference_checks += 1
         if taint:
-            deref(KIND_JUMP, pc, disasm, detail, target, taint)
+            deref(KIND_JUMP, pc, disasm, detail, target, taint,
+                  flow.reg_sid(rs) if flow is not None else 0)
         return target
 
     return op
@@ -294,6 +320,7 @@ def _bind_jalr(instr: Instr, pc: int, m: MachineState) -> Executor:
     disasm = instr.text or instr.name
     detail = m.executable.source_map.get(pc, "")
     checked = m.policy.checks(KIND_JUMP)
+    flow = m.plane.flow
 
     def op() -> int:
         stats.jumps += 1
@@ -302,7 +329,8 @@ def _bind_jalr(instr: Instr, pc: int, m: MachineState) -> Executor:
         if checked:
             stats.dereference_checks += 1
         if taint:
-            deref(KIND_JUMP, pc, disasm, detail, target, taint)
+            deref(KIND_JUMP, pc, disasm, detail, target, taint,
+                  flow.reg_sid(rs) if flow is not None else 0)
         if rd:
             values[rd] = link
             taints[rd] = 0
@@ -358,9 +386,10 @@ def _bind_break(instr: Instr, pc: int, m: MachineState) -> Executor:
 def _alu_writeback(m: MachineState, instr: Instr, pc: int):
     """Shared capture bundle for ALU binders.
 
-    Returns ``(values, taints, stats, track, emit_tainted)`` where
+    Returns ``(values, taints, stats, track, emit_tainted, flow)`` where
     ``emit_tainted(dest, taint)`` publishes a TaintPropagated event when
-    anyone listens (engines count ``tainted_results`` inline).
+    anyone listens (engines count ``tainted_results`` inline) and ``flow``
+    is the plane's label-flow hook (None in bit mode).
     """
     values, taints = m.regs.values, m.regs.taints
     stats = m.stats
@@ -372,7 +401,7 @@ def _alu_writeback(m: MachineState, instr: Instr, pc: int):
         if taint_subs:
             bus.emit(TaintPropagated(pc, instr, kind, dest, taint))
 
-    return values, taints, stats, track, emit_tainted
+    return values, taints, stats, track, emit_tainted, m.plane.flow
 
 
 def _r3_default_binder(compute: Callable[[int, int], int]):
@@ -381,16 +410,25 @@ def _r3_default_binder(compute: Callable[[int, int], int]):
     def bind(instr: Instr, pc: int, m: MachineState) -> Executor:
         rd, rs, rt = instr.rd, instr.rs, instr.rt
         npc = (pc + 4) & _MASK32
-        values, taints, stats, track, emit_tainted = _alu_writeback(m, instr, pc)
+        values, taints, stats, track, emit_tainted, flow = _alu_writeback(
+            m, instr, pc
+        )
 
         def op() -> int:
             result = compute(values[rs], values[rt])
-            taint = (taints[rs] | taints[rt]) if track else 0
+            if track:
+                ta = taints[rs]
+                tb = taints[rt]
+                taint = ta | tb
+            else:
+                taint = 0
             if rd:
                 values[rd] = result
                 taints[rd] = taint
                 if taint:
                     stats.tainted_results += 1
+                    if flow is not None:
+                        flow.on_alu(rd, rs, ta, rt, tb)
                     emit_tainted(rd, taint)
             return npc
 
@@ -413,21 +451,27 @@ BINDERS["nor"] = _r3_default_binder(lambda a, b: ~(a | b) & _MASK32)
 def _bind_xor(instr: Instr, pc: int, m: MachineState) -> Executor:
     rd, rs, rt = instr.rd, instr.rs, instr.rt
     npc = (pc + 4) & _MASK32
-    values, taints, stats, track, emit_tainted = _alu_writeback(m, instr, pc)
+    values, taints, stats, track, emit_tainted, flow = _alu_writeback(
+        m, instr, pc
+    )
     # XOR r,s,s is the compiler zero idiom: the result is a clean constant.
     zero_idiom = track and m.policy.untaint_xor_idiom and rs == rt
 
     def op() -> int:
         result = values[rs] ^ values[rt]
-        if zero_idiom:
+        if zero_idiom or not track:
             taint = 0
         else:
-            taint = (taints[rs] | taints[rt]) if track else 0
+            ta = taints[rs]
+            tb = taints[rt]
+            taint = ta | tb
         if rd:
             values[rd] = result
             taints[rd] = taint
             if taint:
                 stats.tainted_results += 1
+                if flow is not None:
+                    flow.on_alu(rd, rs, ta, rt, tb)
                 emit_tainted(rd, taint)
         return npc
 
@@ -438,7 +482,9 @@ def _bind_xor(instr: Instr, pc: int, m: MachineState) -> Executor:
 def _bind_and(instr: Instr, pc: int, m: MachineState) -> Executor:
     rd, rs, rt = instr.rd, instr.rs, instr.rt
     npc = (pc + 4) & _MASK32
-    values, taints, stats, track, emit_tainted = _alu_writeback(m, instr, pc)
+    values, taints, stats, track, emit_tainted, flow = _alu_writeback(
+        m, instr, pc
+    )
     and_rule = track and m.policy.untaint_and_zero
 
     def op() -> int:
@@ -461,6 +507,8 @@ def _bind_and(instr: Instr, pc: int, m: MachineState) -> Executor:
             taints[rd] = taint
             if taint:
                 stats.tainted_results += 1
+                if flow is not None:
+                    flow.on_alu(rd, rs, rs_t, rt, rt_t)
                 emit_tainted(rd, taint)
         return npc
 
@@ -471,7 +519,9 @@ def _bind_and(instr: Instr, pc: int, m: MachineState) -> Executor:
 def _bind_andi(instr: Instr, pc: int, m: MachineState) -> Executor:
     rs, rt, imm = instr.rs, instr.rt, instr.imm
     npc = (pc + 4) & _MASK32
-    values, taints, stats, track, emit_tainted = _alu_writeback(m, instr, pc)
+    values, taints, stats, track, emit_tainted, flow = _alu_writeback(
+        m, instr, pc
+    )
     and_rule = track and m.policy.untaint_and_zero
 
     def op() -> int:
@@ -486,6 +536,8 @@ def _bind_andi(instr: Instr, pc: int, m: MachineState) -> Executor:
             taints[rt] = taint
             if taint:
                 stats.tainted_results += 1
+                if flow is not None:
+                    flow.on_unary(rt, rs)
                 emit_tainted(rt, taint)
         return npc
 
@@ -498,7 +550,9 @@ def _itype_default_binder(compute: Callable[[int, int], int]):
     def bind(instr: Instr, pc: int, m: MachineState) -> Executor:
         rs, rt, imm = instr.rs, instr.rt, instr.imm
         npc = (pc + 4) & _MASK32
-        values, taints, stats, track, emit_tainted = _alu_writeback(m, instr, pc)
+        values, taints, stats, track, emit_tainted, flow = _alu_writeback(
+            m, instr, pc
+        )
 
         def op() -> int:
             result = compute(values[rs], imm)
@@ -508,6 +562,8 @@ def _itype_default_binder(compute: Callable[[int, int], int]):
                 taints[rt] = taint
                 if taint:
                     stats.tainted_results += 1
+                    if flow is not None:
+                        flow.on_unary(rt, rs)
                     emit_tainted(rt, taint)
             return npc
 
@@ -610,7 +666,9 @@ def _shift_const_binder(kind: str):
     def bind(instr: Instr, pc: int, m: MachineState) -> Executor:
         rd, rt, shamt = instr.rd, instr.rt, instr.shamt
         npc = (pc + 4) & _MASK32
-        values, taints, stats, track, emit_tainted = _alu_writeback(m, instr, pc)
+        values, taints, stats, track, emit_tainted, flow = _alu_writeback(
+            m, instr, pc
+        )
         left = kind == "sll"
         arith = kind == "sra"
 
@@ -636,6 +694,8 @@ def _shift_const_binder(kind: str):
                 taints[rd] = taint
                 if taint:
                     stats.tainted_results += 1
+                    if flow is not None:
+                        flow.on_unary(rd, rt)
                     emit_tainted(rd, taint)
             return npc
 
@@ -653,7 +713,9 @@ def _shift_var_binder(kind: str):
     def bind(instr: Instr, pc: int, m: MachineState) -> Executor:
         rd, rs, rt = instr.rd, instr.rs, instr.rt
         npc = (pc + 4) & _MASK32
-        values, taints, stats, track, emit_tainted = _alu_writeback(m, instr, pc)
+        values, taints, stats, track, emit_tainted, flow = _alu_writeback(
+            m, instr, pc
+        )
         left = kind == "sllv"
         arith = kind == "srav"
 
@@ -668,22 +730,27 @@ def _shift_var_binder(kind: str):
                 result = rt_val >> shamt
             if not track:
                 taint = 0
-            elif taints[rs]:
-                # A tainted shift amount taints the whole result: the
-                # attacker controls where every bit lands.
-                taint = WORD_TAINTED
             else:
-                taint = taints[rt]
-                if taint:
-                    if left:
-                        taint = (taint | (taint << 1)) & WORD_TAINTED
-                    else:
-                        taint = taint | (taint >> 1)
+                ts = taints[rs]
+                tt = taints[rt]
+                if ts:
+                    # A tainted shift amount taints the whole result: the
+                    # attacker controls where every bit lands.
+                    taint = WORD_TAINTED
+                else:
+                    taint = tt
+                    if taint:
+                        if left:
+                            taint = (taint | (taint << 1)) & WORD_TAINTED
+                        else:
+                            taint = taint | (taint >> 1)
             if rd:
                 values[rd] = result
                 taints[rd] = taint
                 if taint:
                     stats.tainted_results += 1
+                    if flow is not None:
+                        flow.on_alu(rd, rs, ts, rt, tt)
                     emit_tainted(rd, taint)
             return npc
 
@@ -706,7 +773,9 @@ def _muldiv_binder(kind: str):
         rs, rt = instr.rs, instr.rt
         npc = (pc + 4) & _MASK32
         regs = m.regs
-        values, taints, stats, track, emit_tainted = _alu_writeback(m, instr, pc)
+        values, taints, stats, track, emit_tainted, flow = _alu_writeback(
+            m, instr, pc
+        )
 
         def op() -> int:
             rs_val = values[rs]
@@ -731,15 +800,20 @@ def _muldiv_binder(kind: str):
                 lo, hi = quotient & _MASK32, remainder & _MASK32
             # Multiplication/division mix every source byte into every
             # result byte: collapse taint across the whole double word.
-            taint = (
-                WORD_TAINTED if track and (taints[rs] | taints[rt]) else 0
-            )
+            if track:
+                ta = taints[rs]
+                tb = taints[rt]
+                taint = WORD_TAINTED if (ta | tb) else 0
+            else:
+                taint = 0
             regs.lo = lo
             regs.hi = hi
             regs.lo_taint = taint
             regs.hi_taint = taint
             if taint:
                 stats.tainted_results += 1
+                if flow is not None:
+                    flow.on_hilo(rs, ta, rt, tb)
                 emit_tainted(0, taint, "hilo")
             return npc
 
@@ -757,7 +831,9 @@ def _movehl_binder(which: str):
         rd = instr.rd
         npc = (pc + 4) & _MASK32
         regs = m.regs
-        values, taints, stats, track, emit_tainted = _alu_writeback(m, instr, pc)
+        values, taints, stats, track, emit_tainted, flow = _alu_writeback(
+            m, instr, pc
+        )
         lo = which == "lo"
 
         def op() -> int:
@@ -772,6 +848,8 @@ def _movehl_binder(which: str):
                 taints[rd] = taint
                 if taint:
                     stats.tainted_results += 1
+                    if flow is not None:
+                        flow.on_from_hilo(rd)
                     emit_tainted(rd, taint)
             return npc
 

@@ -29,12 +29,13 @@ from ..core.detector import (
 )
 from ..core.events import EventBus, TaintedDereference
 from ..core.policy import DetectionPolicy, PointerTaintPolicy
-from ..core.taint import WORD_TAINTED
 from ..isa.program import Executable
 from ..mem.cache import CacheHierarchy
 from ..mem.layout import STACK_TOP
 from ..mem.registers import RegisterFile
 from ..mem.tainted_memory import TaintedMemory
+from ..taint.bits import WORD_TAINTED
+from ..taint.plane import MODE_BIT, MODE_LABEL, TaintPlane
 from .stats import ExecutionStats
 
 _MASK32 = 0xFFFFFFFF
@@ -90,7 +91,11 @@ class MachineSnapshot:
     halted: bool
     exit_status: Optional[int]
     regs: Tuple
-    memory: Tuple[Dict[int, bytes], Dict[int, bytes], int]
+    memory: Tuple[Dict[int, bytes], int]
+    #: All shadow-taint state (memory taint pages, register taint masks,
+    #: and in label mode the provenance sidecars), captured once via
+    #: ``TaintPlane.snapshot()``.
+    taint: Tuple
     caches: Optional[Tuple]
     stats: ExecutionStats
     recent_pcs: Tuple[int, ...]
@@ -110,6 +115,9 @@ class MachineState:
             bound to a process).
         use_caches: route data accesses through a taint-carrying L1/L2
             hierarchy instead of directly to RAM.
+        taint_labels: run the taint plane in provenance-label mode (each
+            tainted byte tracks which external inputs it derives from).
+            Default is the paper's plain 1-bit mode.
     """
 
     def __init__(
@@ -118,16 +126,21 @@ class MachineState:
         policy: Optional[DetectionPolicy] = None,
         syscall_handler: Optional[Callable[["MachineState"], None]] = None,
         use_caches: bool = False,
+        taint_labels: bool = False,
     ) -> None:
         self.executable = executable
         self.policy = policy if policy is not None else PointerTaintPolicy()
         self.detector = TaintednessDetector(self.policy)
         self.syscall_handler = syscall_handler
-        self.memory = TaintedMemory()
+        #: The unified taint plane owning all shadow state; memory and the
+        #: register file share its storage by identity.
+        self.plane = TaintPlane(MODE_LABEL if taint_labels else MODE_BIT)
+        self.taint_labels = taint_labels
+        self.memory = TaintedMemory(plane=self.plane)
         self.caches: Optional[CacheHierarchy] = (
             CacheHierarchy(self.memory) if use_caches else None
         )
-        self.regs = RegisterFile()
+        self.regs = RegisterFile(plane=self.plane)
         self.stats = ExecutionStats()
         #: Programmer annotations: never-tainted data ranges (section 5.3
         #: extension).  Populate with ``sim.watchpoints.add(addr, len, name)``.
@@ -182,6 +195,27 @@ class MachineState:
         """Make RAM coherent with the cache hierarchy (tests, post-mortems)."""
         if self.caches is not None:
             self.caches.flush()
+
+    def copy_in(
+        self, addr: int, data: bytes, tainted: bool, label_sid: int = 0
+    ) -> None:
+        """The one kernel copy-in path: external bytes enter the process.
+
+        Cache-less machines take the bulk page-copy fast path; cache-enabled
+        machines route every byte through the hierarchy so the taint bits
+        land in lines exactly as a store would place them.  Both end in the
+        same plane call, so the two configurations share identical taint
+        (and, in label mode, provenance) semantics.
+        """
+        if self.caches is None:
+            self.memory.write_bytes(addr, data, bool(tainted))
+        else:
+            write = self.caches.write
+            taint_bit = 1 if tainted else 0
+            for i, byte in enumerate(data):
+                write((addr + i) & _MASK32, 1, byte, taint_bit)
+        if tainted and label_sid:
+            self.plane.label_span(addr, len(data), label_sid)
 
     # ------------------------------------------------------------------
     # watchdog (shared limit guard for both execution engines)
@@ -239,11 +273,13 @@ class MachineState:
     def snapshot(self) -> "MachineSnapshot":
         """Capture the complete architectural state of this machine.
 
-        Covers registers (values + taint), memory (data pages + the taint
-        bitmap), the cache hierarchy when enabled, the PC, halt state,
-        execution statistics, detector alerts, watchpoints, and the
-        recent-PC ring.  The event bus and its subscribers are deliberately
-        *not* captured: observers persist across rollback.
+        Covers register values, memory data pages, the whole taint plane
+        (memory taint pages + register taint masks + label sidecars,
+        captured exactly once via ``plane.snapshot()``), the cache
+        hierarchy when enabled, the PC, halt state, execution statistics,
+        detector alerts, watchpoints, and the recent-PC ring.  The event
+        bus and its subscribers are deliberately *not* captured: observers
+        persist across rollback.
         """
         return MachineSnapshot(
             pc=self.pc,
@@ -251,6 +287,7 @@ class MachineState:
             exit_status=self.exit_status,
             regs=self.regs.snapshot(),
             memory=self.memory.snapshot(),
+            taint=self.plane.snapshot(),
             caches=self.caches.snapshot() if self.caches is not None else None,
             stats=self.stats.clone(),
             recent_pcs=tuple(self.recent_pcs),
@@ -275,6 +312,7 @@ class MachineState:
         self.halted = snapshot.halted
         self.exit_status = snapshot.exit_status
         self.regs.restore(snapshot.regs)
+        self.plane.restore(snapshot.taint)
         self.memory.restore(snapshot.memory)
         if self.caches is not None and snapshot.caches is not None:
             self.caches.restore(snapshot.caches)
@@ -290,7 +328,7 @@ class MachineState:
 
     def tainted_dereference(
         self, kind: str, pc: int, disasm: str, detail: str,
-        pointer: int, taint: int,
+        pointer: int, taint: int, label_sid: int = 0,
     ) -> None:
         """Handle a dereference whose pointer word carries tainted bytes.
 
@@ -298,6 +336,8 @@ class MachineState:
         clean-pointer fast path stays inline); the per-check
         ``dereference_checks`` counter is maintained by the bindings
         themselves because whether a kind is checked is known at bind time.
+        ``label_sid`` is the pointer register's label-set id in label mode
+        (0 otherwise); it resolves to the alert's provenance chain.
         """
         stats = self.stats
         if taint & WORD_TAINTED:
@@ -310,6 +350,7 @@ class MachineState:
             taint_mask=taint,
             instruction_index=stats.instructions,
             detail=detail,
+            provenance=self.plane.provenance(label_sid),
         )
         if alert is not None:
             stats.alerts += 1
@@ -319,7 +360,8 @@ class MachineState:
             raise SecurityException(alert)
 
     def annotation_violation(
-        self, pc: int, disasm: str, addr: int, size: int, taint: int
+        self, pc: int, disasm: str, addr: int, size: int, taint: int,
+        label_sid: int = 0,
     ) -> None:
         """Raise when tainted bytes land inside annotated data (s5.3)."""
         watchpoint = self.watchpoints.hit(addr & _MASK32, size)
@@ -333,6 +375,7 @@ class MachineState:
             taint_mask=taint,
             instruction_index=self.stats.instructions,
             detail=f"tainted write into {watchpoint}",
+            provenance=self.plane.provenance(label_sid),
         )
         self.detector.alerts.append(alert)
         self.stats.alerts += 1

@@ -48,6 +48,8 @@ class Simulator(MachineState):
             bound to a process).
         use_caches: route data accesses through a taint-carrying L1/L2
             hierarchy instead of directly to RAM.
+        taint_labels: run the taint plane in provenance-label mode (see
+            :mod:`repro.taint.plane`).
     """
 
     def __init__(
@@ -56,8 +58,9 @@ class Simulator(MachineState):
         policy: Optional[DetectionPolicy] = None,
         syscall_handler: Optional[Callable[["Simulator"], None]] = None,
         use_caches: bool = False,
+        taint_labels: bool = False,
     ) -> None:
-        super().__init__(executable, policy, syscall_handler, use_caches)
+        super().__init__(executable, policy, syscall_handler, use_caches, taint_labels)
         self._trace_hook: Optional[Callable[["Simulator", int, Instr], None]] = None
         self._trace_adapter: Optional[Callable[[InstructionRetired], None]] = None
         #: Per-slot executor bindings, parallel to ``executable.instructions``.

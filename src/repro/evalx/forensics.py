@@ -85,13 +85,45 @@ def tainted_registers(result: RunResult) -> List[str]:
     return rows
 
 
+def provenance_report(result: RunResult) -> str:
+    """Attribute a detected attack to the external input that caused it.
+
+    Renders the alert's provenance chain -- which syscall (or argv/env
+    entry) brought the tainting bytes in, and which byte range of that
+    input the dereferenced pointer derives from.  Provenance is only
+    recorded in label mode (``taint_labels=True``); in bit mode this
+    reports how to enable it.
+    """
+    alert = result.alert
+    if alert is None:
+        return "no alert: nothing to attribute"
+    if not alert.provenance:
+        return (
+            "no provenance labels recorded; re-run in label mode "
+            "(Session(taint_labels=True) or `repro forensics`) to "
+            "attribute tainted bytes to their input"
+        )
+    parts = [
+        f"pointer at pc={alert.pc:#x} "
+        f"(value {alert.pointer_value:#010x}) tainted by:"
+    ]
+    for label in alert.provenance:
+        lo, hi = label.offset_range
+        parts.append(
+            f"  - {label.describe()}"
+            f"  [input bytes {lo}..{max(hi - 1, lo)}, "
+            f"copied in at instruction {label.insn_index:,}]"
+        )
+    return "\n".join(parts)
+
+
 def explain(result: RunResult, context_bytes: int = 32) -> str:
     """Produce a forensic report for a finished run.
 
     For detected attacks: the alert line in the paper's format, the
-    enclosing symbol, the instruction trail, tainted registers, and a
-    taint-annotated hexdump around the dereferenced pointer.  For other
-    outcomes: a compact summary.
+    enclosing symbol, the instruction trail, tainted registers, the
+    provenance chain (label mode), and a taint-annotated hexdump around
+    the dereferenced pointer.  For other outcomes: a compact summary.
     """
     parts: List[str] = []
     if not result.detected or result.alert is None or result.sim is None:
@@ -127,6 +159,9 @@ def explain(result: RunResult, context_bytes: int = 32) -> str:
             ]
         )
     )
+    if alert.provenance:
+        parts.append("tainted by:")
+        parts.extend(f"  {line}" for line in alert.describe_provenance())
     trail = recent_trace(result)
     if trail:
         parts.append("recent instructions:")

@@ -150,6 +150,10 @@ class CampaignConfig:
     engine: str = "functional"  # | "pipeline"
     recovery: str = "halt"
     use_caches: bool = False
+    #: Run the machine's taint plane in label mode.  Orthogonal to the
+    #: trial outcomes: the campaign digest is identical in both modes
+    #: (alert strings and fault details never include provenance).
+    taint_labels: bool = False
     instruction_slack: float = 4.0
     max_seconds: float = 30.0
     reuse_snapshots: bool = True
@@ -243,6 +247,7 @@ class CampaignResult:
             "engine": self.config.engine,
             "recovery": self.config.recovery,
             "use_caches": self.config.use_caches,
+            "taint_labels": self.config.taint_labels,
             "golden": {
                 "exit_status": self.golden.exit_status,
                 "stdout": self.golden.stdout,
@@ -326,6 +331,7 @@ class FaultCampaign:
             argv=[workload.name, *workload.argv],
             stdin=workload.stdin,
             use_caches=self.config.use_caches,
+            taint_labels=self.config.taint_labels,
         )
         if self.instrument is not None:
             self.instrument(sim)

@@ -7,6 +7,12 @@ state (:meth:`~repro.kernel.syscalls.Kernel.snapshot`), and optionally a
 ``random.Random`` stream -- so a campaign captures *one* pre-run
 checkpoint and rolls all of it back before every trial.  Restores are
 reusable: the same checkpoint restores any number of times.
+
+Shadow-taint state is *not* captured here separately: the machine
+snapshot serializes the whole :class:`~repro.taint.plane.TaintPlane`
+(taint pages, register masks, and the provenance sidecar in label mode)
+exactly once, so checkpoint/rollback works identically in both plane
+modes.
 """
 
 from __future__ import annotations

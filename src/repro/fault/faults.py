@@ -11,7 +11,9 @@ The taint-shadow kinds are the interesting ones for this paper: a set bit
 models a soft error in the taintedness RAM itself (the detector cries wolf
 -- a *false* alert, classified ``detected``), a cleared bit models the
 detector losing track of attacker data (the trial degrades to whatever an
-unprotected machine would do).
+unprotected machine would do).  Both route through the machine's
+:class:`~repro.taint.plane.TaintPlane`, which keeps the provenance
+sidecar consistent when the plane runs in label mode.
 
 Syscall-layer kinds (``syscall-errno``, ``syscall-short-read``,
 ``syscall-truncate``) are not applied here; the campaign arms them inside
@@ -29,7 +31,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..core.events import FaultInjected, InstructionRetired
-from ..core.taint import WORD_TAINTED
 from .triggers import Trigger
 
 __all__ = [
@@ -108,10 +109,15 @@ def apply_state_fault(spec: FaultSpec, machine) -> str:
             f" (taint {taint} preserved)"
         )
     if kind == "taint-mem":
-        value, taint = machine.mem_read(spec.target, 1)
-        machine.mem_write(spec.target, 1, value, taint ^ 1)
+        # Plane-routed so label mode stays consistent: a 0->1 flip gets a
+        # fault-injection provenance label, a 1->0 flip drops the byte's
+        # label.  The value read-back/write-back (and cache placement)
+        # matches the pre-plane behavior exactly.
+        value, taint, flipped = machine.plane.flip_mem_taint(
+            machine, spec.target
+        )
         return (
-            f"taint[{spec.target:#010x}] {taint} -> {taint ^ 1}"
+            f"taint[{spec.target:#010x}] {taint} -> {flipped}"
             f" (data {value:#04x} preserved)"
         )
     if kind == "reg":
@@ -125,10 +131,9 @@ def apply_state_fault(spec: FaultSpec, machine) -> str:
     if kind == "taint-reg":
         if spec.target == 0:
             return "reg r0 is hardwired; taint flip discarded"
-        regs = machine.regs
-        taint = regs.taints[spec.target]
-        flipped = (taint ^ spec.mask) & WORD_TAINTED
-        regs.taints[spec.target] = flipped
+        taint, flipped = machine.plane.flip_reg_taint(
+            spec.target, spec.mask, machine.stats.instructions
+        )
         return f"taint r{spec.target} {taint:#x} -> {flipped:#x}"
     raise ValueError(f"{spec.kind!r} is not a state fault kind")
 

@@ -68,19 +68,38 @@ def build_initial_stack(
     the NULL-terminated ``envp`` vector, then the NULL-terminated ``argv``
     vector.  ``sp`` is left word-aligned below the vectors.  Pointer arrays
     are untainted -- they are built by the kernel, not by external input.
+
+    When the memory's taint plane runs in label mode, each argv/env string
+    gets its own provenance label (``argv[i]`` / ``env[i]``, covering the
+    string's bytes including the NUL).
     """
+    plane = getattr(memory, "plane", None)
+    table = plane.table if plane is not None else None
+
+    def _stamp(source_kind: str, index: int, addr: int, length: int) -> None:
+        if not taint_args or table is None:
+            return
+        label_id = table.new_label(
+            source_kind=source_kind,
+            fd=index,
+            offset_range=(0, length),
+        )
+        plane.label_span(addr, length, table.singleton(label_id))
+
     cursor = stack_top
     arg_addresses: List[int] = []
     env_addresses: List[int] = []
-    for text in argv:
+    for i, text in enumerate(argv):
         blob = text.encode("latin-1") + b"\0"
         cursor -= len(blob)
         memory.write_bytes(cursor, blob, taint_args)
+        _stamp("argv", i, cursor, len(blob))
         arg_addresses.append(cursor)
-    for text in env:
+    for i, text in enumerate(env):
         blob = text.encode("latin-1") + b"\0"
         cursor -= len(blob)
         memory.write_bytes(cursor, blob, taint_args)
+        _stamp("env", i, cursor, len(blob))
         env_addresses.append(cursor)
     cursor &= ~3  # word-align
 

@@ -156,6 +156,10 @@ class Kernel:
             _FD_STDERR: "stderr",
         }
         self._next_fd = 3
+        #: Per-fd running stream offset of delivered input bytes, so each
+        #: provenance label can name which slice of an input stream it
+        #: covers ("recv(fd=4) bytes 96..99").
+        self._input_offsets: Dict[int, int] = {}
         self._sim = None
         #: Armed syscall-layer fault (fault-injection campaigns), or None.
         self.syscall_fault: Optional[SyscallFault] = None
@@ -259,18 +263,42 @@ class Kernel:
         self._fds[fd] = obj
         return fd
 
-    def _copy_in_tainted(self, sim, addr: int, data: bytes) -> None:
+    def _copy_in_tainted(
+        self,
+        sim,
+        addr: int,
+        data: bytes,
+        *,
+        syscall: str,
+        fd: int,
+        source_kind: str,
+    ) -> None:
         """Copy external bytes into guest memory, marking them tainted.
 
         This is the paper's RT-register mechanism: every delivered byte gets
-        its taintedness bit set on the way from kernel to user space.
+        its taintedness bit set on the way from kernel to user space.  The
+        actual write goes through the machine's single plane-routed
+        :meth:`~repro.cpu.machine.MachineState.copy_in` path, so
+        cache-enabled and cache-less runs share identical taint semantics.
+        In label mode one fresh :class:`~repro.taint.labels.TaintLabel` is
+        allocated per copy-in, covering this delivery's slice of the fd's
+        input stream.
         """
-        tainted = 1 if self.taint_inputs else 0
-        if sim.caches is None:
-            sim.memory.write_bytes(addr, data, bool(tainted))
-        else:
-            for i, byte in enumerate(data):
-                sim.mem_write(addr + i, 1, byte, tainted)
+        tainted = self.taint_inputs
+        offset = self._input_offsets.get(fd, 0)
+        self._input_offsets[fd] = offset + len(data)
+        label_sid = 0
+        table = sim.plane.table
+        if tainted and data and table is not None:
+            label_id = table.new_label(
+                source_kind=source_kind,
+                syscall=syscall,
+                fd=fd,
+                offset_range=(offset, offset + len(data)),
+                insn_index=sim.stats.instructions,
+            )
+            label_sid = table.singleton(label_id)
+        sim.copy_in(addr, data, tainted, label_sid)
         if tainted:
             sim.stats.input_bytes_tainted += len(data)
 
@@ -315,6 +343,7 @@ class Kernel:
                     self.net,
                     self._fds,
                     self._next_fd,
+                    self._input_offsets,
                     self.syscall_fault,
                 )
             )
@@ -329,12 +358,15 @@ class Kernel:
         ``kernel.process`` stay valid across rollback; descriptor-table,
         filesystem, and network objects are replaced wholesale.
         """
-        process, fs, net, fds, next_fd, fault = copy.deepcopy(snapshot.state)
+        process, fs, net, fds, next_fd, input_offsets, fault = copy.deepcopy(
+            snapshot.state
+        )
         self.process.__dict__.update(process.__dict__)
         self.fs = fs
         self.net = net
         self._fds = fds
         self._next_fd = next_fd
+        self._input_offsets = input_offsets
         self.syscall_fault = fault
 
     # ------------------------------------------------------------------
@@ -352,13 +384,18 @@ class Kernel:
         if obj == "stdin":
             data = bytes(self.process.stdin[:count])
             del self.process.stdin[: len(data)]
+            source_kind = "stdin"
         elif isinstance(obj, OpenFile):
             data = self.fs.read(obj, count)
+            source_kind = "file"
         elif isinstance(obj, Connection):
             data = obj.recv(count)
+            source_kind = "net"
         else:
             return -1
-        self._copy_in_tainted(sim, buf, data)
+        self._copy_in_tainted(
+            sim, buf, data, syscall="read", fd=fd, source_kind=source_kind
+        )
         return len(data)
 
     def _sys_write(self, sim, fd, buf, count):
@@ -449,7 +486,9 @@ class Kernel:
         if not isinstance(obj, Connection):
             return -1
         data = obj.recv(count)
-        self._copy_in_tainted(sim, buf, data)
+        self._copy_in_tainted(
+            sim, buf, data, syscall="recv", fd=fd, source_kind="net"
+        )
         return len(data)
 
     def _sys_send(self, sim, fd, buf, count):

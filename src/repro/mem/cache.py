@@ -9,6 +9,15 @@ like data does.
 The caches are functional (they really hold the data), which lets the test
 suite assert that a tainted byte written through L1, evicted to L2, written
 back to RAM and re-fetched still carries its taint bit.
+
+Provenance labels (the taint plane's label mode) are deliberately *not*
+cached: cache lines carry only the 1-bit shadow state, while the
+:class:`~repro.taint.plane.TaintPlane` keeps its label sidecar keyed by
+physical address and updates it eagerly at store/copy-in time.  The
+sidecar therefore stays coherent across eviction/refill without the lines
+knowing about labels -- label reads are gated on the taint *mask returned
+by the access*, which is authoritative even when RAM's taint pages lag a
+dirty line.
 """
 
 from __future__ import annotations

@@ -7,10 +7,11 @@ registers are also extended to include one taintedness bit for each byte"
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
-from ..core.taint import WORD_TAINTED
 from ..isa.instructions import REGISTER_NAMES
+from ..taint.bits import WORD_TAINTED
+from ..taint.plane import TaintPlane
 
 _MASK32 = 0xFFFFFFFF
 
@@ -19,14 +20,23 @@ class RegisterFile:
     """32 general-purpose registers plus HI/LO, each with a taint mask.
 
     Register 0 is hardwired to (0, clean); writes to it are discarded, as on
-    MIPS.
+    MIPS.  The 32 GPR taint masks are owned by a
+    :class:`~repro.taint.plane.TaintPlane` (``self.taints is
+    plane.reg_taints``), which snapshots them together with the rest of the
+    shadow state; the HI/LO taint masks are scalars that ride with the
+    HI/LO values here.
     """
 
-    __slots__ = ("values", "taints", "hi", "lo", "hi_taint", "lo_taint")
+    __slots__ = ("plane", "values", "taints", "hi", "lo", "hi_taint", "lo_taint")
 
-    def __init__(self) -> None:
+    def __init__(self, plane: Optional[TaintPlane] = None) -> None:
+        if plane is None:
+            plane = TaintPlane()
+        self.plane = plane
         self.values: List[int] = [0] * 32
-        self.taints: List[int] = [0] * 32
+        # Identity-shared with the plane (and with every executor closure
+        # that captured it at bind time).
+        self.taints: List[int] = plane.reg_taints
         self.hi = 0
         self.lo = 0
         self.hi_taint = 0
@@ -56,10 +66,14 @@ class RegisterFile:
         self.taints[number] = taint_mask & WORD_TAINTED
 
     def snapshot(self) -> Tuple:
-        """Immutable copy of the whole architectural register state."""
+        """Immutable copy of the architectural register state.
+
+        The 32 GPR taint masks are *not* captured here -- the owning
+        plane's ``snapshot()`` covers them (once, next to the memory taint
+        pages and label sidecars).
+        """
         return (
             tuple(self.values),
-            tuple(self.taints),
             self.hi,
             self.lo,
             self.hi_taint,
@@ -70,11 +84,11 @@ class RegisterFile:
         """Roll the register file back to a snapshot, in place.
 
         In place because the executor bindings capture the ``values`` and
-        ``taints`` lists themselves; rollback must not replace them.
+        ``taints`` lists themselves; rollback must not replace them.  GPR
+        taint masks are restored by ``plane.restore()``.
         """
-        values, taints, hi, lo, hi_taint, lo_taint = snapshot
+        values, hi, lo, hi_taint, lo_taint = snapshot
         self.values[:] = values
-        self.taints[:] = taints
         self.hi = hi
         self.lo = lo
         self.hi_taint = hi_taint

@@ -8,13 +8,19 @@ memory hierarchy together with the actual memory words."
 Pages are allocated lazily, so the full 32-bit address space is usable --
 including the wild addresses (``0x61616161``) that attack payloads produce
 when a corruption is allowed to proceed on an unprotected machine.
+
+The shadow taint pages are *owned* by a :class:`repro.taint.plane.TaintPlane`
+(``self._taint_pages is plane.mem_taint``); this object manages page
+allocation and the per-access fast paths, while the plane is the single
+snapshot/restore point for all shadow state.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple, Union
+from typing import Dict, Optional, Tuple, Union
 
-from ..core.taint import TaintVector
+from ..taint.bits import TaintVector
+from ..taint.plane import TaintPlane
 from .layout import PAGE_SIZE
 
 _PAGE_MASK = PAGE_SIZE - 1
@@ -27,9 +33,16 @@ class MemoryFault(Exception):
 class TaintedMemory:
     """Byte-addressable little-endian memory with shadow taint bits."""
 
-    def __init__(self) -> None:
+    def __init__(self, plane: Optional[TaintPlane] = None) -> None:
+        if plane is None:
+            plane = TaintPlane()
+        #: The taint plane owning this memory's shadow state (and, in label
+        #: mode, the provenance sidecar keyed by physical address).
+        self.plane = plane
         self._pages: Dict[int, bytearray] = {}
-        self._taint_pages: Dict[int, bytearray] = {}
+        # Identity-shared with the plane: pages materialize here, snapshots
+        # happen there.
+        self._taint_pages: Dict[int, bytearray] = plane.mem_taint
         #: Running count of tainted-byte writes, for statistics.
         self.tainted_bytes_written = 0
 
@@ -55,31 +68,38 @@ class TaintedMemory:
         sampling and snapshot digests need a deterministic order)."""
         return tuple(sorted(self._pages))
 
-    def snapshot(self) -> Tuple[Dict[int, bytes], Dict[int, bytes], int]:
-        """Copy-out of all materialized pages, their shadow taint, and the
-        tainted-write counter."""
+    def snapshot(self) -> Tuple[Dict[int, bytes], int]:
+        """Copy-out of all materialized data pages and the tainted-write
+        counter.
+
+        The shadow taint pages are deliberately *not* captured here: the
+        owning :class:`~repro.taint.plane.TaintPlane` snapshots all shadow
+        state (memory taint pages, register taint masks, label sidecars)
+        exactly once via ``plane.snapshot()``.
+        """
         return (
             {base: bytes(page) for base, page in self._pages.items()},
-            {base: bytes(page) for base, page in self._taint_pages.items()},
             self.tainted_bytes_written,
         )
 
-    def restore(
-        self, snapshot: Tuple[Dict[int, bytes], Dict[int, bytes], int]
-    ) -> None:
-        """Roll memory (data + taint bitmap) back to a snapshot, in place.
+    def restore(self, snapshot: Tuple[Dict[int, bytes], int]) -> None:
+        """Roll memory data back to a snapshot, in place.
 
         Pages materialized after the snapshot are dropped, so a rolled-back
         machine cannot observe a fault trial's wild writes even through
-        ``mapped_pages()``.
+        ``mapped_pages()``.  Taint *contents* are restored by the plane
+        (``plane.restore()``); this method only keeps the taint-page key
+        set aligned with the data pages so ``_page()``'s invariant (both
+        dicts share one key set) survives either restore order.
         """
-        pages, taint_pages, tainted_bytes_written = snapshot
+        pages, tainted_bytes_written = snapshot
         self._pages.clear()
-        self._taint_pages.clear()
         for base, data in pages.items():
             self._pages[base] = bytearray(data)
-        for base, data in taint_pages.items():
-            self._taint_pages[base] = bytearray(data)
+            if base not in self._taint_pages:
+                self._taint_pages[base] = bytearray(PAGE_SIZE)
+        for base in [b for b in self._taint_pages if b not in self._pages]:
+            del self._taint_pages[base]
         self.tainted_bytes_written = tainted_bytes_written
 
     # ------------------------------------------------------------------

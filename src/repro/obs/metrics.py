@@ -29,6 +29,9 @@ agree on these):
 ``taintclass.<class>``     per-taint-rule-class retire counts
 ``taint.flow.<dest>``      TaintPropagated events by destination
                            (``reg`` / ``mem`` / ``hilo``)
+``taint.labels.*``         label-mode provenance gauges
+                           (``taint.labels.allocated`` labels issued,
+                           ``taint.labelsets.interned`` distinct sets)
 ``detector.*``             alerts and tainted-dereference activity
 ``syscall.*``              per-number counts and inter-syscall gaps
 ``cache.l1.*/l2.*``        hit/miss/writeback counts when caches are on

@@ -170,6 +170,14 @@ class Observer:
                 stats.taint_activity_ratio()
             )
 
+        table = getattr(getattr(sim, "plane", None), "table", None)
+        if table is not None:
+            # Label mode: gauges, not counters -- the table reports its
+            # current population, which must not accumulate across
+            # harvests of the same machine.
+            reg.gauge("taint.labels.allocated").set(table.allocated_labels)
+            reg.gauge("taint.labelsets.interned").set(table.interned_sets)
+
         caches = getattr(sim, "caches", None)
         if caches is not None:
             for level in (caches.l1, caches.l2):

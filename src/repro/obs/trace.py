@@ -124,6 +124,12 @@ def event_to_record(event: Any, seq: int) -> dict:
             taint=getattr(alert, "taint_mask", None),
             alert=str(alert),
         )
+        provenance = getattr(alert, "provenance", ())
+        if provenance:
+            # Label mode only: who tainted the dereferenced pointer.
+            record["provenance"] = [
+                label.to_dict() for label in provenance
+            ]
     elif isinstance(event, SyscallEnter):
         record.update(pc=event.pc, number=event.number)
     elif isinstance(event, SyscallExit):

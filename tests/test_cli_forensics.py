@@ -1,14 +1,21 @@
 """CLI and forensic-report tests."""
 
 import io
+import json
 
 import pytest
 
+from repro.api import validate_result_json
 from repro.apps.synthetic import exp1_scenario, exp3_scenario
 from repro.attacks.replay import run_minic
 from repro.cli import main
 from repro.core.policy import NullPolicy, PointerTaintPolicy
-from repro.evalx.forensics import explain, hexdump, recent_trace
+from repro.evalx.forensics import (
+    explain,
+    hexdump,
+    provenance_report,
+    recent_trace,
+)
 
 VICTIM = """
 int main(void) {
@@ -103,6 +110,60 @@ class TestCliRun:
         assert "2 hello" in output
 
 
+class TestCliTaintLabels:
+    def test_run_taint_labels_explain_shows_provenance(self, victim_file):
+        code, output = run_cli(
+            "run", victim_file, "--stdin-text", "a" * 24,
+            "--taint-labels", "--explain",
+        )
+        assert code == 2
+        assert "tainted by:" in output
+        assert "read(fd=0)" in output
+
+    def test_run_without_labels_has_no_provenance_section(self, victim_file):
+        code, output = run_cli(
+            "run", victim_file, "--stdin-text", "a" * 24, "--explain"
+        )
+        assert code == 2
+        assert "tainted by:" not in output
+
+
+class TestCliForensicsCommand:
+    def test_forensics_renders_provenance_and_metrics(self, victim_file):
+        code, output = run_cli(
+            "forensics", victim_file, "--stdin-text", "a" * 24,
+            "--provenance",
+        )
+        assert code == 2
+        assert "SECURITY ALERT" in output
+        assert "provenance:" in output
+        assert "read(fd=0)" in output
+        assert "input bytes" in output
+        assert "taint.labels.allocated:" in output
+        assert "taint.labelsets.interned:" in output
+
+    def test_forensics_json_validates_with_provenance(
+        self, victim_file, tmp_path
+    ):
+        path = tmp_path / "result.json"
+        code, _ = run_cli(
+            "forensics", victim_file, "--stdin-text", "a" * 24,
+            "--json", str(path),
+        )
+        assert code == 2
+        payload = validate_result_json(json.loads(path.read_text()))
+        entries = payload["stats"]["provenance"]
+        assert entries
+        assert all(e["syscall"] == "read" for e in entries)
+
+    def test_forensics_clean_run(self, victim_file):
+        code, output = run_cli(
+            "forensics", victim_file, "--stdin-text", "bob"
+        )
+        assert code == 0
+        assert "EXIT status=0" in output
+
+
 class TestCliAsm:
     def test_asm_subcommand(self, tmp_path):
         path = tmp_path / "prog.s"
@@ -183,6 +244,30 @@ class TestForensics:
         result = exp3_scenario().run_attack(NullPolicy())
         report = explain(result)
         assert "tainted dereference(s) went unchecked" in report
+
+    def test_provenance_report_label_mode(self):
+        result = run_minic(
+            "int main(void) { char b[8]; gets(b); return 0; }",
+            PointerTaintPolicy(),
+            stdin=b"A" * 32,
+            taint_labels=True,
+        )
+        report = provenance_report(result)
+        assert "tainted by:" in report
+        assert "read(fd=0)" in report
+        assert "input bytes" in report
+
+    def test_provenance_report_bit_mode_points_at_label_mode(self):
+        result = run_minic(
+            "int main(void) { char b[8]; gets(b); return 0; }",
+            PointerTaintPolicy(),
+            stdin=b"A" * 32,
+        )
+        assert "taint_labels=True" in provenance_report(result)
+
+    def test_provenance_report_without_alert(self):
+        result = run_minic("int main(void) { return 0; }")
+        assert "no alert" in provenance_report(result)
 
     def test_recent_trace_disassembles(self):
         result = exp1_scenario().run_attack(PointerTaintPolicy())

@@ -75,14 +75,16 @@ class TestMachineSnapshot:
         sim, _ = make_machine()
         run_partway(sim, 2000)  # past the read(): input bytes are tainted
         snap = sim.snapshot()
-        _, taint_pages, tainted_writes = snap.memory
+        # Shadow state now lives in the plane snapshot, not the memory one.
+        _, taint_pages, _, _ = snap.taint
+        _, tainted_writes = snap.memory
         assert any(any(page) for page in taint_pages.values())
         # Scrub some shadow bits, then roll back.
         for base in list(taint_pages):
             sim.memory.set_taint(base, 64, False)
         sim.memory.set_taint(0x7FFF0000, 4, True)
         sim.restore(snap)
-        assert sim.memory.snapshot()[1] == taint_pages
+        assert sim.plane.snapshot()[1] == taint_pages
         assert sim.memory.tainted_bytes_written == tainted_writes
 
     def test_restore_is_in_place_and_rerunnable(self):
