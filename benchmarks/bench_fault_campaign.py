@@ -10,9 +10,20 @@ Emits ``BENCH_fault_campaign.json`` at the repo root and a rendered
 summary under ``benchmarks/results/``.  Also runnable standalone::
 
     PYTHONPATH=src python benchmarks/bench_fault_campaign.py
+    PYTHONPATH=src python benchmarks/bench_fault_campaign.py --check
+
+``--check`` is the campaign-throughput regression guard: it re-measures
+the snapshot-reuse configuration and exits non-zero if trials/second
+fell more than ``--tolerance`` (default 10%) below the recorded
+``trials_per_sec_snapshot_reuse`` baseline.  One-sided (faster is always
+fine) and read-only: the baseline JSON is never rewritten by the guard.
 """
 
-from bench_util import save_json, save_report
+import argparse
+import json
+import sys
+
+from bench_util import REPO_ROOT, save_json, save_report
 
 from repro.evalx.reporting import render_kv
 from repro.fault import CampaignConfig, FaultCampaign, builtin_workload
@@ -91,14 +102,58 @@ def test_campaign_record_artifact():
     )
 
 
-def main():
+def check_against_baseline(tolerance=0.10, repeats=3, out=print):
+    """Snapshot-reuse regression guard against the recorded baseline.
+
+    One-sided: only a *drop* below ``baseline * (1 - tolerance)`` fails.
+    The baseline JSON is read, never rewritten -- regenerating it is a
+    deliberate act, not a side effect of the guard.  Returns a process
+    exit code.
+    """
+    path = REPO_ROOT / "BENCH_fault_campaign.json"
+    baseline = json.loads(path.read_text())["trials_per_sec_snapshot_reuse"]
+    current = max(
+        _run_campaign(reuse_snapshots=True).trials_per_second
+        for _ in range(repeats)
+    )
+    floor = baseline * (1.0 - tolerance)
+    out(f"snapshot-reuse throughput: {current:>10,.1f} trials/s")
+    out(f"recorded baseline:         {baseline:>10,.1f} trials/s")
+    out(f"allowed floor (-{tolerance:.0%}):      {floor:>10,.1f} trials/s")
+    if current < floor:
+        out(
+            f"BENCH GUARD FAIL: campaign throughput fell "
+            f"{(1 - current / baseline):.1%} below the recorded baseline"
+        )
+        return 1
+    out("BENCH GUARD OK")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="fault-campaign throughput benchmark / regression guard"
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="guard mode: compare snapshot-reuse trials/s against the "
+             "recorded BENCH_fault_campaign.json without rewriting it",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.10,
+        help="allowed fractional drop below the baseline (default 0.10)",
+    )
+    args = parser.parse_args(argv)
+    if args.check:
+        return check_against_baseline(tolerance=args.tolerance)
     record = collect_campaign_record()
     print("fault campaign throughput:")
     print(f"  snapshot reuse  {record['trials_per_sec_snapshot_reuse']:>8} trials/s")
     print(f"  rebuild         {record['trials_per_sec_rebuild']:>8} trials/s")
     print(f"  speedup         {record['snapshot_speedup']:>8}x")
     print("written: BENCH_fault_campaign.json")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -166,6 +166,10 @@ def validate_result_json(payload: Any) -> dict:
     fields: ``source_kind`` (non-empty str), ``offset_range`` (pair of
     ints), ``insn_index`` (int), ``describe`` (str); ``syscall`` and
     ``fd`` may be null.
+
+    When ``stats`` carries a ``"parallel"`` dict (pool-executed
+    campaigns), it must have ``workers`` (int >= 1), ``chunks``
+    (int >= 1), and ``wall_s`` (number >= 0).
     """
     problems = []
     if not isinstance(payload, dict):
@@ -221,6 +225,34 @@ def validate_result_json(payload: Any) -> dict:
                         problems.append(
                             f"{where}.{optional} must be null, str, or int"
                         )
+    parallel = (
+        payload["stats"].get("parallel")
+        if isinstance(payload.get("stats"), dict)
+        else None
+    )
+    if parallel is not None:
+        if not isinstance(parallel, dict):
+            problems.append("'stats.parallel' must be a dict")
+        else:
+            for key, minimum in (("workers", 1), ("chunks", 1)):
+                value = parallel.get(key)
+                if not (
+                    isinstance(value, int)
+                    and not isinstance(value, bool)
+                    and value >= minimum
+                ):
+                    problems.append(
+                        f"stats.parallel.{key} must be an int >= {minimum}"
+                    )
+            wall = parallel.get("wall_s")
+            if not (
+                isinstance(wall, (int, float))
+                and not isinstance(wall, bool)
+                and wall >= 0
+            ):
+                problems.append(
+                    "stats.parallel.wall_s must be a number >= 0"
+                )
     if problems:
         raise ValueError(
             "result does not match the unified schema: " + "; ".join(problems)
@@ -393,8 +425,11 @@ class Session:
         Exactly one of ``source`` (MiniC text), ``builtin`` (workload
         name), or ``workload`` must be given.  ``config_kwargs`` feed
         :class:`CampaignConfig` (``seed``, ``trials``, ``recovery``,
-        ``kinds``, ...); the session supplies ``engine`` and
-        ``use_caches`` defaults.
+        ``kinds``, ``workers``, ...); the session supplies ``engine`` and
+        ``use_caches`` defaults.  ``workers=N`` runs the trials on the
+        :mod:`repro.parallel` process pool (``0`` = one worker per core)
+        with a byte-identical digest; the result then carries a
+        ``stats.parallel`` summary.
         """
         given = [x is not None for x in (source, builtin, workload)]
         if sum(given) != 1:
@@ -431,6 +466,7 @@ class Session:
             config,
             schedule=schedule,
             instrument=instrument if needs_instrument else None,
+            registry=self.metrics,
         )
         result = campaign.run()
         while finalizers:
@@ -449,16 +485,20 @@ class Session:
     # ------------------------------------------------------------------
 
     def run_experiment(
-        self, name: str, render: bool = True
+        self, name: str, render: bool = True, workers: int = 1
     ) -> ExperimentResult:
         """Run one paper artifact; returns an :class:`ExperimentResult`.
 
         ``name`` is an evalx artifact key (``fig1``, ``fig2``,
         ``table2``, ``table3``, ``table4``, ``sec54``, ``coverage``).
         With ``render=True`` the paper-style text report is included.
-        When the session has a registry, the workload runs harvest into
-        it under the same metric names every other harness uses, plus an
-        ``experiment.<name>.seconds`` timer.
+        ``workers=N`` fans row-independent artifacts out to the
+        :mod:`repro.parallel` process pool (``0`` = one per core);
+        rendered tables are byte-identical to serial runs.  ``fig1``
+        (static data) and ``sec54`` (wall-clock measurement) always run
+        serially.  When the session has a registry, the workload runs
+        harvest into it under the same metric names every other harness
+        uses, plus an ``experiment.<name>.seconds`` timer.
         """
         from .evalx import experiments as ex
 
@@ -481,7 +521,7 @@ class Session:
             else None
         )
         start = time.perf_counter()
-        result = adapters[name](ex)
+        result = adapters[name](ex, workers)
         result.elapsed = time.perf_counter() - start
         if timer is not None:
             timer.stop()
@@ -494,14 +534,14 @@ class Session:
                 "table4": ex.report_table4,
                 "sec54": ex.report_sec54,
                 "coverage": ex.report_coverage_matrix,
-            }[name]()
+            }[name](workers=workers)
         if self.metrics is not None:
             result.metrics = self.metrics.to_dict()
         return result
 
     # -- per-artifact adapters ------------------------------------------
 
-    def _exp_fig1(self, ex) -> ExperimentResult:
+    def _exp_fig1(self, ex, workers: int = 1) -> ExperimentResult:
         data = ex.run_fig1()
         return ExperimentResult(
             name="fig1",
@@ -512,8 +552,10 @@ class Session:
             },
         )
 
-    def _exp_fig2(self, ex) -> ExperimentResult:
-        records = ex.run_synthetic_detections(registry=self.metrics)
+    def _exp_fig2(self, ex, workers: int = 1) -> ExperimentResult:
+        records = ex.run_synthetic_detections(
+            registry=self.metrics, workers=workers
+        )
         detected = sum(1 for r in records if r.detected)
         return ExperimentResult(
             name="fig2",
@@ -526,8 +568,8 @@ class Session:
             },
         )
 
-    def _exp_table2(self, ex) -> ExperimentResult:
-        data = ex.run_table2(registry=self.metrics)
+    def _exp_table2(self, ex, workers: int = 1) -> ExperimentResult:
+        data = ex.run_table2(registry=self.metrics, workers=workers)
         result = data["result"]
         return ExperimentResult(
             name="table2",
@@ -541,8 +583,8 @@ class Session:
             },
         )
 
-    def _exp_table3(self, ex) -> ExperimentResult:
-        rows = ex.run_table3(registry=self.metrics)
+    def _exp_table3(self, ex, workers: int = 1) -> ExperimentResult:
+        rows = ex.run_table3(registry=self.metrics, workers=workers)
         alerts = sum(r.alerts for r in rows)
         return ExperimentResult(
             name="table3",
@@ -555,8 +597,8 @@ class Session:
             },
         )
 
-    def _exp_table4(self, ex) -> ExperimentResult:
-        rows = ex.run_table4()
+    def _exp_table4(self, ex, workers: int = 1) -> ExperimentResult:
+        rows = ex.run_table4(workers=workers)
         return ExperimentResult(
             name="table4",
             data=rows,
@@ -567,7 +609,8 @@ class Session:
             },
         )
 
-    def _exp_sec54(self, ex) -> ExperimentResult:
+    def _exp_sec54(self, ex, workers: int = 1) -> ExperimentResult:
+        # Always serial: these rows measure wall-clock overhead.
         rows = ex.run_sec54()
         return ExperimentResult(
             name="sec54",
@@ -584,8 +627,8 @@ class Session:
             },
         )
 
-    def _exp_coverage(self, ex) -> ExperimentResult:
-        matrix = ex.run_coverage_matrix()
+    def _exp_coverage(self, ex, workers: int = 1) -> ExperimentResult:
+        matrix = ex.run_coverage_matrix(workers=workers)
         detected = sum(1 for row in matrix if row["pointer-taintedness"])
         return ExperimentResult(
             name="coverage",

@@ -38,8 +38,8 @@ from .obs.trace import read_trace, render_trace, summarize_trace
 
 __all__ = ["POLICIES", "REPORTS", "main"]
 
-#: report subcommand choices -> renderers.
-REPORTS: Dict[str, Callable[[], str]] = {
+#: report subcommand choices -> renderers (each accepts ``workers=``).
+REPORTS: Dict[str, Callable[..., str]] = {
     "fig1": experiments.report_fig1,
     "fig2": experiments.report_fig2,
     "table2": experiments.report_table2,
@@ -135,6 +135,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "name", choices=sorted(REPORTS) + ["all"],
         help="which artifact to regenerate",
     )
+    report_parser.add_argument(
+        "-j", "--workers", type=int, default=1,
+        help="fan row-independent artifacts out to N worker processes "
+             "(0 = one per core); tables are byte-identical to -j 1",
+    )
 
     # Imported lazily in _command_campaign; the choices lists here must
     # stay in sync with repro.fault.
@@ -177,6 +182,11 @@ def _build_parser() -> argparse.ArgumentParser:
                                  help="file whose bytes become stdin")
     campaign_parser.add_argument("--arg", action="append", default=[],
                                  help="victim argv entry (repeatable)")
+    campaign_parser.add_argument(
+        "-j", "--workers", type=int, default=1,
+        help="run trials on N worker processes (0 = one per core); the "
+             "digest is byte-identical to the serial -j 1 run",
+    )
     campaign_parser.add_argument(
         "--smoke", action="store_true",
         help="CI gate: exit non-zero unless the campaign classified every "
@@ -353,6 +363,7 @@ def _command_campaign(args: argparse.Namespace, out=sys.stdout) -> int:
         trials=args.trials,
         recovery=args.recovery,
         kinds=tuple(args.kind) if args.kind else FAULT_KINDS,
+        workers=args.workers,
     )
     try:
         if args.builtin is not None:
@@ -420,7 +431,7 @@ def _command_report(args: argparse.Namespace, out=sys.stdout) -> int:
     for i, name in enumerate(names):
         if i:
             out.write("\n\n")
-        out.write(REPORTS[name]() + "\n")
+        out.write(REPORTS[name](workers=args.workers) + "\n")
     return 0
 
 

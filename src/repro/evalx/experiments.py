@@ -4,6 +4,16 @@ Each ``run_*`` function returns structured data; each ``report_*`` renders
 the same data the way the paper presents it.  The benchmark harness under
 ``benchmarks/`` calls these runners, and EXPERIMENTS.md records their
 output against the paper's numbers.
+
+The row-structured artifacts (fig2 scenarios, the two Table 2 runs,
+Table 3 workloads, Table 4 scenarios, coverage-matrix rows) are
+independent executions, so their runners take a ``workers`` knob: ``1``
+(default) runs the historical serial loop, ``N > 1`` fans the per-row
+unit functions (``_unit_*``) out to the :mod:`repro.parallel` process
+pool.  Rows come back in their serial order and each unit is
+deterministic, so rendered tables are byte-identical for every worker
+count.  Worker-side metric harvests are shipped home as registry dumps
+and absorbed in row order (:meth:`~repro.obs.metrics.MetricsRegistry.absorb`).
 """
 
 from __future__ import annotations
@@ -46,6 +56,47 @@ from .cert import figure1_rows, memory_corruption_share
 from .reporting import check, render_kv, render_table
 
 
+def _parallel(workers: int) -> bool:
+    """True when ``workers`` asks for the process pool."""
+    from ..parallel.engine import resolve_workers
+
+    return resolve_workers(workers) > 1
+
+
+def _fan_units(kind: str, count: int, registry, workers: int) -> List:
+    from ..parallel.experiments import run_experiment_units
+
+    return run_experiment_units(kind, count, workers, registry=registry)
+
+
+@dataclass(frozen=True)
+class RunFacts:
+    """Picklable summary of a :class:`RunResult`.
+
+    Pool workers cannot ship a live machine across the process boundary,
+    so parallel Table 2 units return the exact strings the report and the
+    facade read off a ``RunResult`` -- rendering is byte-identical in
+    both modes.
+    """
+
+    outcome: str
+    detected: bool
+    alert: Optional[str]
+    summary: str
+
+    def describe(self) -> str:
+        return self.summary
+
+
+def _run_facts(result: RunResult) -> RunFacts:
+    return RunFacts(
+        outcome=result.outcome,
+        detected=result.detected,
+        alert=str(result.alert) if result.alert else None,
+        summary=result.describe(),
+    )
+
+
 def _harvest(registry: Optional[MetricsRegistry], result: RunResult) -> None:
     """Fold one run's statistics into an experiment's registry.
 
@@ -85,7 +136,9 @@ def run_fig1() -> Dict[str, object]:
     }
 
 
-def report_fig1() -> str:
+def report_fig1(workers: int = 1) -> str:
+    # Static advisory counts: nothing to fan out, the knob is accepted so
+    # every report shares one signature.
     data = run_fig1()
     table = render_table(
         ["vulnerability class", "advisories", "percent"],
@@ -119,40 +172,50 @@ class DetectionRecord:
         return self.outcome == "alert"
 
 
-def run_synthetic_detections(
-    registry: Optional[MetricsRegistry] = None,
-) -> List[DetectionRecord]:
-    """Replay the three synthetic attacks, observing detections through the
-    machine's event bus (a ``TaintedDereference`` event fires at the moment
-    the detector marks the instruction malicious)."""
+#: The fig2 scenario factories, indexed by unit position.
+_FIG2_SCENARIOS = (exp1_scenario, exp2_scenario, exp3_scenario)
+
+
+def _unit_fig2(
+    index: int, registry: Optional[MetricsRegistry] = None
+) -> DetectionRecord:
+    """One fig2 row: replay one synthetic attack, observing the detection
+    through the machine's event bus (a ``TaintedDereference`` event fires
+    at the moment the detector marks the instruction malicious)."""
     policy = PointerTaintPolicy()
-    records = []
-    for scenario in (exp1_scenario(), exp2_scenario(), exp3_scenario()):
-        result = scenario.run_attack(
-            policy, record_events=(TaintedDereference,)
-        )
-        _harvest(registry, result)
-        detections = (
-            result.events.of(TaintedDereference) if result.events else []
-        )
-        alert = detections[0].alert if detections else result.alert
-        records.append(
-            DetectionRecord(
-                scenario=scenario.name,
-                category=scenario.category,
-                policy=policy.name,
-                outcome=result.outcome,
-                alert=str(alert) if alert else "",
-                pointer=alert.pointer_value if alert else None,
-            )
-        )
-    return records
+    scenario = _FIG2_SCENARIOS[index]()
+    result = scenario.run_attack(policy, record_events=(TaintedDereference,))
+    _harvest(registry, result)
+    detections = (
+        result.events.of(TaintedDereference) if result.events else []
+    )
+    alert = detections[0].alert if detections else result.alert
+    return DetectionRecord(
+        scenario=scenario.name,
+        category=scenario.category,
+        policy=policy.name,
+        outcome=result.outcome,
+        alert=str(alert) if alert else "",
+        pointer=alert.pointer_value if alert else None,
+    )
 
 
-def report_fig2() -> str:
+def run_synthetic_detections(
+    registry: Optional[MetricsRegistry] = None, workers: int = 1
+) -> List[DetectionRecord]:
+    """Replay the three synthetic attacks (one pool unit each when
+    ``workers > 1``)."""
+    if _parallel(workers):
+        return _fan_units("fig2", len(_FIG2_SCENARIOS), registry, workers)
+    return [
+        _unit_fig2(i, registry) for i in range(len(_FIG2_SCENARIOS))
+    ]
+
+
+def report_fig2(workers: int = 1) -> str:
     rows = [
         (r.scenario, r.category, r.outcome.upper(), r.alert)
-        for r in run_synthetic_detections()
+        for r in run_synthetic_detections(workers=workers)
     ]
     return render_table(
         ["program", "attack class", "outcome", "alert"],
@@ -165,9 +228,41 @@ def report_fig2() -> str:
 # Table 2: the WU-FTPD session transcript
 # ---------------------------------------------------------------------------
 
+def _unit_table2(index: int, registry: Optional[MetricsRegistry] = None):
+    """One Table 2 run: 0 = protected (pointer-taintedness), 1 = the
+    unprotected control whose ``/etc/passwd`` damage the report prints.
+
+    Returns ``(RunFacts, passwd_after_bytes)`` -- picklable, unlike the
+    live :class:`RunResult` the serial path hands back.
+    """
+    scenario = wuftpd_scenario()
+    if index == 0:
+        result = scenario.run_attack(PointerTaintPolicy())
+        _harvest(registry, result)
+        return (_run_facts(result), b"")
+    unprotected = scenario.run_attack(NullPolicy())
+    passwd_after = (
+        unprotected.kernel.fs.read_file("/etc/passwd")
+        if unprotected.kernel
+        else b""
+    )
+    return (_run_facts(unprotected), passwd_after)
+
+
 def run_table2(
-    registry: Optional[MetricsRegistry] = None,
+    registry: Optional[MetricsRegistry] = None, workers: int = 1
 ) -> Dict[str, object]:
+    if _parallel(workers):
+        (facts, _), (un_facts, passwd_after) = _fan_units(
+            "table2", 2, registry, workers
+        )
+        return {
+            "result": facts,
+            "unprotected": un_facts,
+            "uid_address": uid_address(),
+            "payload": site_exec_payload(),
+            "passwd_after": passwd_after,
+        }
     scenario = wuftpd_scenario()
     result = scenario.run_attack(PointerTaintPolicy())
     _harvest(registry, result)
@@ -186,10 +281,10 @@ def run_table2(
     }
 
 
-def report_table2() -> str:
-    data = run_table2()
-    result: RunResult = data["result"]
-    unprotected: RunResult = data["unprotected"]
+def report_table2(workers: int = 1) -> str:
+    data = run_table2(workers=workers)
+    result = data["result"]
+    unprotected = data["unprotected"]
     payload = data["payload"].decode("latin-1").rstrip("\n")
     command, argument = payload[:10], payload[10:]
     printable = command + "".join(
@@ -226,9 +321,35 @@ def report_table2() -> str:
 # Section 5.1.2: real-world application attacks under all policies
 # ---------------------------------------------------------------------------
 
-def run_real_world(policies: Optional[Sequence[DetectionPolicy]] = None
-                   ) -> List[DetectionRecord]:
+def _unit_real_world(
+    index: int, registry: Optional[MetricsRegistry] = None
+) -> List[DetectionRecord]:
+    """One real-world scenario under the three standard policies."""
+    scenario = real_world_scenarios()[index]
+    records = []
+    for policy in (PointerTaintPolicy(), ControlDataPolicy(), NullPolicy()):
+        result = scenario.run_attack(policy)
+        records.append(
+            DetectionRecord(
+                scenario=scenario.name,
+                category=scenario.category,
+                policy=policy.name,
+                outcome=result.outcome,
+                alert=str(result.alert) if result.alert else
+                result.describe(),
+            )
+        )
+    return records
+
+
+def run_real_world(policies: Optional[Sequence[DetectionPolicy]] = None,
+                   workers: int = 1) -> List[DetectionRecord]:
     if policies is None:
+        if _parallel(workers):
+            per_scenario = _fan_units(
+                "real_world", len(real_world_scenarios()), None, workers
+            )
+            return [record for group in per_scenario for record in group]
         policies = (PointerTaintPolicy(), ControlDataPolicy(), NullPolicy())
     records = []
     for scenario in real_world_scenarios():
@@ -263,41 +384,55 @@ class FalsePositiveRow:
     stdout: str = ""
 
 
+def _table3_row(
+    workload: SpecWorkload,
+    policy: DetectionPolicy,
+    registry: Optional[MetricsRegistry],
+) -> FalsePositiveRow:
+    exe = build_program(workload.source)
+    stdin = workload.make_input()
+    result = run_minic(workload.source, policy, stdin=stdin)
+    _harvest(registry, result)
+    if result.outcome != "exit":
+        raise AssertionError(
+            f"benign workload {workload.name} did not exit cleanly: "
+            f"{result.describe()}"
+        )
+    assert result.sim is not None
+    program_bytes = 4 * len(exe.text_words) + len(exe.data)
+    return FalsePositiveRow(
+        name=workload.name,
+        program_bytes=program_bytes,
+        input_bytes=len(stdin),
+        instructions=result.sim.stats.instructions,
+        alerts=result.sim.stats.alerts,
+        stdout=result.stdout.strip(),
+    )
+
+
+def _unit_table3(
+    index: int, registry: Optional[MetricsRegistry] = None
+) -> FalsePositiveRow:
+    return _table3_row(SPEC_WORKLOADS[index], PointerTaintPolicy(), registry)
+
+
 def run_table3(
     workloads: Optional[Sequence[SpecWorkload]] = None,
     policy: Optional[DetectionPolicy] = None,
     registry: Optional[MetricsRegistry] = None,
+    workers: int = 1,
 ) -> List[FalsePositiveRow]:
+    # Custom workloads / policies cannot cross the pickle boundary, so the
+    # pool only serves the default (full Table 3) configuration.
+    if workloads is None and policy is None and _parallel(workers):
+        return _fan_units("table3", len(SPEC_WORKLOADS), registry, workers)
     workloads = workloads if workloads is not None else SPEC_WORKLOADS
     policy = policy if policy is not None else PointerTaintPolicy()
-    rows = []
-    for workload in workloads:
-        exe = build_program(workload.source)
-        stdin = workload.make_input()
-        result = run_minic(workload.source, policy, stdin=stdin)
-        _harvest(registry, result)
-        if result.outcome != "exit":
-            raise AssertionError(
-                f"benign workload {workload.name} did not exit cleanly: "
-                f"{result.describe()}"
-            )
-        assert result.sim is not None
-        program_bytes = 4 * len(exe.text_words) + len(exe.data)
-        rows.append(
-            FalsePositiveRow(
-                name=workload.name,
-                program_bytes=program_bytes,
-                input_bytes=len(stdin),
-                instructions=result.sim.stats.instructions,
-                alerts=result.sim.stats.alerts,
-                stdout=result.stdout.strip(),
-            )
-        )
-    return rows
+    return [_table3_row(w, policy, registry) for w in workloads]
 
 
-def report_table3() -> str:
-    rows = run_table3()
+def report_table3(workers: int = 1) -> str:
+    rows = run_table3(workers=workers)
     total = FalsePositiveRow(
         name="Total",
         program_bytes=sum(r.program_bytes for r in rows),
@@ -328,47 +463,49 @@ class FalseNegativeRow:
     damage: str
 
 
-def run_table4() -> List[FalseNegativeRow]:
-    policy = PointerTaintPolicy()
-    rows = []
+#: (scenario factory, row label, stdout marker, damage description).
+_TABLE4_CASES = (
+    (
+        vuln_a_scenario,
+        "(A) integer overflow -> negative array index",
+        "corrupted",
+        "memory below array overwritten",
+    ),
+    (
+        vuln_b_scenario,
+        "(B) overflow corrupts authentication flag",
+        "access granted",
+        "access granted without valid password",
+    ),
+    (
+        leak_scenario,
+        "(C) format string information leak (%x)",
+        "1337c0de",
+        "secret key leaked to output",
+    ),
+)
 
-    a = vuln_a_scenario()
-    result = a.run_attack(policy)
-    rows.append(
-        FalseNegativeRow(
-            scenario="(A) integer overflow -> negative array index",
-            detected=result.detected,
-            damage="memory below array overwritten"
-            if "corrupted" in result.stdout else "none",
-        )
+
+def _unit_table4(
+    index: int, registry: Optional[MetricsRegistry] = None
+) -> FalseNegativeRow:
+    factory, label, marker, damage = _TABLE4_CASES[index]
+    result = factory().run_attack(PointerTaintPolicy())
+    return FalseNegativeRow(
+        scenario=label,
+        detected=result.detected,
+        damage=damage if marker in result.stdout else "none",
     )
 
-    b = vuln_b_scenario()
-    result = b.run_attack(policy)
-    rows.append(
-        FalseNegativeRow(
-            scenario="(B) overflow corrupts authentication flag",
-            detected=result.detected,
-            damage="access granted without valid password"
-            if "access granted" in result.stdout else "none",
-        )
-    )
 
-    c = leak_scenario()
-    result = c.run_attack(policy)
-    leaked = "1337c0de" in result.stdout
-    rows.append(
-        FalseNegativeRow(
-            scenario="(C) format string information leak (%x)",
-            detected=result.detected,
-            damage="secret key leaked to output" if leaked else "none",
-        )
-    )
-    return rows
+def run_table4(workers: int = 1) -> List[FalseNegativeRow]:
+    if _parallel(workers):
+        return _fan_units("table4", len(_TABLE4_CASES), None, workers)
+    return [_unit_table4(i) for i in range(len(_TABLE4_CASES))]
 
 
-def report_table4() -> str:
-    rows = run_table4()
+def report_table4(workers: int = 1) -> str:
+    rows = run_table4(workers=workers)
     table = render_table(
         ["scenario", "detected", "damage done"],
         [(r.scenario, "yes" if r.detected else "NO (escapes)", r.damage)
@@ -382,25 +519,32 @@ def report_table4() -> str:
 # Coverage matrix: every attack x every policy (the section 5.1 claim)
 # ---------------------------------------------------------------------------
 
-def run_coverage_matrix() -> List[Dict[str, object]]:
-    policies = (PointerTaintPolicy(), ControlDataPolicy(), NullPolicy())
-    matrix = []
-    for scenario in all_attack_scenarios():
-        row: Dict[str, object] = {
-            "scenario": scenario.name,
-            "category": scenario.category,
-        }
-        for policy in policies:
-            result = scenario.run_attack(policy)
-            row[policy.name] = result.detected
-            if policy.name == "unprotected":
-                row["compromise"] = scenario.attack_succeeded(result)
-        matrix.append(row)
-    return matrix
+def _unit_coverage(
+    index: int, registry: Optional[MetricsRegistry] = None
+) -> Dict[str, object]:
+    """One coverage-matrix row: one attack scenario under every policy."""
+    scenario = all_attack_scenarios()[index]
+    row: Dict[str, object] = {
+        "scenario": scenario.name,
+        "category": scenario.category,
+    }
+    for policy in (PointerTaintPolicy(), ControlDataPolicy(), NullPolicy()):
+        result = scenario.run_attack(policy)
+        row[policy.name] = result.detected
+        if policy.name == "unprotected":
+            row["compromise"] = scenario.attack_succeeded(result)
+    return row
 
 
-def report_coverage_matrix() -> str:
-    matrix = run_coverage_matrix()
+def run_coverage_matrix(workers: int = 1) -> List[Dict[str, object]]:
+    count = len(all_attack_scenarios())
+    if _parallel(workers):
+        return _fan_units("coverage", count, None, workers)
+    return [_unit_coverage(i) for i in range(count)]
+
+
+def report_coverage_matrix(workers: int = 1) -> str:
+    matrix = run_coverage_matrix(workers=workers)
     rows = [
         (
             row["scenario"],
@@ -497,7 +641,9 @@ def shadow_state_overhead() -> Dict[str, float]:
     }
 
 
-def report_sec54() -> str:
+def report_sec54(workers: int = 1) -> str:
+    # Deliberately serial: the rows measure wall-clock overhead, which a
+    # shared-core pool would distort.
     rows = run_sec54()
     table = render_table(
         [

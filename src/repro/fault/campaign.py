@@ -37,11 +37,22 @@ Determinism: timeouts are decided by the deterministic instruction budget
 (the wall-clock deadline is a safety net orders of magnitude looser), all
 sampling pools are sorted, and the digest over the trial records makes two
 same-seed campaigns comparable with one string equality.
+
+The pipeline is split into three phases with a public method each --
+:meth:`FaultCampaign.build_plan` (golden run + seeded plan),
+:meth:`FaultCampaign.run_trial` (one rollback-replay-classify step), and
+:meth:`FaultCampaign.merge` (index-sorted record assembly) -- so the
+process-pool engine in :mod:`repro.parallel` can fan chunked plan slices
+out to workers and still produce the exact artifacts serial execution
+does.  ``CampaignConfig.workers`` selects the engine: ``1`` (default)
+runs the untouched serial loop, ``N > 1`` runs N pool workers, ``0``
+means every available core.
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
 import random
 import time
 from dataclasses import dataclass, field
@@ -157,6 +168,10 @@ class CampaignConfig:
     instruction_slack: float = 4.0
     max_seconds: float = 30.0
     reuse_snapshots: bool = True
+    #: Process-pool width: ``1`` = serial (the default, legacy loop
+    #: untouched), ``N > 1`` = that many pool workers, ``0`` = one per
+    #: available core.  The campaign digest is identical for every value.
+    workers: int = 1
     kinds: Tuple[str, ...] = FAULT_KINDS
 
     def __post_init__(self) -> None:
@@ -169,6 +184,14 @@ class CampaignConfig:
             raise ValueError(f"unknown fault kinds {sorted(unknown)}")
         if not self.kinds:
             raise ValueError("campaign needs at least one fault kind")
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0 (0 = one per core)")
+
+    def resolved_workers(self) -> int:
+        """The effective pool width (``0`` resolved to the core count)."""
+        if self.workers == 0:
+            return os.cpu_count() or 1
+        return self.workers
 
 
 @dataclass(frozen=True)
@@ -199,6 +222,11 @@ class CampaignResult:
     #: Metrics-registry dump attached by :class:`repro.api.Session`
     #: (None when the campaign was not instrumented).
     metrics: Optional[dict] = None
+    #: Pool execution summary (``{"workers", "chunks", "wall_s", ...}``)
+    #: when the campaign ran on the process-pool engine; None for serial
+    #: runs.  Never part of the digest: two campaigns that differ only in
+    #: pool width produce byte-identical records.
+    parallel: Optional[dict] = None
 
     @property
     def counts(self) -> Dict[str, int]:
@@ -240,7 +268,7 @@ class CampaignResult:
 
     def to_dict(self) -> dict:
         """JSON-ready summary (written by ``repro campaign --json``)."""
-        return {
+        payload = {
             "workload": self.workload,
             "seed": self.config.seed,
             "trials": len(self.records),
@@ -273,6 +301,9 @@ class CampaignResult:
                 for r in self.records
             ],
         }
+        if self.parallel is not None:
+            payload["parallel"] = dict(self.parallel)
+        return payload
 
     def to_json(self) -> dict:
         """Unified result payload (see ``repro.api.validate_result_json``).
@@ -304,6 +335,9 @@ class FaultCampaign:
             simulator -- the initial machine and any
             ``reuse_snapshots=False`` rebuild -- so metric observers and
             trace recorders survive machine replacement.
+        registry: optional :class:`~repro.obs.metrics.MetricsRegistry`
+            that the process-pool engine fills with ``parallel.*`` pool
+            metrics (serial runs never touch it).
     """
 
     def __init__(
@@ -312,12 +346,18 @@ class FaultCampaign:
         config: Optional[CampaignConfig] = None,
         schedule: Optional[Sequence[Tuple[Trigger, FaultSpec]]] = None,
         instrument: Optional[Callable[[Simulator], object]] = None,
+        registry=None,
     ) -> None:
         self.workload = workload
         self.config = config if config is not None else CampaignConfig()
         self.schedule = list(schedule) if schedule is not None else None
         self.instrument = instrument
+        self.registry = registry
         self.executable = build_program(workload.source)
+        self._sim: Optional[Simulator] = None
+        self._kernel: Optional[Kernel] = None
+        self._checkpoint: Optional[Checkpoint] = None
+        self._golden: Optional[GoldenRun] = None
 
     # ------------------------------------------------------------------
     # machine lifecycle
@@ -586,15 +626,107 @@ class FaultCampaign:
         return detail + suffix, recovered
 
     # ------------------------------------------------------------------
+    # the plan / execute / merge contract
+    # ------------------------------------------------------------------
+
+    def prepare(self) -> None:
+        """Build the machine, pre-run checkpoint, and golden baseline.
+
+        Idempotent: the first call does the work, later calls are free.
+        Every public phase method calls this, so a campaign object can be
+        driven piecewise (``build_plan`` in the parent process,
+        ``run_trial`` in a pool worker, ``merge`` back in the parent).
+        """
+        if self._golden is not None:
+            return
+        self._sim, self._kernel = self._make_machine()
+        self._checkpoint = Checkpoint(self._sim, self._kernel)
+        self._golden = self._golden_run(self._sim, self._kernel)
+
+    @property
+    def golden(self) -> GoldenRun:
+        """The golden baseline (prepares the campaign on first access)."""
+        self.prepare()
+        return self._golden
+
+    def build_plan(self) -> List[Tuple[Trigger, FaultSpec]]:
+        """Phase 2 as a standalone step: the full seeded trial plan.
+
+        Depends only on the config seed and the golden run -- never on
+        trial outcomes -- so the plan built in a campaign's parent
+        process is bit-identical to one any worker would build.
+        """
+        self.prepare()
+        return self._build_plan(self._golden, random.Random(self.config.seed))
+
+    def run_trial(
+        self, index: int, trigger: Trigger, spec: FaultSpec
+    ) -> TrialRecord:
+        """Phase 3+4 for one plan entry: rollback, inject, classify,
+        recover.  Stateless between calls (every trial starts from the
+        pre-run checkpoint), so any subset of plan entries can run in any
+        process in any order."""
+        self.prepare()
+        sim, kernel = self._sim, self._kernel
+        self._checkpoint.restore(sim, kernel)
+        outcome, detail, injected = self._run_trial(
+            sim, kernel, self._golden, trigger, spec
+        )
+        instructions = sim.stats.instructions
+        detail, recovered = self._recover(
+            sim, kernel, self._checkpoint, self._golden, outcome, detail
+        )
+        kernel.syscall_fault = None
+        return TrialRecord(
+            index=index,
+            trigger=trigger.spec(),
+            fault=spec.describe(),
+            outcome=outcome,
+            detail=detail,
+            instructions=instructions,
+            injected=injected,
+            recovered=recovered,
+        )
+
+    def merge(self, records: Sequence[TrialRecord]) -> CampaignResult:
+        """Assemble trial records (any order) into a campaign result.
+
+        Records are sorted by plan position, which is what makes the
+        pool's completion order irrelevant: the digest hashes records in
+        index order regardless of which worker finished when.  Raises if
+        the records do not cover the plan exactly once each.
+        """
+        self.prepare()
+        ordered = sorted(records, key=lambda r: r.index)
+        indices = [r.index for r in ordered]
+        if indices != list(range(len(ordered))):
+            missing = sorted(set(range(len(ordered))) - set(indices))
+            raise ValueError(
+                f"trial records do not cover the plan: expected indices "
+                f"0..{len(ordered) - 1}, missing {missing[:8]}"
+            )
+        return CampaignResult(
+            workload=self.workload.name,
+            config=self.config,
+            golden=self._golden,
+            records=list(ordered),
+        )
+
+    # ------------------------------------------------------------------
     # the campaign
     # ------------------------------------------------------------------
 
     def run(self) -> CampaignResult:
-        sim, kernel = self._make_machine()
-        checkpoint = Checkpoint(sim, kernel)
-        golden = self._golden_run(sim, kernel)
-        rng = random.Random(self.config.seed)
-        plan = self._build_plan(golden, rng)
+        workers = self.config.resolved_workers()
+        plan = self.build_plan()
+        if workers > 1 and len(plan) > 1:
+            return self._run_parallel(plan, workers)
+        return self._run_serial(plan)
+
+    def _run_serial(self, plan) -> CampaignResult:
+        sim, kernel = self._sim, self._kernel
+        checkpoint = self._checkpoint
+        golden = self._golden
         result = CampaignResult(
             workload=self.workload.name, config=self.config, golden=golden
         )
@@ -631,4 +763,28 @@ class FaultCampaign:
             if trial_subs:
                 sim.events.emit(TrialCompleted(index, outcome, detail))
         result.elapsed = time.perf_counter() - start
+        return result
+
+    def _run_parallel(self, plan, workers: int) -> CampaignResult:
+        if not self.config.reuse_snapshots:
+            raise ValueError(
+                "parallel campaigns require reuse_snapshots=True (each "
+                "worker rolls its chunk back from one local checkpoint)"
+            )
+        from ..parallel.engine import run_campaign_chunks
+
+        start = time.perf_counter()
+        records, pool_stats = run_campaign_chunks(
+            self, plan, workers, registry=self.registry
+        )
+        result = self.merge(records)
+        result.elapsed = time.perf_counter() - start
+        result.parallel = dict(pool_stats, wall_s=round(result.elapsed, 4))
+        # Replay completion events in plan order: subscribers observe the
+        # same TrialCompleted sequence a serial campaign emits.
+        if self._sim.events.subscribers(TrialCompleted):
+            for record in result.records:
+                self._sim.events.emit(
+                    TrialCompleted(record.index, record.outcome, record.detail)
+                )
         return result

@@ -239,6 +239,43 @@ class MetricsRegistry:
     def counters(self) -> Iterable[Counter]:
         return (m for m in self._metrics.values() if isinstance(m, Counter))
 
+    def absorb(self, dump: dict) -> None:
+        """Fold a :meth:`to_dict` dump from another registry into this one.
+
+        The cross-process merge primitive: pool workers harvest into a
+        local registry, ship its dump back (plain picklable dicts), and
+        the parent absorbs each dump in task order -- counters and timers
+        add, gauges keep the last value written, histograms merge
+        bucket-wise.  Absorbing worker dumps in a deterministic order
+        therefore reproduces the counters a serial run would have.
+        """
+        for name, value in dump.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in dump.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, data in dump.get("histograms", {}).items():
+            hist = self.histogram(name, data["edges"])
+            if list(hist.edges) != list(data["edges"]):
+                raise ValueError(
+                    f"histogram {name!r} bucket edges differ; cannot merge"
+                )
+            for i, bucket in enumerate(data["buckets"]):
+                hist.buckets[i] += bucket
+            hist.count += data["count"]
+            hist.total += data["sum"]
+            for bound, pick in (("min", min), ("max", max)):
+                theirs = data[bound]
+                if theirs is not None:
+                    ours = getattr(hist, bound)
+                    setattr(
+                        hist, bound,
+                        theirs if ours is None else pick(ours, theirs),
+                    )
+        for name, data in dump.get("timers", {}).items():
+            timer = self.timer(name)
+            timer.count += data["count"]
+            timer.seconds += data["seconds"]
+
     def to_dict(self) -> dict:
         """JSON-ready dump, grouped by metric kind, names sorted."""
         out: dict = {"counters": {}, "gauges": {}, "histograms": {}, "timers": {}}

@@ -1,0 +1,44 @@
+"""Process-pool trial engine: deterministic fan-out, bit-identical merge.
+
+The paper's evaluation is thousands of *independent* replays -- SWIFI
+trials and per-scenario attack / false-positive runs -- and the repo's
+plan -> trials -> digest pipeline is embarrassingly parallel by
+construction: the seeded plan depends only on config + golden run, every
+trial starts from the pre-run checkpoint, and the index-sorted record
+digest is a bit-for-bit correctness oracle.  This package fans that work
+out to ``multiprocessing`` workers and merges the results into the exact
+artifacts serial execution produces:
+
+* :mod:`~repro.parallel.engine` -- the generic pool (:func:`fan_out`):
+  contiguous chunking, deterministic in-order merge, worker-crash
+  handling (a failed chunk is retried once serially in-parent, then
+  surfaced as a structured :class:`ParallelExecutionError` -- never a
+  hang), and ``parallel.*`` pool metrics.  Plus the campaign chunk
+  executor: each worker rebuilds (or fork-inherits) the golden machine
+  once and snapshot-rollback-replays its plan slice locally.
+* :mod:`~repro.parallel.experiments` -- the same pool applied to the
+  evalx artifact runners (fig2 / table2 / table3 / table4 / coverage
+  rows are independent runs).
+
+The invariant everything here is tested against: **campaign digests and
+experiment tables are byte-identical for any worker count at a fixed
+seed.**
+"""
+
+from .engine import (
+    FanOutInfo,
+    ParallelExecutionError,
+    fan_out,
+    plan_chunks,
+    resolve_workers,
+    run_campaign_chunks,
+)
+
+__all__ = [
+    "FanOutInfo",
+    "ParallelExecutionError",
+    "fan_out",
+    "plan_chunks",
+    "resolve_workers",
+    "run_campaign_chunks",
+]

@@ -1,0 +1,87 @@
+"""Process-pool dispatch for the evalx artifact runners.
+
+The row-structured paper artifacts (fig2 scenarios, the two Table 2
+runs, Table 3 workloads, Table 4 scenarios, coverage-matrix rows,
+real-world applications) are independent executions whose row order is
+fixed by construction.  This module fans the per-row unit functions
+(``repro.evalx.experiments._unit_*``) out through :func:`fan_out` and
+reassembles the exact list a serial run produces:
+
+* Only ``(kind, index)`` pairs cross the pickle boundary; each worker
+  imports evalx itself and looks the unit up by name, so scenarios,
+  policies, and workloads never need to be picklable.
+* Each unit runs against a worker-local :class:`MetricsRegistry` and
+  ships its :meth:`~repro.obs.metrics.MetricsRegistry.to_dict` dump home
+  with the payload.  The parent absorbs the dumps **in row order**, so
+  the caller's registry ends up with the counters a serial run would
+  have produced.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .engine import fan_out
+
+__all__ = ["run_experiment_units"]
+
+#: unit kind -> name of the per-row function in repro.evalx.experiments.
+_UNIT_FUNCS = {
+    "fig2": "_unit_fig2",
+    "table2": "_unit_table2",
+    "table3": "_unit_table3",
+    "table4": "_unit_table4",
+    "coverage": "_unit_coverage",
+    "real_world": "_unit_real_world",
+}
+
+
+def _unit(task: Tuple[str, int]):
+    """Run one artifact row in this process; return ``(payload, dump)``.
+
+    ``dump`` is the worker-local registry dump, or ``None`` when the unit
+    recorded nothing (keeps the return payload small for the common
+    metrics-off units).
+    """
+    kind, index = task
+    # Imported lazily: in a spawn-context worker this is the first touch
+    # of the evalx package.
+    from ..evalx import experiments
+    from ..obs.metrics import MetricsRegistry
+
+    func = getattr(experiments, _UNIT_FUNCS[kind])
+    registry = MetricsRegistry()
+    payload = func(index, registry=registry)
+    dump = registry.to_dict() if len(registry) else None
+    return payload, dump
+
+
+def run_experiment_units(
+    kind: str,
+    count: int,
+    workers: int,
+    registry: Optional["MetricsRegistry"] = None,
+) -> List:
+    """Fan ``count`` rows of artifact ``kind`` out to the pool.
+
+    Returns the payloads in row order and absorbs each worker's metric
+    dump into ``registry`` (also in row order, so merged counters match a
+    serial run).
+    """
+    if kind not in _UNIT_FUNCS:
+        raise ValueError(f"unknown experiment unit kind: {kind!r}")
+    tasks = [(kind, i) for i in range(count)]
+    results, _info = fan_out(
+        _unit,
+        tasks,
+        workers,
+        registry=registry,
+        metric_prefix=f"parallel.experiment.{kind}",
+    )
+    payloads = []
+    for item in results:
+        payload, dump = item
+        if registry is not None and dump is not None:
+            registry.absorb(dump)
+        payloads.append(payload)
+    return payloads
