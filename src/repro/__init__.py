@@ -50,8 +50,17 @@ from .api import (
 from .attacks.replay import RunResult, run_executable, run_minic
 from .builder import build_machine
 from .obs import MetricsRegistry, Observer, TraceRecorder
-from .core.detector import Alert, SecurityException, TaintednessDetector
-from .core.policy import (
+from .defenses import (
+    Alert,
+    DEFENSES,
+    Detector,
+    PacDetector,
+    SecurityException,
+    ShadowStackDetector,
+    TaintednessDefense,
+    TaintednessDetector,
+)
+from .defenses.policy import (
     ControlDataPolicy,
     DetectionPolicy,
     NullPolicy,
@@ -81,6 +90,11 @@ __all__ = [
     "Alert",
     "SecurityException",
     "TaintednessDetector",
+    "TaintednessDefense",
+    "Detector",
+    "ShadowStackDetector",
+    "PacDetector",
+    "DEFENSES",
     "ControlDataPolicy",
     "DetectionPolicy",
     "NullPolicy",

@@ -39,7 +39,9 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Sequence, Union
 
 from .attacks.replay import RunResult, run_executable as _run_executable
-from .core.policy import (
+from .defenses.base import Detector
+from .defenses.registry import DEFENSES
+from .defenses.policy import (
     ControlDataPolicy,
     DetectionPolicy,
     NullPolicy,
@@ -170,6 +172,11 @@ def validate_result_json(payload: Any) -> dict:
     When ``stats`` carries a ``"parallel"`` dict (pool-executed
     campaigns), it must have ``workers`` (int >= 1), ``chunks``
     (int >= 1), and ``wall_s`` (number >= 0).
+
+    When ``stats`` carries a ``"defenses"`` dict (runs with a pluggable
+    defense attached), it must be non-empty and map defense names
+    (non-empty str) to summary dicts each carrying ``alerts`` (int >= 0)
+    and ``checks`` (int >= 0); extra summary keys are allowed.
     """
     problems = []
     if not isinstance(payload, dict):
@@ -253,6 +260,34 @@ def validate_result_json(payload: Any) -> dict:
                 problems.append(
                     "stats.parallel.wall_s must be a number >= 0"
                 )
+    defenses = (
+        payload["stats"].get("defenses")
+        if isinstance(payload.get("stats"), dict)
+        else None
+    )
+    if defenses is not None:
+        if not isinstance(defenses, dict) or not defenses:
+            problems.append("'stats.defenses' must be a non-empty dict")
+        else:
+            for name, summary in defenses.items():
+                where = f"stats.defenses[{name!r}]"
+                if not (isinstance(name, str) and name):
+                    problems.append(
+                        "stats.defenses keys must be non-empty strings"
+                    )
+                if not isinstance(summary, dict):
+                    problems.append(f"{where} must be a dict")
+                    continue
+                for key in ("alerts", "checks"):
+                    value = summary.get(key)
+                    if not (
+                        isinstance(value, int)
+                        and not isinstance(value, bool)
+                        and value >= 0
+                    ):
+                        problems.append(
+                            f"{where}.{key} must be an int >= 0"
+                        )
     if problems:
         raise ValueError(
             "result does not match the unified schema: " + "; ".join(problems)
@@ -282,6 +317,13 @@ class Session:
             tainting input's byte ranges (``alert.provenance``, surfaced
             in ``to_json()["stats"]["provenance"]``).  Detection verdicts
             and statistics are identical to the default bit mode.
+        defense: pluggable defense to attach to every run -- a registry
+            name (``"taintedness"``, ``"shadow-stack"``, ``"pac"``) or a
+            built :class:`repro.defenses.Detector`.  With the session's
+            default ``policy`` the machine runs under the defense's own
+            default policy (comparators run unprotected so the inline
+            taintedness check cannot preempt them); an explicit policy
+            overrides that.
     """
 
     def __init__(
@@ -293,10 +335,17 @@ class Session:
         trace: Union[None, bool, str, TraceConfig] = None,
         max_instructions: int = 20_000_000,
         taint_labels: bool = False,
+        defense: Union[None, str, Detector] = None,
     ) -> None:
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}; choose {ENGINES}")
+        if isinstance(defense, str) and defense not in DEFENSES:
+            raise ValueError(
+                f"unknown defense {defense!r}; choose from "
+                f"{sorted(DEFENSES.names())}"
+            )
         self.policy_spec = policy
+        self.defense = defense
         self.engine = engine
         self.use_caches = use_caches
         self.taint_labels = taint_labels
@@ -385,13 +434,20 @@ class Session:
         kwargs.setdefault("use_caches", self.use_caches)
         kwargs.setdefault("use_pipeline", self.engine == "pipeline")
         kwargs.setdefault("taint_labels", self.taint_labels)
-        resolved = (
-            resolve_policy(policy)
-            if policy is not None
-            else resolve_policy(self.policy_spec)
-        )
+        defense = kwargs.pop("defense", None)
+        if defense is None:
+            defense = self.defense
+        if policy is not None:
+            resolved = resolve_policy(policy)
+        elif defense is not None and self.policy_spec == "paper":
+            # Let the replay harness pick the defense's default policy
+            # (NullPolicy for the comparators).
+            resolved = None
+        else:
+            resolved = resolve_policy(self.policy_spec)
         return _run_executable(
-            exe, resolved, instrument=self._instrument, **kwargs
+            exe, resolved, instrument=self._instrument, defense=defense,
+            **kwargs
         )
 
     def run_minic(
@@ -490,7 +546,8 @@ class Session:
         """Run one paper artifact; returns an :class:`ExperimentResult`.
 
         ``name`` is an evalx artifact key (``fig1``, ``fig2``,
-        ``table2``, ``table3``, ``table4``, ``sec54``, ``coverage``).
+        ``table2``, ``table3``, ``table4``, ``sec54``, ``coverage``,
+        ``matrix``).
         With ``render=True`` the paper-style text report is included.
         ``workers=N`` fans row-independent artifacts out to the
         :mod:`repro.parallel` process pool (``0`` = one per core);
@@ -510,6 +567,7 @@ class Session:
             "table4": self._exp_table4,
             "sec54": self._exp_sec54,
             "coverage": self._exp_coverage,
+            "matrix": self._exp_matrix,
         }
         if name not in adapters:
             raise ValueError(
@@ -534,6 +592,7 @@ class Session:
                 "table4": ex.report_table4,
                 "sec54": ex.report_sec54,
                 "coverage": ex.report_coverage_matrix,
+                "matrix": ex.report_defense_matrix,
             }[name](workers=workers)
         if self.metrics is not None:
             result.metrics = self.metrics.to_dict()
@@ -641,4 +700,14 @@ class Session:
                     1 for row in matrix if row["control-data-only"]
                 ),
             },
+        )
+
+    def _exp_matrix(self, ex, workers: int = 1) -> ExperimentResult:
+        matrix = ex.run_defense_matrix(workers=workers, registry=self.metrics)
+        summary = ex.matrix_summary(matrix)
+        return ExperimentResult(
+            name="matrix",
+            data=matrix,
+            detected=summary["detected"]["taintedness"] > 0,
+            stats=dict(summary),
         )

@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Callable, List, Optional
 
 from ..attacks.replay import run_executable
-from ..core.policy import NullPolicy
+from ..defenses.policy import NullPolicy
 from ..isa.program import Executable
 from ..kernel.network import ScriptedClient
 

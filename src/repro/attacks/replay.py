@@ -20,9 +20,10 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
 
 from ..builder import build_machine
-from ..core.detector import Alert, SecurityException
 from ..core.events import EventLog, InstructionRetired
-from ..core.policy import DetectionPolicy, PointerTaintPolicy
+from ..defenses.alerts import Alert, SecurityException
+from ..defenses.policy import DetectionPolicy, PointerTaintPolicy
+from ..defenses.registry import resolve_defense
 from ..cpu.pipeline import Pipeline, PipelineStats
 from ..cpu.simulator import ExecutionLimit, Simulator, SimulatorFault
 from ..isa.program import Executable
@@ -123,6 +124,10 @@ class RunResult:
                 drain_cycles=self.pstats.drain_cycles,
                 cpi=round(self.pstats.cpi, 4),
             )
+        if self.sim is not None and self.sim.defenses:
+            # Present only when a pluggable defense is attached, so
+            # default-path result JSON stays byte-identical.
+            stats["defenses"] = self.sim.defense_summaries()
         return {
             "kind": "run",
             "detected": self.detected,
@@ -149,6 +154,7 @@ def run_executable(
     subscribers: Optional[Sequence] = None,
     record_events: Sequence[type] = (),
     instrument: Optional[Callable[[Simulator], Optional[Callable]]] = None,
+    defense=None,
 ) -> RunResult:
     """Run an executable image under a policy; never raises for outcomes.
 
@@ -167,8 +173,21 @@ def run_executable(
     machine-level watchdog, so they bound the run identically under the
     functional and the pipeline engine; either limit ends the run with
     ``OUTCOME_LIMIT``.
+
+    ``defense`` selects a pluggable defense (a registered name such as
+    ``"shadow-stack"``/``"pac"``/``"taintedness"``, or a built
+    :class:`repro.defenses.Detector`).  When ``policy`` is not given the
+    machine runs under the defense's :meth:`default_policy` -- the
+    comparators run over an unprotected taint plane so the inline
+    taintedness check cannot preempt them.
     """
-    policy = policy if policy is not None else PointerTaintPolicy()
+    detector = resolve_defense(defense)
+    if policy is None:
+        policy = (
+            detector.default_policy()
+            if detector is not None
+            else PointerTaintPolicy()
+        )
     network = SimNetwork()
     client_list = list(clients or [])
     for client in client_list:
@@ -185,6 +204,8 @@ def run_executable(
         use_caches=use_caches,
         taint_labels=taint_labels,
     )
+    if detector is not None:
+        sim.attach_defense(detector)
     finalizer = instrument(sim) if instrument is not None else None
     for event_type, handler in subscribers or ():
         sim.events.subscribe(event_type, handler)

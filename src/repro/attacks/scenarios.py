@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
-from ..core.policy import (
+from ..defenses.policy import (
     ControlDataPolicy,
     DetectionPolicy,
     NullPolicy,

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence, Tuple
 
-from .core.policy import DetectionPolicy
+from .defenses.policy import DetectionPolicy
 from .cpu.simulator import Simulator
 from .kernel.filesystem import SimFileSystem
 from .kernel.network import SimNetwork

@@ -374,6 +374,11 @@ class CodeGenerator:
 
         self._emit_label(func.name)
         self._emit("addiu $sp,$sp,-8")
+        # PAC sign/auth sites: pure labels on the return-address spill and
+        # reload, consumed by repro.defenses.pac through the symbol table.
+        # Labels add no instructions, so the encoded text (and every digest
+        # built on it) is identical with or without a PAC defense attached.
+        self._emit_label(self._new_label(f"pac_sign_{func.name}_"))
         self._emit("sw $ra,4($sp)")
         self._emit("sw $fp,0($sp)")
         self._emit("move $fp,$sp")
@@ -393,6 +398,7 @@ class CodeGenerator:
             self._emit(f"lw {reg},{-(layout.locals_size + 4 * (i + 1))}($fp)")
         self._emit("move $sp,$fp")
         self._emit("lw $fp,0($sp)")
+        self._emit_label(self._new_label(f"pac_auth_{func.name}_"))
         self._emit("lw $ra,4($sp)")
         self._emit("addiu $sp,$sp,8")
         self._emit("jr $ra")

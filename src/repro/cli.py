@@ -28,7 +28,8 @@ import json
 import sys
 from typing import Callable, Dict, Optional, Sequence
 
-from .api import POLICIES, Session, TraceConfig
+from .api import POLICIES, Session, TraceConfig, validate_result_json
+from .defenses import DEFENSES
 from .core.events import InstructionRetired
 from .evalx import experiments
 from .evalx.forensics import explain
@@ -47,6 +48,7 @@ REPORTS: Dict[str, Callable[..., str]] = {
     "table4": experiments.report_table4,
     "sec54": experiments.report_sec54,
     "coverage": experiments.report_coverage_matrix,
+    "matrix": experiments.report_defense_matrix,
 }
 
 
@@ -80,6 +82,13 @@ def _build_parser() -> argparse.ArgumentParser:
             choices=sorted(POLICIES),
             default="paper",
             help="detection policy (default: the paper's)",
+        )
+        p.add_argument(
+            "--defense",
+            choices=sorted(DEFENSES.names()),
+            default=None,
+            help="attach a pluggable defense (comparators run under an "
+                 "unprotected policy unless --policy is given explicitly)",
         )
         p.add_argument("--stdin-text", default=None,
                        help="stdin contents (latin-1 text)")
@@ -194,6 +203,26 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_observability_options(campaign_parser)
 
+    matrix_parser = sub.add_parser(
+        "matrix",
+        help="defense coverage matrix: every attack scenario under every "
+             "registered defense (taintedness vs shadow-stack vs PAC)",
+    )
+    matrix_parser.add_argument(
+        "-j", "--workers", type=int, default=1,
+        help="fan scenario rows out to N worker processes (0 = one per "
+             "core); the table is byte-identical to -j 1",
+    )
+    matrix_parser.add_argument(
+        "--no-overhead", action="store_true",
+        help="skip the benign-workload overhead table (faster; the "
+             "coverage half is unaffected)",
+    )
+    matrix_parser.add_argument(
+        "--json", dest="json_path", default=None, metavar="PATH",
+        help="write the unified machine-readable result to PATH",
+    )
+
     trace_parser = sub.add_parser(
         "trace", help="render, filter, or summarize a saved JSONL trace"
     )
@@ -248,6 +277,7 @@ def _make_session(args: argparse.Namespace, engine: str) -> Session:
         trace=trace,
         max_instructions=getattr(args, "max_instructions", 20_000_000),
         taint_labels=getattr(args, "taint_labels", False),
+        defense=getattr(args, "defense", None),
     )
 
 
@@ -277,7 +307,9 @@ def _command_run(args: argparse.Namespace, raw_asm: bool,
         argv=argv,
         subscribers=subscribers,
     )
-    policy_name = POLICIES[args.policy]().name
+    policy_name = result.sim.policy.name if result.sim else args.policy
+    if getattr(args, "defense", None):
+        policy_name = f"{policy_name} + {args.defense}"
     if result.stdout:
         out.write(result.stdout)
         if not result.stdout.endswith("\n"):
@@ -403,6 +435,42 @@ def _command_campaign(args: argparse.Namespace, out=sys.stdout) -> int:
     return 0
 
 
+def _command_matrix(args: argparse.Namespace, out=sys.stdout) -> int:
+    from .evalx.defense_matrix import (
+        matrix_summary,
+        run_defense_matrix,
+        run_defense_overhead,
+        report_defense_matrix,
+    )
+
+    matrix = run_defense_matrix(workers=args.workers)
+    overhead_rows = None if args.no_overhead else run_defense_overhead()
+    out.write(
+        report_defense_matrix(
+            overhead=not args.no_overhead,
+            matrix=matrix,
+            overhead_rows=overhead_rows,
+        )
+        + "\n"
+    )
+    if args.json_path:
+        summary = matrix_summary(matrix)
+        stats = dict(summary, rows=matrix)
+        if overhead_rows is not None:
+            stats["overhead"] = overhead_rows
+        payload = validate_result_json(
+            {
+                "kind": "experiment",
+                "name": "matrix",
+                "detected": summary["detected"]["taintedness"] > 0,
+                "stats": stats,
+                "metrics": {},
+            }
+        )
+        _write_json(args.json_path, payload)
+    return 0
+
+
 def _command_trace(args: argparse.Namespace, out=sys.stdout) -> int:
     try:
         records = list(read_trace(args.file))
@@ -450,6 +518,8 @@ def main(argv: Optional[Sequence[str]] = None, out=sys.stdout) -> int:
         return _command_report(args, out=out)
     if args.command == "campaign":
         return _command_campaign(args, out=out)
+    if args.command == "matrix":
+        return _command_matrix(args, out=out)
     if args.command == "trace":
         return _command_trace(args, out=out)
     raise SystemExit(f"unknown command {args.command!r}")

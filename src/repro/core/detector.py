@@ -1,139 +1,37 @@
-"""Tainted-pointer dereference detection (section 4.3 of the paper).
+"""Compatibility shim: detection now lives in :mod:`repro.defenses`.
 
-Two kinds of instructions can dereference a pointer on the simulated RISC
-machine, exactly as on SimpleScalar:
-
-* **load/store** -- the effective-address word is checked after the EX/MEM
-  stage;
-* **JR/JALR** -- the jump-target register is checked after the ID/EX stage.
-
-When any byte of the checked word is tainted the instruction is marked
-malicious; retiring a malicious instruction raises a security exception,
-which the simulated OS turns into process termination.
+This module was the original home of the taintedness detector and its
+alert vocabulary.  The defenses extraction (ROADMAP item 4) split it into
+:mod:`repro.defenses.alerts` and :mod:`repro.defenses.taintedness`; this
+shim re-exports the public surface so existing imports keep working.  The
+old intentional tail import of the policy module (a documentation-cycle
+dodge) is gone -- the defenses package imports cleanly top-of-file.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from ..defenses.alerts import (
+    CONTROL_KINDS,
+    DATA_KINDS,
+    KIND_ANNOTATION,
+    KIND_JUMP,
+    KIND_LOAD,
+    KIND_STORE,
+    Alert,
+    SecurityException,
+)
+from ..defenses.policy import DetectionPolicy
+from ..defenses.taintedness import TaintednessDetector
 
-from .taint import word_mask_is_tainted
-
-#: Kinds of tainted dereference the detector distinguishes.
-KIND_LOAD = "load"
-KIND_STORE = "store"
-KIND_JUMP = "jump"
-#: Tainted write into programmer-annotated never-tainted data (the
-#: section 5.3 extension; see :mod:`repro.core.annotations`).
-KIND_ANNOTATION = "annotation"
-
-#: Kinds that dereference *data* pointers (checked after EX/MEM).
-DATA_KINDS = frozenset({KIND_LOAD, KIND_STORE})
-
-#: Kinds that dereference *code* pointers (checked after ID/EX).
-CONTROL_KINDS = frozenset({KIND_JUMP})
-
-
-@dataclass(frozen=True)
-class Alert:
-    """A tainted-pointer dereference caught by the detector.
-
-    Matches the information the paper prints in its alert lines, e.g.
-    ``44d7b0: sw $21,0($3)   $3=0x1002bc20``.
-    """
-
-    pc: int
-    kind: str
-    disassembly: str
-    pointer_value: int
-    taint_mask: int
-    instruction_index: int = 0
-    detail: str = ""
-    #: Provenance chain in label mode: the :class:`repro.taint.labels.
-    #: TaintLabel` records whose input bytes the dereferenced pointer
-    #: derives from.  Empty in bit mode.  Not part of ``__str__`` so the
-    #: rendered alert line (and every digest built on it) is identical
-    #: across modes.
-    provenance: Tuple = ()
-
-    def __str__(self) -> str:
-        return (
-            f"{self.pc:x}: {self.disassembly}   "
-            f"pointer={self.pointer_value:#010x} taint={self.taint_mask:#x}"
-        )
-
-    def describe_provenance(self) -> List[str]:
-        """Human-readable provenance lines (empty in bit mode)."""
-        return [label.describe() for label in self.provenance]
-
-
-class SecurityException(Exception):
-    """Raised at instruction retirement when a malicious instruction retires.
-
-    The simulated operating system catches this exception and terminates the
-    attacked process, defeating the ongoing intrusion.
-    """
-
-    def __init__(self, alert: Alert) -> None:
-        super().__init__(str(alert))
-        self.alert = alert
-
-
-class TaintednessDetector:
-    """Checks dereferenced words against a detection policy and logs alerts.
-
-    The detector is deliberately tiny: hardware-wise it is a single OR gate
-    over the four taintedness bits of the dereferenced word plus an opcode
-    qualifier.  The *policy* decides which dereference kinds are checked,
-    which is how the control-data-only baseline (Minos / Secure Program
-    Execution) is expressed.
-    """
-
-    def __init__(self, policy: "DetectionPolicy") -> None:
-        self.policy = policy
-        self.alerts: List[Alert] = []
-
-    def check(
-        self,
-        kind: str,
-        pc: int,
-        disassembly: str,
-        pointer_value: int,
-        taint_mask: int,
-        instruction_index: int = 0,
-        detail: str = "",
-        provenance: Tuple = (),
-    ) -> Optional[Alert]:
-        """Check one dereference; return an :class:`Alert` if it is malicious.
-
-        The caller (pipeline retirement logic or functional simulator) is
-        responsible for raising :class:`SecurityException` for the returned
-        alert -- detection and exception delivery are separate pipeline
-        stages in the paper's design.  ``provenance`` is the pointer's
-        resolved label chain when the taint plane runs in label mode.
-        """
-        if not word_mask_is_tainted(taint_mask):
-            return None
-        if not self.policy.checks(kind):
-            return None
-        alert = Alert(
-            pc=pc,
-            kind=kind,
-            disassembly=disassembly,
-            pointer_value=pointer_value,
-            taint_mask=taint_mask,
-            instruction_index=instruction_index,
-            detail=detail,
-            provenance=provenance,
-        )
-        self.alerts.append(alert)
-        return alert
-
-    def reset(self) -> None:
-        """Clear logged alerts (e.g. between benchmark iterations)."""
-        self.alerts.clear()
-
-
-# Imported late to avoid a cycle: policy.py documents itself against the
-# detector's dereference kinds.
-from .policy import DetectionPolicy  # noqa: E402  (intentional tail import)
+__all__ = [
+    "Alert",
+    "SecurityException",
+    "TaintednessDetector",
+    "DetectionPolicy",
+    "KIND_LOAD",
+    "KIND_STORE",
+    "KIND_JUMP",
+    "KIND_ANNOTATION",
+    "DATA_KINDS",
+    "CONTROL_KINDS",
+]

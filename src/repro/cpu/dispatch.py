@@ -28,7 +28,7 @@ Executor contract
 ``op() -> next_pc``.  An executor applies the instruction's architectural
 effects to the bound :class:`~repro.cpu.machine.MachineState` and returns
 the next program counter.  It raises
-:class:`~repro.core.detector.SecurityException` when the detector marks the
+:class:`~repro.defenses.alerts.SecurityException` when the detector marks the
 instruction malicious, and :class:`~repro.cpu.machine.SimulatorFault` /
 :class:`~repro.mem.tainted_memory.MemoryFault` on machine-level faults.
 Per-step bookkeeping that is identical for every instruction (instruction
@@ -50,7 +50,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List
 
-from ..core.detector import KIND_JUMP, KIND_LOAD, KIND_STORE
+from ..defenses.alerts import KIND_JUMP, KIND_LOAD, KIND_STORE
 from ..core.events import SyscallEnter, SyscallExit, TaintPropagated
 from ..core.propagation import propagate_and
 from ..core.taint import WORD_TAINTED

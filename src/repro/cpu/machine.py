@@ -21,14 +21,14 @@ from dataclasses import dataclass
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from ..core.annotations import WatchpointSet
-from ..core.detector import (
+from ..core.events import EventBus, TaintedDereference
+from ..defenses.alerts import (
     Alert,
     KIND_ANNOTATION,
     SecurityException,
-    TaintednessDetector,
 )
-from ..core.events import EventBus, TaintedDereference
-from ..core.policy import DetectionPolicy, PointerTaintPolicy
+from ..defenses.policy import DetectionPolicy, PointerTaintPolicy
+from ..defenses.taintedness import TaintednessDetector
 from ..isa.program import Executable
 from ..mem.cache import CacheHierarchy
 from ..mem.layout import STACK_TOP
@@ -159,6 +159,9 @@ class MachineState:
         self.instruction_limit: Optional[int] = None
         #: Watchdog: ``time.monotonic()`` deadline (None = no deadline).
         self.deadline: Optional[float] = None
+        #: Pluggable defenses currently observing this machine (see
+        #: :mod:`repro.defenses`); attach via :meth:`attach_defense`.
+        self.defenses: List = []
         self._load_image()
 
     # ------------------------------------------------------------------
@@ -383,6 +386,37 @@ class MachineState:
         if events.subscribers(TaintedDereference):
             events.emit(TaintedDereference(pc, KIND_ANNOTATION, alert))
         raise SecurityException(alert)
+
+    # ------------------------------------------------------------------
+    # pluggable defenses (event-bus observers; see repro.defenses)
+    # ------------------------------------------------------------------
+
+    def attach_defense(self, detector) -> "MachineState":
+        """Attach a :class:`repro.defenses.Detector` to observe this machine.
+
+        Defenses subscribe event-bus hook points; like every other
+        subscriber their state is *not* part of machine snapshots, so
+        rollback restores architectural state while attached defenses
+        persist.  Returns the machine for chaining.
+        """
+        detector.attach(self)
+        self.defenses.append(detector)
+        return self
+
+    def detach_defense(self, detector) -> None:
+        """Unsubscribe one attached defense (no-op when not attached)."""
+        if detector in self.defenses:
+            self.defenses.remove(detector)
+            detector.detach()
+
+    def defense_summaries(self) -> Dict[str, Dict[str, object]]:
+        """Per-defense summary dicts keyed by defense name.
+
+        This is the ``stats.defenses`` block of the unified result schema;
+        empty when no pluggable defense is attached (the default inline
+        taintedness path), which keeps default-run JSON byte-identical.
+        """
+        return {d.name: d.summary() for d in self.defenses}
 
     # ------------------------------------------------------------------
     # conveniences for the kernel / tests

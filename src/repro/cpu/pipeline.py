@@ -15,7 +15,7 @@ semantics, Table 1 propagation, and the section 4.3 checks:
   executes speculatively past an unresolved control transfer, so program
   order is preserved;
 * a detected tainted dereference *marks* the instruction and drains the
-  pipeline; the :class:`~repro.core.detector.SecurityException` is raised
+  pipeline; the :class:`~repro.defenses.alerts.SecurityException` is raised
   only on the cycle the marked instruction retires, exactly like the paper's
   retirement-stage exception;
 * control transfers stall fetch until they execute (no branch prediction),
@@ -27,7 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from ..core.detector import Alert, SecurityException
+from ..defenses.alerts import Alert, SecurityException
 from ..isa.instructions import Instr
 from .machine import ExecutionLimit
 from .simulator import Simulator

@@ -26,7 +26,7 @@ from time import monotonic as _monotonic
 from typing import Callable, Optional
 
 from ..core.events import InstructionRetired, MemoryFaulted
-from ..core.policy import DetectionPolicy
+from ..defenses.policy import DetectionPolicy
 from ..isa.instructions import Instr
 from ..isa.program import Executable
 from ..mem.tainted_memory import MemoryFault

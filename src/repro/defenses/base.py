@@ -1,0 +1,87 @@
+"""The pluggable-defense interface: detectors as machine observers.
+
+A :class:`Detector` is one defense mechanism evaluated by the coverage
+matrix (ROADMAP item 4): the paper's pointer-taintedness detection, a
+shadow-stack/CFI checker, or PAC-style pointer signing.  Detectors are
+*observers* of one machine -- they subscribe to event-bus hook points
+(``InstructionRetired`` for the comparators) or, for the taintedness
+defense, wrap the machine's inline check path -- and report malicious
+instructions by raising :class:`~repro.defenses.alerts.SecurityException`,
+which both engines deliver at retirement exactly like the paper's
+security exception.
+
+Like every other event-bus subscriber, detector state is **not** part of
+machine snapshots: rollback restores architectural state while observers
+persist (the same contract the tracing and metrics layers rely on).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from .alerts import Alert
+from .policy import DetectionPolicy, NullPolicy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cpu.machine import MachineState
+
+__all__ = ["Detector"]
+
+
+class Detector:
+    """Base class for pluggable defenses.
+
+    Subclasses override :meth:`attach`/:meth:`detach` to subscribe their
+    hook points and :meth:`default_policy` to name the
+    :class:`DetectionPolicy` the machine should run under when this
+    detector is the *active* defense (the comparators run over an
+    unprotected taint plane so the taintedness check cannot preempt
+    them).
+    """
+
+    #: Registry name; subclasses override.
+    name: str = "detector"
+
+    def __init__(self) -> None:
+        self.alerts: List[Alert] = []
+        #: How many hook-point events this detector inspected.
+        self.checks: int = 0
+        self._machine: Optional["MachineState"] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def default_policy(self) -> DetectionPolicy:
+        """Machine policy when this detector is the active defense."""
+        return NullPolicy()
+
+    def attach(self, machine: "MachineState") -> "Detector":
+        """Subscribe this detector's hook points to ``machine``."""
+        if self._machine is not None:
+            raise RuntimeError(f"detector {self.name!r} already attached")
+        self._machine = machine
+        return self
+
+    def detach(self) -> None:
+        """Remove all subscriptions (no-op when not attached)."""
+        self._machine = None
+
+    def reset(self) -> None:
+        """Clear alerts and counters (e.g. between benchmark iterations)."""
+        self.alerts.clear()
+        self.checks = 0
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+
+    def summary(self) -> Dict[str, object]:
+        """The per-detector entry of the ``stats.defenses`` result block."""
+        return {"alerts": len(self.alerts), "checks": self.checks}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<{type(self).__name__} name={self.name!r} "
+            f"alerts={len(self.alerts)} checks={self.checks}>"
+        )

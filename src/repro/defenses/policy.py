@@ -1,0 +1,77 @@
+"""Detection policies: the paper's defense and the baselines it is compared to.
+
+* :class:`PointerTaintPolicy` -- the paper's contribution.  Every dereference
+  of a tainted word (load address, store address, or jump-register target)
+  raises an alert.  Detects both control-data and non-control-data attacks.
+* :class:`ControlDataPolicy` -- models control-flow-integrity style defenses
+  (Minos, Secure Program Execution): identical taint machinery, but only
+  *control transfers* are checked.  Non-control-data attacks slip through.
+* :class:`NullPolicy` -- an unprotected processor; nothing is checked.  Used
+  to demonstrate that the replayed attacks actually succeed when undefended,
+  and as the machine policy under the comparator defenses (shadow stack,
+  PAC), which detect through the event bus instead of the taint plane.
+
+Policies also carry the taint-tracking configuration knobs the paper
+describes as compatibility concessions (compare-untaint, the XOR zero idiom),
+so ablation benchmarks can toggle them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import FrozenSet
+
+
+@dataclass(frozen=True)
+class DetectionPolicy:
+    """Which pointer-dereference kinds are checked, and how taint is tracked.
+
+    Attributes:
+        name: Human-readable policy name used in reports.
+        checked_kinds: Subset of ``{"load", "store", "jump"}`` to check.
+        untaint_on_compare: Apply the Table 1 compare rule (untaint operand
+            registers of compare/branch instructions).  Disabling it is the
+            ablation the paper discusses in section 4.2 note (4).
+        untaint_xor_idiom: Recognize ``XOR r, s, s`` as a zero idiom.
+        untaint_and_zero: Apply the AND-with-untainted-zero byte rule.
+        track_taint: Master switch; when False no taint is propagated at all
+            (used by the section 5.4 overhead benchmarks).
+    """
+
+    name: str
+    checked_kinds: FrozenSet[str] = frozenset()
+    untaint_on_compare: bool = True
+    untaint_xor_idiom: bool = True
+    untaint_and_zero: bool = True
+    track_taint: bool = True
+
+    def checks(self, kind: str) -> bool:
+        """True when dereferences of ``kind`` must be checked."""
+        return kind in self.checked_kinds
+
+    def with_options(self, **kwargs) -> "DetectionPolicy":
+        """Return a variant policy with selected options replaced."""
+        return replace(self, **kwargs)
+
+
+def PointerTaintPolicy(**kwargs) -> DetectionPolicy:
+    """The paper's pointer-taintedness detection policy (checks everything)."""
+    return DetectionPolicy(
+        name="pointer-taintedness",
+        checked_kinds=frozenset({"load", "store", "jump"}),
+        **kwargs,
+    )
+
+
+def ControlDataPolicy(**kwargs) -> DetectionPolicy:
+    """Control-data-only baseline (Minos / Secure Program Execution style)."""
+    return DetectionPolicy(
+        name="control-data-only",
+        checked_kinds=frozenset({"jump"}),
+        **kwargs,
+    )
+
+
+def NullPolicy(**kwargs) -> DetectionPolicy:
+    """Unprotected processor: taint may be tracked but nothing is checked."""
+    return DetectionPolicy(name="unprotected", checked_kinds=frozenset(), **kwargs)

@@ -1,0 +1,84 @@
+"""Named registry of pluggable defenses.
+
+The registry maps stable defense names (``taintedness``, ``shadow-stack``,
+``pac``) to :class:`~repro.defenses.base.Detector` factories so the CLI
+(``repro run --defense``, ``repro matrix``), the :class:`repro.api.Session`
+facade, and the evalx defense matrix can all resolve defenses the same
+way.  A module-level default registry (:data:`DEFENSES`) carries the three
+built-ins; tests register throwaway detectors on private instances.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Union
+
+from .base import Detector
+from .pac import PacDetector
+from .shadow_stack import ShadowStackDetector
+from .taintedness import TaintednessDefense
+
+__all__ = ["DetectorRegistry", "DEFENSES", "resolve_defense"]
+
+DetectorFactory = Callable[[], Detector]
+
+
+class DetectorRegistry:
+    """Name -> detector-factory mapping with Session/CLI resolution."""
+
+    def __init__(self) -> None:
+        self._factories: Dict[str, DetectorFactory] = {}
+
+    def register(
+        self, name: str, factory: DetectorFactory, replace: bool = False
+    ) -> DetectorFactory:
+        """Register ``factory`` under ``name``; returns the factory.
+
+        Usable as a decorator on a Detector subclass.  Re-registering an
+        existing name raises unless ``replace=True`` (guards against two
+        defenses silently shadowing each other).
+        """
+        if not replace and name in self._factories:
+            raise ValueError(f"defense {name!r} already registered")
+        self._factories[name] = factory
+        return factory
+
+    def names(self) -> List[str]:
+        """Registered defense names, in registration order."""
+        return list(self._factories)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._factories
+
+    def create(self, name: str) -> Detector:
+        """Instantiate a fresh detector for ``name``."""
+        try:
+            factory = self._factories[name]
+        except KeyError:
+            known = ", ".join(sorted(self._factories))
+            raise KeyError(f"unknown defense {name!r} (known: {known})") from None
+        return factory()
+
+    def resolve(self, defense: Union[str, Detector, None]) -> Optional[Detector]:
+        """Resolve a user-facing defense spec to a detector instance.
+
+        Accepts a registered name, an already-built :class:`Detector`
+        (passed through), or ``None`` (no pluggable defense -- the inline
+        taintedness path alone).
+        """
+        if defense is None:
+            return None
+        if isinstance(defense, Detector):
+            return defense
+        return self.create(defense)
+
+
+#: The default registry with the three built-in defenses.
+DEFENSES = DetectorRegistry()
+DEFENSES.register("taintedness", TaintednessDefense)
+DEFENSES.register("shadow-stack", ShadowStackDetector)
+DEFENSES.register("pac", PacDetector)
+
+
+def resolve_defense(defense: Union[str, Detector, None]) -> Optional[Detector]:
+    """Resolve against the default registry (module-level convenience)."""
+    return DEFENSES.resolve(defense)

@@ -1,0 +1,115 @@
+"""Shadow-stack / CFI comparator defense (hardware-CFI survey, PAPERS.md).
+
+A hardware shadow stack mirrors the call stack in protected storage: every
+call pushes its return address, every return checks the jump target
+against the protected copy.  It defeats return-address smashing -- the
+classic control-data attack -- but it checks **only** ``JR``-to-``$ra``
+control transfers.  Attacks that corrupt non-control data (a uid word, a
+``CGI-BIN`` configuration string, a heap chunk's link pointers) never
+touch a return address and sail straight through, which is exactly the
+coverage gap the paper's section 6 argues and the defense matrix
+(``repro matrix``) demonstrates.
+
+Hook points: the detector subscribes to ``InstructionRetired`` and
+reacts to the three call/return mnemonics:
+
+* ``jal``/``jalr`` -- push the architectural link address (``pc + 4``);
+* ``jr $ra`` -- pop and compare against the actual jump target.
+
+A mismatch raises :class:`~repro.defenses.alerts.SecurityException` from
+the retirement hook, so both engines deliver the exception with the same
+retirement-time semantics as the taintedness detector.  ``longjmp``-style
+non-local returns are tolerated the way hardware shadow stacks tolerate
+them: on mismatch the stack is popped until a matching frame is found and
+only a target matching *no* live frame raises.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.events import InstructionRetired
+from .alerts import Alert, KIND_RETURN, SecurityException
+from .base import Detector
+
+__all__ = ["ShadowStackDetector"]
+
+_MASK32 = 0xFFFFFFFF
+
+#: MIPS link register number ($ra).
+_REG_RA = 31
+
+
+class ShadowStackDetector(Detector):
+    """Return-address protection: call/return pairing off the event bus."""
+
+    name = "shadow-stack"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._stack: List[int] = []
+        self._handler = None
+
+    def attach(self, machine) -> "ShadowStackDetector":
+        super().attach(machine)
+        values = machine.regs.values
+        stack = self._stack
+
+        def on_retired(event: InstructionRetired) -> None:
+            instr = event.instr
+            name = instr.name
+            if name == "jal" or name == "jalr":
+                # The link address is architecturally pc + 4 (no delay
+                # slots on this machine); pushed even for jalr with a
+                # non-$ra link register, matching hardware that snoops
+                # the call opcode rather than the register file.
+                stack.append((event.pc + 4) & _MASK32)
+                return
+            if name != "jr" or instr.rs != _REG_RA:
+                return
+            # jr does not write registers, so after retirement $ra still
+            # holds the jump target.
+            target = values[_REG_RA]
+            self.checks += 1
+            if not stack:
+                return  # return with no recorded call (e.g. crt0 exit path)
+            if stack[-1] == target:
+                stack.pop()
+                return
+            if target in stack:
+                # longjmp-style unwind: pop the skipped frames.
+                while stack and stack[-1] != target:
+                    stack.pop()
+                if stack:
+                    stack.pop()
+                return
+            expected = stack[-1]
+            alert = Alert(
+                pc=event.pc,
+                kind=KIND_RETURN,
+                disassembly=instr.text or instr.name,
+                pointer_value=target,
+                taint_mask=0,
+                instruction_index=event.index,
+                detail=f"shadow stack expected {expected:#010x}",
+            )
+            self.alerts.append(alert)
+            raise SecurityException(alert)
+
+        self._handler = machine.events.subscribe(InstructionRetired, on_retired)
+        return self
+
+    def detach(self) -> None:
+        if self._machine is not None and self._handler is not None:
+            self._machine.events.unsubscribe(InstructionRetired, self._handler)
+        self._handler = None
+        super().detach()
+
+    def reset(self) -> None:
+        super().reset()
+        self._stack.clear()
+
+    @property
+    def depth(self) -> int:
+        """Current shadow-stack depth (tests and diagnostics)."""
+        return len(self._stack)

@@ -44,7 +44,7 @@ from ..apps.wuftpd import (
 from ..attacks.replay import RunResult, run_minic
 from ..attacks.scenarios import AttackScenario
 from ..core.events import TaintedDereference
-from ..core.policy import (
+from ..defenses.policy import (
     ControlDataPolicy,
     DetectionPolicy,
     NullPolicy,
@@ -679,3 +679,18 @@ def report_sec54(workers: int = 1) -> str:
         title="hardware model:",
     )
     return f"{table}\n{extra}"
+
+
+# ---------------------------------------------------------------------------
+# Defense matrix: every attack x every pluggable defense (ROADMAP item 4)
+# ---------------------------------------------------------------------------
+
+# Re-exported here so pool workers resolve the unit by name on this
+# module like every other ``_unit_*`` (see repro.parallel.experiments).
+from .defense_matrix import (  # noqa: E402  (re-export after definitions)
+    _unit_defense_matrix,
+    matrix_summary,
+    report_defense_matrix,
+    run_defense_matrix,
+    run_defense_overhead,
+)

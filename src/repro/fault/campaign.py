@@ -59,9 +59,9 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..builder import build_machine
-from ..core.detector import SecurityException
+from ..defenses.alerts import SecurityException
 from ..core.events import InstructionRetired, SyscallEnter, TrialCompleted
-from ..core.policy import PointerTaintPolicy
+from ..defenses.policy import PointerTaintPolicy
 from ..cpu.machine import ExecutionLimit, SimulatorFault
 from ..cpu.pipeline import Pipeline
 from ..cpu.simulator import Simulator

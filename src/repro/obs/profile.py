@@ -178,6 +178,13 @@ class Observer:
             reg.gauge("taint.labels.allocated").set(table.allocated_labels)
             reg.gauge("taint.labelsets.interned").set(table.interned_sets)
 
+        for detector in getattr(sim, "defenses", ()):
+            # Pluggable defenses (repro.defenses): per-detector hook
+            # checks and alerts, keyed by registry name.
+            prefix = f"defense.{detector.name}"
+            reg.counter(f"{prefix}.checks").inc(detector.checks)
+            reg.counter(f"{prefix}.alerts").inc(len(detector.alerts))
+
         caches = getattr(sim, "caches", None)
         if caches is not None:
             for level in (caches.l1, caches.l2):

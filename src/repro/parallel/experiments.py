@@ -32,6 +32,7 @@ _UNIT_FUNCS = {
     "table3": "_unit_table3",
     "table4": "_unit_table4",
     "coverage": "_unit_coverage",
+    "defense_matrix": "_unit_defense_matrix",
     "real_world": "_unit_real_world",
 }
 
