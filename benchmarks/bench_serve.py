@@ -1,0 +1,264 @@
+"""Gateway throughput: sustained jobs/s and tail latency under load.
+
+Engineering data for :mod:`repro.serve`: four concurrent clients hammer
+one gateway over loopback with small run jobs, measuring sustained
+jobs/s and the p50/p99 request latency, plus the campaign digest parity
+that makes the service trustworthy (served digest == in-process digest).
+
+Emits ``BENCH_serve.json`` at the repo root (with ``cpu_count`` and the
+worker count, so a number from a one-core CI box is never mistaken for a
+scaling claim) and a rendered summary under ``benchmarks/results/``.
+Also runnable standalone::
+
+    PYTHONPATH=src:benchmarks python benchmarks/bench_serve.py
+    PYTHONPATH=src:benchmarks python benchmarks/bench_serve.py --check
+    PYTHONPATH=src:benchmarks python benchmarks/bench_serve.py --smoke
+
+``--check`` is the one-sided service-overhead guard: with the in-process
+rate for the same workload measured on the same host in the same run,
+the served rate (4 concurrent clients, 1 worker) must stay above
+``0.25x`` of it -- the gateway may cost IPC + JSON + queueing, but never
+4x the work itself.  Host speed cancels out, and the baseline JSON is
+never rewritten by the guard.  ``--smoke`` is the CI fast path used by
+the serve-smoke job: concurrent clients, schema validity, digest
+equality, health sanity.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+import threading
+import os
+from time import perf_counter
+
+from bench_util import save_json, save_report
+
+from repro.api import Session, validate_result_json
+from repro.evalx.reporting import render_kv
+from repro.libc.build import build_program
+from repro.serve import BackgroundServer, ServeClient
+
+_CLIENTS = 4
+_JOBS_PER_CLIENT = 12
+_DIGEST_SEED = 11
+_DIGEST_TRIALS = 10
+
+_JOB_SOURCE = r"""
+int main(void) {
+    char buf[32];
+    int i;
+    int acc;
+    read(0, buf, 16);
+    acc = 0;
+    i = 0;
+    while (i < 200) {
+        acc = acc + buf[i % 16] + i;
+        i = i + 1;
+    }
+    printf("acc=%d\n", acc);
+    return 0;
+}
+"""
+
+_RUN_JOB = {"kind": "run", "source": _JOB_SOURCE, "stdin": "benchload!!!!!!!"}
+
+
+def _client_loop(host, port, jobs, latencies, errors):
+    with ServeClient(host=host, port=port) as client:
+        for _ in range(jobs):
+            started = perf_counter()
+            result = client.request(dict(_RUN_JOB))
+            latencies.append((perf_counter() - started) * 1000.0)
+            if result.get("kind") != "run":
+                errors.append(result)
+
+
+def measure_served(clients=_CLIENTS, jobs_per_client=_JOBS_PER_CLIENT):
+    """Sustained jobs/s + latency distribution at ``clients`` concurrency."""
+    latencies: list = []
+    errors: list = []
+    with BackgroundServer(workers=1) as bg:
+        with ServeClient(host=bg.server.host, port=bg.server.port) as warm:
+            warm.request(dict(_RUN_JOB))  # populate the worker's exe cache
+            served_digest = warm.request(
+                {"kind": "campaign", "builtin": "exp3",
+                 "seed": _DIGEST_SEED, "trials": _DIGEST_TRIALS}
+            )["stats"]["digest"]
+        threads = [
+            threading.Thread(
+                target=_client_loop,
+                args=(bg.server.host, bg.server.port, jobs_per_client,
+                      latencies, errors),
+            )
+            for _ in range(clients)
+        ]
+        started = perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = perf_counter() - started
+        health = None
+        with ServeClient(host=bg.server.host, port=bg.server.port) as probe:
+            health = probe.health()
+    assert bg.exit_code == 0, "drain must exit 0"
+    assert not errors, f"non-run responses under load: {errors[:2]}"
+    total = clients * jobs_per_client
+    latencies.sort()
+    return {
+        "clients": clients,
+        "jobs": total,
+        "elapsed_s": round(elapsed, 3),
+        "jobs_per_sec": round(total / elapsed, 2),
+        "latency_ms": {
+            "p50": round(statistics.median(latencies), 2),
+            "p99": round(latencies[max(0, int(len(latencies) * 0.99) - 1)], 2),
+            "max": round(latencies[-1], 2),
+        },
+        "served_digest": served_digest,
+        "health": {
+            "completed": health["completed"],
+            "worker_crashes": health["workers"]["crashes"],
+        },
+    }
+
+
+def measure_in_process(jobs=_CLIENTS * _JOBS_PER_CLIENT):
+    """The same run workload without the service: the overhead baseline."""
+    session = Session()
+    exe = build_program(_JOB_SOURCE)
+    stdin = _RUN_JOB["stdin"].encode()
+    session.run_executable(exe, stdin=stdin)  # warm parity with the server
+    started = perf_counter()
+    for _ in range(jobs):
+        session.run_executable(exe, stdin=stdin)
+    elapsed = perf_counter() - started
+    return {"jobs": jobs, "jobs_per_sec": round(jobs / elapsed, 2)}
+
+
+def collect_serve_record():
+    served = measure_served()
+    local = measure_in_process()
+    digest = Session().run_campaign(
+        builtin="exp3", seed=_DIGEST_SEED, trials=_DIGEST_TRIALS
+    ).digest()
+    assert served["served_digest"] == digest, (
+        "served campaign digest diverged from the in-process Session"
+    )
+    record = {
+        "cpu_count": os.cpu_count() or 1,
+        "workers": 1,
+        "served": served,
+        "in_process": local,
+        "relative_throughput": round(
+            served["jobs_per_sec"] / local["jobs_per_sec"], 3
+        ) if local["jobs_per_sec"] else 0.0,
+        "digest": digest,
+    }
+    save_json("serve", record)
+    return record
+
+
+def test_serve_record_artifact():
+    record = collect_serve_record()
+    served = record["served"]
+    assert served["clients"] >= 4
+    assert served["jobs_per_sec"] > 0
+    assert served["latency_ms"]["p99"] >= served["latency_ms"]["p50"]
+    save_report(
+        "serve",
+        render_kv(
+            [
+                ("host cores", record["cpu_count"]),
+                ("gateway workers", record["workers"]),
+                ("concurrent clients", served["clients"]),
+                ("jobs served", served["jobs"]),
+                ("sustained jobs/s", served["jobs_per_sec"]),
+                ("latency p50 (ms)", served["latency_ms"]["p50"]),
+                ("latency p99 (ms)", served["latency_ms"]["p99"]),
+                ("in-process jobs/s", record["in_process"]["jobs_per_sec"]),
+                ("served / in-process", record["relative_throughput"]),
+                ("campaign digest parity", record["digest"][:16] + "..."),
+                ("note", "JSON record at BENCH_serve.json"),
+            ],
+            title="serve gateway throughput",
+        ),
+    )
+
+
+def check_overhead(out=print):
+    """Service-overhead guard (one-sided, never rewrites the baseline)."""
+    served = measure_served()
+    local = measure_in_process()
+    achieved = (
+        served["jobs_per_sec"] / local["jobs_per_sec"]
+        if local["jobs_per_sec"] else 0.0
+    )
+    required = 0.25
+    out(f"in-process rate: {local['jobs_per_sec']:>10,.1f} jobs/s")
+    out(f"served rate:     {served['jobs_per_sec']:>10,.1f} jobs/s "
+        f"({served['clients']} clients)")
+    out(f"p99 latency:     {served['latency_ms']['p99']:>10,.1f} ms")
+    out(f"achieved ratio:  {achieved:>10.2f}x  (required >= {required:.2f}x)")
+    if achieved < required:
+        out(
+            f"BENCH GUARD FAIL: served throughput {achieved:.2f}x of "
+            f"in-process is below the {required:.2f}x bar"
+        )
+        return 1
+    out("BENCH GUARD OK")
+    return 0
+
+
+def smoke(out=print):
+    """CI fast path: concurrent clients, schema + digest + health checks."""
+    served = measure_served(clients=2, jobs_per_client=3)
+    local_digest = Session().run_campaign(
+        builtin="exp3", seed=_DIGEST_SEED, trials=_DIGEST_TRIALS
+    ).digest()
+    if served["served_digest"] != local_digest:
+        out("SMOKE FAIL: served digest diverged from in-process Session")
+        return 1
+    if served["health"]["completed"] < served["jobs"]:
+        out("SMOKE FAIL: health probe missed completed jobs")
+        return 1
+    out(
+        f"SMOKE OK: {served['jobs']} jobs at {served['jobs_per_sec']} "
+        f"jobs/s, digest {local_digest[:16]}... identical over the wire"
+    )
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="serve gateway benchmark / overhead guard"
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="guard mode: served throughput must stay above 0.25x of the "
+             "in-process rate for the same workload",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="fast CI path: concurrent clients, digest + health sanity",
+    )
+    args = parser.parse_args(argv)
+    if args.check:
+        return check_overhead()
+    if args.smoke:
+        return smoke()
+    record = collect_serve_record()
+    served = record["served"]
+    print(f"serve gateway ({record['cpu_count']} core(s), "
+          f"{served['clients']} clients, {record['workers']} worker):")
+    print(f"  sustained: {served['jobs_per_sec']:>8,.1f} jobs/s")
+    print(f"  latency:   p50 {served['latency_ms']['p50']:,.1f} ms, "
+          f"p99 {served['latency_ms']['p99']:,.1f} ms")
+    print(f"  vs in-process: {record['relative_throughput']:.2f}x")
+    print("written: BENCH_serve.json")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

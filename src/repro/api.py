@@ -56,6 +56,7 @@ from .obs import MetricsRegistry, Observer, TraceRecorder
 __all__ = [
     "ENGINES",
     "ExperimentResult",
+    "LIMIT_REASONS",
     "POLICIES",
     "RESULT_KINDS",
     "Session",
@@ -78,6 +79,9 @@ ENGINES = ("functional", "pipeline")
 
 #: The unified result family.
 RESULT_KINDS = ("run", "campaign", "experiment")
+
+#: Watchdog limit reasons a structured ``stats.limit`` block may carry.
+LIMIT_REASONS = ("instructions", "wallclock", "cycles")
 
 
 def resolve_policy(
@@ -153,6 +157,49 @@ class ExperimentResult:
         }
 
 
+def _validate_error_envelope(payload: dict, problems: list) -> None:
+    """Checks for the ``{"kind": "error", "error": {...}}`` family."""
+    error = payload.get("error")
+    if not isinstance(error, dict):
+        problems.append("'error' must be a dict with 'type' and 'message'")
+        return
+    if not (isinstance(error.get("type"), str) and error["type"]):
+        problems.append("error.type must be a non-empty str")
+    if not isinstance(error.get("message"), str):
+        problems.append("error.message must be a str")
+    reason = payload.get("reason")
+    if reason is not None and not (isinstance(reason, str) and reason):
+        problems.append("'reason' must be a non-empty str when present")
+
+
+def _validate_job_envelope(job: Any, problems: list) -> None:
+    """Checks for the per-job accounting block served responses carry."""
+    if job is None:
+        return
+    if not isinstance(job, dict):
+        problems.append("'job' must be a dict")
+        return
+    if not (isinstance(job.get("id"), str) and job["id"]):
+        problems.append("job.id must be a non-empty str")
+    for key in ("queue_ms", "exec_ms"):
+        if key not in job:
+            continue
+        value = job.get(key)
+        if not (
+            isinstance(value, (int, float))
+            and not isinstance(value, bool)
+            and value >= 0
+        ):
+            problems.append(f"job.{key} must be a number >= 0")
+    retries = job.get("retries")
+    if retries is not None and not (
+        isinstance(retries, int)
+        and not isinstance(retries, bool)
+        and retries >= 0
+    ):
+        problems.append("job.retries must be an int >= 0")
+
+
 def validate_result_json(payload: Any) -> dict:
     """Assert ``payload`` matches the unified result schema; return it.
 
@@ -177,13 +224,38 @@ def validate_result_json(payload: Any) -> dict:
     defense attached), it must be non-empty and map defense names
     (non-empty str) to summary dicts each carrying ``alerts`` (int >= 0)
     and ``checks`` (int >= 0); extra summary keys are allowed.
+
+    Two service-era extensions are also part of the schema:
+
+    * ``{"kind": "error", "error": {"type", "message"}}`` -- the uniform
+      failure envelope every CLI ``--json`` failure and every
+      ``repro serve`` rejection uses.  ``type`` must be a non-empty
+      string, ``message`` a string; extras (``reason``, ``job``) are
+      allowed, and the run-result keys are not required.
+    * a ``"job"`` dict on any payload (responses served over the
+      gateway) with ``id`` (non-empty str), ``queue_ms``/``exec_ms``
+      (numbers >= 0), and ``retries`` (int >= 0).
+
+    When ``stats`` carries a ``"limit"`` dict (watchdog-terminated
+    runs), its ``reason`` must be one of :data:`LIMIT_REASONS` and
+    ``instructions`` an int >= 0.
     """
     problems = []
     if not isinstance(payload, dict):
         raise ValueError(f"result payload must be a dict, got {type(payload)}")
     kind = payload.get("kind")
+    if kind == "error":
+        _validate_error_envelope(payload, problems)
+        _validate_job_envelope(payload.get("job"), problems)
+        if problems:
+            raise ValueError(
+                "result does not match the unified schema: "
+                + "; ".join(problems)
+            )
+        return payload
     if kind not in RESULT_KINDS:
-        problems.append(f"kind={kind!r} not in {RESULT_KINDS}")
+        problems.append(f"kind={kind!r} not in {RESULT_KINDS + ('error',)}")
+    _validate_job_envelope(payload.get("job"), problems)
     if not isinstance(payload.get("detected"), bool):
         problems.append("'detected' must be a bool")
     if not isinstance(payload.get("stats"), dict):
@@ -259,6 +331,28 @@ def validate_result_json(payload: Any) -> dict:
             ):
                 problems.append(
                     "stats.parallel.wall_s must be a number >= 0"
+                )
+    limit = (
+        payload["stats"].get("limit")
+        if isinstance(payload.get("stats"), dict)
+        else None
+    )
+    if limit is not None:
+        if not isinstance(limit, dict):
+            problems.append("'stats.limit' must be a dict")
+        else:
+            if limit.get("reason") not in LIMIT_REASONS:
+                problems.append(
+                    f"stats.limit.reason must be one of {LIMIT_REASONS}"
+                )
+            insns = limit.get("instructions")
+            if not (
+                isinstance(insns, int)
+                and not isinstance(insns, bool)
+                and insns >= 0
+            ):
+                problems.append(
+                    "stats.limit.instructions must be an int >= 0"
                 )
     defenses = (
         payload["stats"].get("defenses")

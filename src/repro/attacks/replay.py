@@ -48,6 +48,11 @@ class RunResult:
     exit_status: Optional[int] = None
     alert: Optional[Alert] = None
     fault: str = ""
+    #: Structured watchdog verdict when ``outcome == "limit"``:
+    #: ``{"reason": "instructions" | "wallclock", "instructions": int,
+    #: "pc": int}`` (None otherwise).  Services and schedulers branch on
+    #: ``limit["reason"]`` instead of parsing the ``fault`` string.
+    limit: Optional[dict] = None
     sim: Optional[Simulator] = None
     kernel: Optional[Kernel] = None
     clients: List[ScriptedClient] = field(default_factory=list)
@@ -111,6 +116,8 @@ class RunResult:
             "fault": self.fault or None,
             "executed_programs": self.executed_programs,
         }
+        if self.limit is not None:
+            stats["limit"] = dict(self.limit)
         if self.alert is not None and self.alert.provenance:
             stats["provenance"] = [
                 label.to_dict() for label in self.alert.provenance
@@ -235,6 +242,11 @@ def run_executable(
     except ExecutionLimit as exc:
         result.outcome = OUTCOME_LIMIT
         result.fault = str(exc)
+        result.limit = {
+            "reason": exc.reason,
+            "instructions": exc.instructions,
+            "pc": exc.pc,
+        }
     if finalizer is not None:
         finalizer(result)
     return result

@@ -25,7 +25,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
+from time import perf_counter
 from typing import Callable, Dict, Optional, Sequence
 
 from .api import POLICIES, Session, TraceConfig, validate_result_json
@@ -242,6 +244,45 @@ def _build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument(
         "--summary", action="store_true",
         help="print per-event-type counts instead of the records",
+    )
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="start the detection-as-a-service gateway (JSON lines over "
+             "TCP or a Unix socket)",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port to listen on (0 = pick an ephemeral port)",
+    )
+    serve_parser.add_argument(
+        "--unix-socket", default=None, metavar="PATH",
+        help="listen on a Unix socket instead of TCP",
+    )
+    serve_parser.add_argument(
+        "-j", "--workers", type=int, default=1,
+        help="persistent worker processes (0 = one per core)",
+    )
+    serve_parser.add_argument(
+        "--queue-capacity", type=int, default=64,
+        help="max pending jobs before queue_full rejections",
+    )
+    serve_parser.add_argument(
+        "--max-retries", type=int, default=2,
+        help="retries for a job whose worker crashed",
+    )
+    serve_parser.add_argument(
+        "--backoff", type=float, default=0.05, metavar="SECONDS",
+        help="base for the exponential crash-retry backoff",
+    )
+    serve_parser.add_argument(
+        "--breaker-threshold", type=int, default=5,
+        help="consecutive crashes that trip the circuit breaker",
+    )
+    serve_parser.add_argument(
+        "--breaker-cooldown", type=float, default=0.5, metavar="SECONDS",
+        help="quarantine window after the breaker trips",
     )
     return parser
 
@@ -503,9 +544,78 @@ def _command_report(args: argparse.Namespace, out=sys.stdout) -> int:
     return 0
 
 
-def main(argv: Optional[Sequence[str]] = None, out=sys.stdout) -> int:
-    """CLI entry point; returns the process exit code."""
-    args = _build_parser().parse_args(argv)
+def _command_serve(args: argparse.Namespace, out=sys.stdout) -> int:
+    import asyncio
+
+    from .serve import ReproServer
+
+    server = ReproServer(
+        host=args.host,
+        port=args.port,
+        unix_socket=args.unix_socket,
+        workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        max_retries=args.max_retries,
+        backoff_s=args.backoff,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown,
+    )
+
+    def ready(s: ReproServer) -> None:
+        out.write(
+            f"repro serve: listening on {s.address} "
+            f"({s.pool.workers} workers, queue {s.queue.capacity})\n"
+        )
+        if hasattr(out, "flush"):
+            out.flush()
+
+    async def _serve() -> int:
+        loop = asyncio.get_running_loop()
+        # SIGTERM/SIGINT mean *drain*, not die: finish in-flight jobs,
+        # reject new ones, then exit 0.
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, server.begin_drain)
+        return await server.run(ready=ready)
+
+    return asyncio.run(_serve())
+
+
+#: Long-running commands that honor SIGINT/SIGTERM with a clean 130 exit.
+_INTERRUPTIBLE = ("campaign", "report", "matrix")
+
+
+def _run_interruptible(command: str, fn: Callable[[], int]) -> int:
+    """Run ``fn`` with SIGTERM mapped to ``KeyboardInterrupt``.
+
+    Interrupting a fanned-out command cancels the worker pool promptly
+    (``fan_out`` shuts its executor down with ``cancel_futures=True`` on
+    ``KeyboardInterrupt``), reports partial progress on stderr, and exits
+    with the conventional 130 instead of a traceback.
+    """
+    def _on_term(signum, frame):  # pragma: no cover - exercised via subprocess
+        raise KeyboardInterrupt
+
+    previous = None
+    try:
+        previous = signal.signal(signal.SIGTERM, _on_term)
+    except ValueError:
+        pass  # not the main thread (e.g. tests driving main() directly)
+    started = perf_counter()
+    try:
+        return fn()
+    except KeyboardInterrupt:
+        elapsed = perf_counter() - started
+        sys.stderr.write(
+            f"repro {command}: interrupted after {elapsed:.1f}s -- worker "
+            f"pool cancelled, partial progress discarded\n"
+        )
+        return 130
+    finally:
+        if previous is not None:
+            signal.signal(signal.SIGTERM, previous)
+
+
+def _dispatch(args: argparse.Namespace, out) -> int:
     if args.command == "run":
         return _command_run(args, raw_asm=False, out=out)
     if args.command == "asm":
@@ -515,14 +625,54 @@ def main(argv: Optional[Sequence[str]] = None, out=sys.stdout) -> int:
     if args.command == "disasm":
         return _command_disasm(args, out=out)
     if args.command == "report":
-        return _command_report(args, out=out)
+        return _run_interruptible(
+            "report", lambda: _command_report(args, out=out)
+        )
     if args.command == "campaign":
-        return _command_campaign(args, out=out)
+        return _run_interruptible(
+            "campaign", lambda: _command_campaign(args, out=out)
+        )
     if args.command == "matrix":
-        return _command_matrix(args, out=out)
+        return _run_interruptible(
+            "matrix", lambda: _command_matrix(args, out=out)
+        )
     if args.command == "trace":
         return _command_trace(args, out=out)
+    if args.command == "serve":
+        return _command_serve(args, out=out)
     raise SystemExit(f"unknown command {args.command!r}")
+
+
+def main(argv: Optional[Sequence[str]] = None, out=sys.stdout) -> int:
+    """CLI entry point; returns the process exit code.
+
+    Failures are structured even in machine-readable mode: when a command
+    raises and ``--json PATH`` was given, PATH receives a schema-valid
+    ``{"kind": "error", "error": {"type", "message"}}`` envelope instead
+    of nothing, and stderr gets a one-line diagnosis instead of a
+    traceback.
+    """
+    args = _build_parser().parse_args(argv)
+    try:
+        return _dispatch(args, out)
+    except SystemExit:
+        raise
+    except KeyboardInterrupt:
+        raise
+    except Exception as exc:  # noqa: BLE001 -- the envelope is the contract
+        json_path = getattr(args, "json_path", None)
+        if json_path:
+            payload = validate_result_json({
+                "kind": "error",
+                "reason": "cli",
+                "error": {
+                    "type": type(exc).__name__,
+                    "message": str(exc) or type(exc).__name__,
+                },
+            })
+            _write_json(json_path, payload)
+        sys.stderr.write(f"repro: {type(exc).__name__}: {exc}\n")
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

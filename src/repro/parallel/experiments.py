@@ -19,8 +19,10 @@ reassembles the exact list a serial run produces:
 
 from __future__ import annotations
 
+import os
 from typing import List, Optional, Tuple
 
+from . import engine
 from .engine import fan_out
 
 __all__ = ["run_experiment_units"]
@@ -45,6 +47,10 @@ def _unit(task: Tuple[str, int]):
     metrics-off units).
     """
     kind, index = task
+    if engine._IN_WORKER and index == int(
+        os.environ.get(engine.POISON_ENV, "-1")
+    ):
+        os._exit(86)  # the crash-path test seam (see repro.parallel.engine)
     # Imported lazily: in a spawn-context worker this is the first touch
     # of the evalx package.
     from ..evalx import experiments

@@ -1,0 +1,59 @@
+"""Detection-as-a-service: the resilient ``repro serve`` gateway.
+
+The package mirrors an ``api / scheduler / infra / transport`` split so
+every robustness mechanism is independently testable:
+
+=============  ==========================================================
+`protocol`     request/response schema, error + job envelopes (api)
+`queue`        bounded admission queue: backpressure + shedding
+               (scheduler)
+`workers`      self-healing process pool, circuit breaker, per-job
+               watchdog budgets, prepared-machine caching (infra)
+`server`       the asyncio JSON-lines listener + graceful drain
+               (transport)
+`client`       a blocking reference client for tests/benches/CI
+=============  ==========================================================
+
+Start a server::
+
+    python -m repro serve --port 4805 -j 2
+
+and submit jobs as JSON lines -- see :mod:`repro.serve.client` for the
+five-line client.  Every served result is the same unified JSON the
+in-process :class:`repro.api.Session` produces (campaign digests are
+byte-identical over the wire), plus a ``job`` envelope with queueing and
+retry accounting.
+"""
+
+from .client import ServeClient
+from .protocol import (
+    JOB_KINDS,
+    PRIORITIES,
+    ProtocolError,
+    REQUEST_KINDS,
+    error_envelope,
+    job_envelope,
+    parse_request,
+    validate_request,
+)
+from .queue import AdmissionQueue, PendingJob
+from .server import BackgroundServer, ReproServer
+from .workers import CircuitBreaker, WorkerPool
+
+__all__ = [
+    "AdmissionQueue",
+    "BackgroundServer",
+    "CircuitBreaker",
+    "JOB_KINDS",
+    "PRIORITIES",
+    "PendingJob",
+    "ProtocolError",
+    "REQUEST_KINDS",
+    "ReproServer",
+    "ServeClient",
+    "WorkerPool",
+    "error_envelope",
+    "job_envelope",
+    "parse_request",
+    "validate_request",
+]

@@ -1,0 +1,157 @@
+"""A small synchronous client for the gateway.
+
+Five lines to a served verdict::
+
+    from repro.serve.client import ServeClient
+
+    with ServeClient(host="127.0.0.1", port=4805) as client:
+        result = client.request({"kind": "run", "source": VICTIM_C,
+                                 "stdin": "a" * 64})
+        print(result["detected"], result["job"]["exec_ms"])
+
+The client is deliberately dependency-free (a blocking socket plus
+newline-delimited JSON) so it doubles as the reference implementation
+for non-Python consumers: write one JSON line, read JSON lines back,
+correlate by ``response["job"]["id"]``.  Responses may complete out of
+submission order; :meth:`request` buffers strays so interleaved use
+still works on one connection.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Dict, Iterator, List, Optional
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """Blocking JSON-lines client for one gateway connection."""
+
+    def __init__(
+        self,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        unix_socket: Optional[str] = None,
+        timeout: float = 120.0,
+    ) -> None:
+        if (unix_socket is None) == (host is None or port is None):
+            raise ValueError(
+                "ServeClient needs either host+port or unix_socket"
+            )
+        self.host = host
+        self.port = port
+        self.unix_socket = unix_socket
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+        self._counter = 0
+        #: Responses received while waiting for a different job id.
+        self._stash: Dict[str, dict] = {}
+
+    # -- connection -----------------------------------------------------
+
+    def connect(self) -> "ServeClient":
+        if self._sock is not None:
+            return self
+        if self.unix_socket is not None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            sock.connect(self.unix_socket)
+        else:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+        self._sock = sock
+        self._file = sock.makefile("rwb")
+        return self
+
+    def close(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServeClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- protocol -------------------------------------------------------
+
+    def submit(self, request: dict) -> str:
+        """Send one job; returns the id responses will carry."""
+        self.connect()
+        request = dict(request)
+        if not request.get("id"):
+            self._counter += 1
+            request["id"] = f"c{self._counter}"
+        self._file.write(json.dumps(request).encode() + b"\n")
+        self._file.flush()
+        return request["id"]
+
+    def recv(self) -> dict:
+        """Next response line (whatever job it belongs to)."""
+        self.connect()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+
+    def request(self, request: dict) -> dict:
+        """Submit one job and block until *its* terminal response."""
+        job_id = self.submit(request)
+        return self.wait(job_id)
+
+    def wait(self, job_id: str) -> dict:
+        """Block until the response for ``job_id`` arrives.
+
+        Responses for other jobs are stashed for their own ``wait``
+        calls; protocol-level errors that carry no job envelope (bad
+        JSON, over-long line) are returned as-is since they answer the
+        most recent submission on this connection.
+        """
+        if job_id in self._stash:
+            return self._stash.pop(job_id)
+        while True:
+            response = self.recv()
+            got = response.get("job", {}).get("id")
+            if got == job_id or got is None:
+                return response
+            self._stash[got] = response
+
+    def collect(self, job_ids: List[str]) -> List[dict]:
+        """Gather terminal responses for many submitted jobs, in the
+        order the ids are given (not completion order)."""
+        return [self.wait(job_id) for job_id in job_ids]
+
+    def health(self) -> dict:
+        """Inline health probe (never queued behind jobs)."""
+        self.connect()
+        self._file.write(b'{"kind": "health"}\n')
+        self._file.flush()
+        while True:
+            response = self.recv()
+            if response.get("kind") == "health":
+                return response
+            got = response.get("job", {}).get("id")
+            if got is not None:
+                self._stash[got] = response
+
+    def responses(self) -> Iterator[dict]:
+        """Iterate responses until the server closes the connection."""
+        while True:
+            try:
+                yield self.recv()
+            except ConnectionError:
+                return

@@ -1,0 +1,125 @@
+"""Admission control for the gateway (scheduler layer).
+
+A long-lived service must say *no* before it falls over: the
+:class:`AdmissionQueue` is a bounded, priority-aware buffer between the
+transport and the worker pool.  Three explicit outcomes exist for a
+submission against a full queue:
+
+* **reject** -- the incoming job is refused with a ``queue_full`` error
+  envelope (the JSON-lines analogue of HTTP 429).  The client sees the
+  rejection immediately instead of an unbounded latency tail.
+* **shed** -- under sustained overload a *higher*-priority arrival may
+  evict the **oldest pending job of a strictly lower priority**.  The
+  shed job is not silently dropped: the caller receives it back and must
+  complete it with a terminal ``shed`` error envelope, preserving the
+  service invariant that every accepted job gets exactly one terminal
+  response.
+* **accept** -- below capacity everything is FIFO within its priority
+  class; dispatch order is highest priority first, then arrival order.
+
+The queue is synchronous and transport-agnostic (the asyncio server
+wakes its scheduler with an event when ``submit`` succeeds), so the
+whole admission policy is unit-testable without sockets or a loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from .protocol import PRIORITIES
+
+__all__ = ["AdmissionQueue", "PendingJob", "priority_of"]
+
+
+@dataclass
+class PendingJob:
+    """One accepted, not-yet-dispatched job."""
+
+    seq: int
+    job_id: str
+    request: dict
+    priority: int
+    enqueued_at: float
+    #: Opaque transport context (the server stores the client writer
+    #: here); the queue never touches it.
+    context: Any = None
+
+
+@dataclass
+class AdmissionQueue:
+    """Bounded priority queue with explicit backpressure and shedding."""
+
+    capacity: int = 64
+    _pending: List[PendingJob] = field(default_factory=list)
+    #: Counters surfaced by the health probe.
+    accepted: int = 0
+    rejected: int = 0
+    shed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("queue capacity must be >= 1")
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def depth(self) -> int:
+        return len(self._pending)
+
+    def submit(
+        self, job: PendingJob
+    ) -> Tuple[bool, Optional[PendingJob]]:
+        """Try to admit ``job``; returns ``(accepted, shed_job)``.
+
+        ``(True, None)`` -- admitted with spare capacity.
+        ``(True, victim)`` -- admitted by shedding ``victim`` (the oldest
+        pending job whose priority is strictly lower than the arrival's);
+        the caller owes the victim a terminal ``shed`` response.
+        ``(False, None)`` -- queue full and nothing lower-priority to
+        shed; the caller owes the arrival a ``queue_full`` rejection.
+        """
+        if len(self._pending) < self.capacity:
+            self._pending.append(job)
+            self.accepted += 1
+            return True, None
+        victim = self._shed_victim(job.priority)
+        if victim is None:
+            self.rejected += 1
+            return False, None
+        self._pending.remove(victim)
+        self._pending.append(job)
+        self.accepted += 1
+        self.shed += 1
+        return True, victim
+
+    def _shed_victim(self, priority: int) -> Optional[PendingJob]:
+        """The oldest pending job strictly below ``priority``, if any."""
+        candidates = [j for j in self._pending if j.priority < priority]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda j: j.seq)
+
+    def pop(self) -> Optional[PendingJob]:
+        """Next job to dispatch: highest priority, then arrival order."""
+        if not self._pending:
+            return None
+        job = min(self._pending, key=lambda j: (-j.priority, j.seq))
+        self._pending.remove(job)
+        return job
+
+    def snapshot(self) -> Dict[str, int]:
+        """Health-probe view of the admission state."""
+        return {
+            "depth": self.depth,
+            "capacity": self.capacity,
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "shed": self.shed,
+        }
+
+
+def priority_of(request: dict) -> int:
+    """Numeric priority of a validated request (default ``normal``)."""
+    return PRIORITIES[request.get("priority", "normal")]

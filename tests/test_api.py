@@ -198,6 +198,62 @@ class TestUnifiedSchema:
         with pytest.raises(ValueError, match="must be a dict"):
             validate_result_json([1, 2, 3])
 
+    def test_error_envelope_accepted(self):
+        payload = validate_result_json({
+            "kind": "error",
+            "reason": "queue_full",
+            "error": {"type": "QueueFull", "message": "64 pending"},
+            "job": {"id": "j1", "seq": 0, "queue_ms": 1.5, "exec_ms": 0.0,
+                    "retries": 0},
+        })
+        assert payload["error"]["type"] == "QueueFull"
+        # Minimal form: no reason, no job.
+        validate_result_json({
+            "kind": "error",
+            "error": {"type": "ValueError", "message": ""},
+        })
+
+    def test_malformed_error_envelopes_rejected(self):
+        good = {"type": "E", "message": "m"}
+        for bad in (
+            {"kind": "error"},  # no error block at all
+            {"kind": "error", "error": "boom"},  # not a dict
+            {"kind": "error", "error": {"message": "m"}},  # missing type
+            {"kind": "error", "error": {"type": "", "message": "m"}},
+            {"kind": "error", "error": {"type": "E", "message": 3}},
+            {"kind": "error", "error": good, "reason": ""},
+            {"kind": "error", "error": good, "reason": 7},
+        ):
+            with pytest.raises(ValueError, match="schema"):
+                validate_result_json(bad)
+
+    def test_malformed_job_envelopes_rejected(self):
+        base = {"kind": "error", "error": {"type": "E", "message": "m"}}
+        for job in (
+            "j1",  # not a dict
+            {"seq": 0},  # missing id
+            {"id": ""},  # empty id
+            {"id": "j1", "queue_ms": -1},
+            {"id": "j1", "exec_ms": "fast"},
+            {"id": "j1", "retries": -2},
+            {"id": "j1", "retries": 1.5},
+        ):
+            with pytest.raises(ValueError, match="job"):
+                validate_result_json(dict(base, job=job))
+
+    def test_malformed_stats_limit_rejected(self):
+        base = {"kind": "run", "detected": False, "metrics": {}}
+        for limit in (
+            "wallclock",  # not a dict
+            {"instructions": 5},  # missing reason
+            {"reason": "tea_break", "instructions": 5},
+            {"reason": "wallclock", "instructions": -1},
+        ):
+            with pytest.raises(ValueError, match="limit"):
+                validate_result_json(
+                    dict(base, stats={"outcome": "limit", "limit": limit})
+                )
+
     def test_cli_run_json_validates(self, tmp_path):
         victim = tmp_path / "victim.c"
         victim.write_text(VICTIM)

@@ -115,3 +115,41 @@ class TestReplayIntegration:
             )
             assert result.outcome == OUTCOME_LIMIT
             assert "wall-clock" in result.fault
+
+
+class TestStructuredLimitResult:
+    """Overruns are structured data, not strings: services branch on
+    ``RunResult.limit["reason"]`` and the unified JSON ``stats.limit``."""
+
+    def test_wallclock_deadline_is_structured_on_both_engines(self):
+        for use_pipeline in (False, True):
+            result = run_executable(
+                assemble(SPIN), max_seconds=0.0, use_pipeline=use_pipeline
+            )
+            assert result.outcome == OUTCOME_LIMIT
+            assert result.limit is not None
+            assert result.limit["reason"] == "wallclock"
+            assert result.limit["instructions"] >= 0
+            assert result.limit["pc"] >= 0
+
+    def test_instruction_budget_is_structured(self):
+        result = run_executable(assemble(SPIN), max_instructions=500)
+        assert result.limit == {
+            "reason": "instructions",
+            "instructions": 500,
+            "pc": result.limit["pc"],
+        }
+
+    def test_limit_round_trips_through_unified_json(self):
+        from repro.api import validate_result_json
+
+        result = run_executable(assemble(SPIN), max_seconds=0.0)
+        payload = validate_result_json(result.to_json())
+        assert payload["stats"]["limit"]["reason"] == "wallclock"
+        assert payload["stats"]["limit"]["instructions"] >= 0
+
+    def test_clean_runs_carry_no_limit(self):
+        exit_asm = ".text\n_start: li $a0, 0\nli $v0, 1\nsyscall\n"
+        result = run_executable(assemble(exit_asm))
+        assert result.limit is None
+        assert "limit" not in result.to_json()["stats"]
