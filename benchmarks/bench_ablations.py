@@ -15,7 +15,7 @@ from bench_util import save_report
 from repro.apps.spec import workload_by_name
 from repro.apps.synthetic import exp3_scenario, vuln_a_scenario
 from repro.attacks.replay import run_executable, run_minic
-from repro.core.policy import PointerTaintPolicy
+from repro.defenses.policy import PointerTaintPolicy
 from repro.evalx.reporting import render_table
 
 

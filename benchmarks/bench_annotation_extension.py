@@ -11,8 +11,8 @@ run unaffected.
 from bench_util import save_report
 
 from repro.apps.synthetic import VULN_B_SOURCE, vuln_b_scenario
-from repro.core.detector import SecurityException
-from repro.core.policy import PointerTaintPolicy
+from repro.defenses.alerts import SecurityException
+from repro.defenses.policy import PointerTaintPolicy
 from repro.cpu.simulator import Simulator
 from repro.evalx.reporting import render_table
 from repro.kernel.syscalls import Kernel

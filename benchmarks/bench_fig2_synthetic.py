@@ -9,7 +9,7 @@ import pytest
 from bench_util import save_report
 
 from repro.apps.synthetic import exp1_scenario, exp2_scenario, exp3_scenario
-from repro.core.policy import PointerTaintPolicy
+from repro.defenses.policy import PointerTaintPolicy
 from repro.evalx.experiments import report_fig2
 
 

@@ -10,7 +10,7 @@ control-data baseline.
 from bench_util import save_report
 
 from repro.apps.ftpglob import ftpglob_scenario
-from repro.core.policy import ControlDataPolicy, NullPolicy, PointerTaintPolicy
+from repro.defenses.policy import ControlDataPolicy, NullPolicy, PointerTaintPolicy
 from repro.evalx.reporting import render_kv
 
 

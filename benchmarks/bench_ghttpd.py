@@ -9,7 +9,7 @@ at the first load-byte through the tainted pointer.
 from bench_util import save_report
 
 from repro.apps.ghttpd import ghttpd_scenario, request_buffer_address
-from repro.core.policy import ControlDataPolicy, NullPolicy, PointerTaintPolicy
+from repro.defenses.policy import ControlDataPolicy, NullPolicy, PointerTaintPolicy
 from repro.evalx.reporting import render_table
 
 

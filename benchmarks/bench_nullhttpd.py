@@ -9,7 +9,7 @@ configuration -- caught at the tainted store inside free().
 from bench_util import save_report
 
 from repro.apps.nullhttpd import cgi_bin_address, nullhttpd_scenario
-from repro.core.policy import ControlDataPolicy, NullPolicy, PointerTaintPolicy
+from repro.defenses.policy import ControlDataPolicy, NullPolicy, PointerTaintPolicy
 from repro.evalx.reporting import render_table
 
 

@@ -29,7 +29,7 @@ from bench_util import save_json, save_report
 
 from repro.api import Session
 from repro.attacks.replay import run_executable
-from repro.core.policy import PointerTaintPolicy
+from repro.defenses.policy import PointerTaintPolicy
 from repro.evalx.reporting import render_kv
 from repro.isa.assembler import assemble
 

@@ -16,7 +16,7 @@ from bench_util import save_report
 
 from repro.apps.spec import workload_by_name
 from repro.attacks.replay import run_minic
-from repro.core.policy import NullPolicy, PointerTaintPolicy
+from repro.defenses.policy import NullPolicy, PointerTaintPolicy
 from repro.evalx.experiments import (
     report_sec54,
     run_sec54,

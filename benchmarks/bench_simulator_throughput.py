@@ -16,6 +16,10 @@ functional engine in **bit mode** and exits non-zero if throughput fell
 more than ``--tolerance`` (default 10%) below the recorded
 ``functional_ips`` baseline -- without rewriting the baseline file.  The
 label-mode provenance sidecar must never tax the default configuration.
+The guard also re-measures the engine with the superblock tier disabled
+and fails if the fused/unfused speedup drops below
+``--min-superblock-speedup`` (default 1.5x): the fused dispatch tier
+must keep paying for itself.
 """
 
 import argparse
@@ -27,7 +31,7 @@ import pytest
 from bench_util import REPO_ROOT, save_json, save_report
 
 from repro.attacks.replay import run_minic
-from repro.core.policy import PointerTaintPolicy
+from repro.defenses.policy import PointerTaintPolicy
 from repro.cpu.pipeline import Pipeline
 from repro.cpu.simulator import Simulator
 from repro.evalx.reporting import render_kv
@@ -54,11 +58,11 @@ int main(void) {
 """
 
 
-def _run_functional(use_caches=False):
+def _run_functional(use_caches=False, superblocks=True):
     exe = assemble(_HOT_LOOP)
     kernel = Kernel()
     sim = Simulator(exe, PointerTaintPolicy(), syscall_handler=kernel,
-                    use_caches=use_caches)
+                    use_caches=use_caches, superblocks=superblocks)
     kernel.attach(sim)
     sim.run()
     return sim
@@ -93,13 +97,16 @@ def _throughput(run, repeats=3, **kwargs):
 def collect_throughput_record():
     """Measure all three engines and write the JSON record at repo root."""
     functional = _throughput(_run_functional)
+    unfused = _throughput(_run_functional, superblocks=False)
     cached = _throughput(_run_functional, use_caches=True)
     pipelined = _throughput(_run_pipelined, repeats=1)
     record = {
         "workload": "hot-loop (120,005 dynamic instructions)",
         "functional_ips": round(functional),
+        "unfused_ips": round(unfused),
         "cached_ips": round(cached),
         "pipeline_ips": round(pipelined),
+        "superblock_speedup": round(functional / unfused, 2),
         "pre_refactor_baseline_ips": PRE_REFACTOR_BASELINE_IPS,
         "speedup_vs_pre_refactor": round(
             functional / PRE_REFACTOR_BASELINE_IPS, 2
@@ -147,8 +154,12 @@ def test_bench_minic_program(benchmark):
                 ("instructions (hot loop)",
                  f"{_run_functional().stats.instructions:,}"),
                 ("functional engine", f"{record['functional_ips']:,} i/s"),
+                ("functional, superblocks off",
+                 f"{record['unfused_ips']:,} i/s"),
                 ("cache-backed engine", f"{record['cached_ips']:,} i/s"),
                 ("pipeline engine", f"{record['pipeline_ips']:,} i/s"),
+                ("superblock speedup",
+                 f"{record['superblock_speedup']}x"),
                 ("speedup vs pre-refactor",
                  f"{record['speedup_vs_pre_refactor']}x"),
                 ("note", "timings in the pytest-benchmark table; "
@@ -159,26 +170,46 @@ def test_bench_minic_program(benchmark):
     )
 
 
-def check_against_baseline(tolerance=0.10, repeats=5, out=print):
+def check_against_baseline(
+    tolerance=0.10, repeats=5, min_superblock_speedup=1.5, out=print
+):
     """Bit-mode regression guard against the recorded baseline.
 
     One-sided: only a *drop* below ``baseline * (1 - tolerance)`` fails
     (faster is always fine).  The baseline JSON is read, never rewritten
     -- regenerating it is a deliberate act, not a side effect of the
-    guard.  Returns a process exit code.
+    guard.  A second one-sided floor re-measures the engine with the
+    superblock tier disabled: the fused/unfused ratio must stay at or
+    above ``min_superblock_speedup`` (the ratio is machine-relative, so
+    runner speed cancels out).  Returns a process exit code.
     """
     path = REPO_ROOT / "BENCH_simulator_throughput.json"
     baseline = json.loads(path.read_text())["functional_ips"]
     current = _throughput(_run_functional, repeats=repeats)
+    unfused = _throughput(_run_functional, repeats=repeats,
+                          superblocks=False)
     floor = baseline * (1.0 - tolerance)
+    speedup = current / unfused
     out(f"bit-mode functional throughput: {current:>12,.0f} i/s")
     out(f"recorded baseline:              {baseline:>12,} i/s")
     out(f"allowed floor (-{tolerance:.0%}):           {floor:>12,.0f} i/s")
+    out(f"superblocks-off throughput:     {unfused:>12,.0f} i/s")
+    out(f"superblock speedup:             {speedup:>12.2f}x "
+        f"(floor {min_superblock_speedup:.2f}x)")
+    failed = False
     if current < floor:
         out(
             f"BENCH GUARD FAIL: bit-mode throughput fell "
             f"{(1 - current / baseline):.1%} below the recorded baseline"
         )
+        failed = True
+    if speedup < min_superblock_speedup:
+        out(
+            f"BENCH GUARD FAIL: superblock tier speedup {speedup:.2f}x "
+            f"is below the {min_superblock_speedup:.2f}x floor"
+        )
+        failed = True
+    if failed:
         return 1
     out("BENCH GUARD OK")
     return 0
@@ -197,13 +228,23 @@ def main(argv=None):
         "--tolerance", type=float, default=0.10,
         help="allowed fractional drop below the baseline (default 0.10)",
     )
+    parser.add_argument(
+        "--min-superblock-speedup", type=float, default=1.5,
+        help="minimum fused/unfused throughput ratio in guard mode "
+             "(default 1.5)",
+    )
     args = parser.parse_args(argv)
     if args.check:
-        return check_against_baseline(tolerance=args.tolerance)
+        return check_against_baseline(
+            tolerance=args.tolerance,
+            min_superblock_speedup=args.min_superblock_speedup,
+        )
     record = collect_throughput_record()
     print("simulator throughput (best of N):")
-    for key in ("functional_ips", "cached_ips", "pipeline_ips"):
+    for key in ("functional_ips", "unfused_ips", "cached_ips",
+                "pipeline_ips"):
         print(f"  {key:<28} {record[key]:>12,}")
+    print(f"  superblock speedup           {record['superblock_speedup']:>11}x")
     print(f"  speedup vs pre-refactor      {record['speedup_vs_pre_refactor']:>11}x")
     print("written: BENCH_simulator_throughput.json")
     return 0

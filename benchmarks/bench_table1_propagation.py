@@ -8,7 +8,7 @@ checks the propagated taint masks; the benchmark times the full rule sweep
 import pytest
 from bench_util import save_report
 
-from repro.core.policy import PointerTaintPolicy
+from repro.defenses.policy import PointerTaintPolicy
 from repro.evalx.reporting import render_table
 
 from tests.helpers import run_asm

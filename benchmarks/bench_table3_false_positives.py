@@ -11,7 +11,7 @@ from bench_util import save_report
 
 from repro.apps.spec import SPEC_WORKLOADS
 from repro.attacks.replay import run_minic
-from repro.core.policy import PointerTaintPolicy
+from repro.defenses.policy import PointerTaintPolicy
 from repro.evalx.experiments import report_table3, run_table3
 
 _FAST = [w for w in SPEC_WORKLOADS if w.name in ("BZIP2", "GZIP", "MCF")]

@@ -17,7 +17,7 @@ from repro.apps.synthetic import (
     vuln_b_scenario,
 )
 from repro.attacks.replay import run_minic
-from repro.core.policy import PointerTaintPolicy
+from repro.defenses.policy import PointerTaintPolicy
 from repro.evalx.experiments import report_table4, run_table4
 
 

@@ -9,7 +9,7 @@ pointer derives from that tainted word.
 from bench_util import save_report
 
 from repro.apps.traceroute import traceroute_scenario
-from repro.core.policy import ControlDataPolicy, NullPolicy, PointerTaintPolicy
+from repro.defenses.policy import ControlDataPolicy, NullPolicy, PointerTaintPolicy
 from repro.evalx.reporting import render_kv
 
 

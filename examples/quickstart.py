@@ -13,7 +13,7 @@ structured tracing), and every run returns the same result family.
 Run:  python examples/quickstart.py
 """
 
-from repro import Session
+from repro import ExecOptions, Session
 
 VULNERABLE_PROGRAM = r"""
 void greet(void) {
@@ -34,7 +34,7 @@ ATTACK_INPUT = b"a" * 24  # rolls over the saved frame pointer + return addr
 
 
 def main() -> None:
-    session = Session(policy="paper", metrics=True)
+    session = Session(options=ExecOptions(policy="paper", metrics=True))
 
     print("=== benign input, paper's pointer-taintedness policy ===")
     result = session.run_minic(VULNERABLE_PROGRAM, stdin=BENIGN_INPUT)

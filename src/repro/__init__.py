@@ -27,9 +27,9 @@ The package provides:
 
 Quickstart (the stable facade)::
 
-    from repro import Session
+    from repro import ExecOptions, Session
 
-    session = Session(policy="paper", metrics=True)
+    session = Session(options=ExecOptions(policy="paper", metrics=True))
     result = session.run_minic(
         'int main(void){ char b[8]; gets(b); return 0; }',
         stdin=b"A" * 32,
@@ -42,6 +42,7 @@ importable as stable shims.
 """
 
 from .api import (
+    ExecOptions,
     ExperimentResult,
     Session,
     TraceConfig,
@@ -66,7 +67,7 @@ from .defenses.policy import (
     NullPolicy,
     PointerTaintPolicy,
 )
-from .core.taint import TaintVector
+from .taint.bits import TaintVector
 from .cpu.pipeline import Pipeline
 from .cpu.simulator import Simulator
 from .isa.assembler import assemble
@@ -76,6 +77,7 @@ from .libc.build import build_program
 __version__ = "1.0.0"
 
 __all__ = [
+    "ExecOptions",
     "ExperimentResult",
     "MetricsRegistry",
     "Observer",

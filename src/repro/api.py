@@ -8,7 +8,12 @@ keyword conventions and its own ad-hoc result shape.  :class:`Session`
 unifies them:
 
 * one place to pick the **policy** (by name or instance), the **engine**
-  (``"functional"`` or ``"pipeline"``), and the cache model;
+  (``"functional"`` or ``"pipeline"``), and the cache model -- all
+  carried by one validated :class:`ExecOptions` bundle
+  (``Session(options=ExecOptions(...))``); the flat per-call kwargs the
+  repo grew up with keep working as deprecated aliases routed through a
+  single normalization site (:func:`_normalize_options`), each warning
+  once per process;
 * one place to attach **observability**: a
   :class:`~repro.obs.metrics.MetricsRegistry` (``metrics=True`` or your
   own registry) and a structured **trace** (ring buffer and/or streaming
@@ -20,9 +25,9 @@ unifies them:
 
 Quickstart::
 
-    from repro.api import Session
+    from repro.api import ExecOptions, Session
 
-    session = Session(policy="paper", metrics=True)
+    session = Session(options=ExecOptions(policy="paper", metrics=True))
     result = session.run_minic(VICTIM_SOURCE, stdin=b"a" * 64)
     assert result.detected
     print(result.to_json()["metrics"]["counters"]["run.instructions"])
@@ -35,7 +40,8 @@ should use the facade.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, fields, replace
 from typing import Any, Callable, Dict, Optional, Sequence, Union
 
 from .attacks.replay import RunResult, run_executable as _run_executable
@@ -55,6 +61,7 @@ from .obs import MetricsRegistry, Observer, TraceRecorder
 
 __all__ = [
     "ENGINES",
+    "ExecOptions",
     "ExperimentResult",
     "LIMIT_REASONS",
     "POLICIES",
@@ -133,6 +140,194 @@ class TraceConfig:
         if isinstance(value, cls):
             return value
         raise TypeError(f"cannot build a TraceConfig from {value!r}")
+
+
+#: Sentinel distinguishing "kwarg not passed" from any real value, so the
+#: normalization site only overrides options fields the caller spelled out.
+_UNSET = object()
+
+#: Legacy kwarg names that have already warned this process (the
+#: acceptance contract is "warn exactly once", not once per call site).
+_warned_legacy_kwargs: set = set()
+
+
+def _warn_legacy_kwarg(name: str) -> None:
+    if name in _warned_legacy_kwargs:
+        return
+    _warned_legacy_kwargs.add(name)
+    warnings.warn(
+        f"the {name}= kwarg is a deprecated alias; pass "
+        f"options=ExecOptions(...) instead",
+        DeprecationWarning,
+        stacklevel=4,
+    )
+
+
+@dataclass(frozen=True)
+class ExecOptions:
+    """Every execution knob, validated once, in one bundle.
+
+    Before this class, the same knobs were spelled as drifting per-call
+    kwargs across :class:`Session`, the replay harness
+    (``use_pipeline=``), :class:`~repro.fault.campaign.CampaignConfig`,
+    the CLI flags, and the serve request schema.  ``ExecOptions`` is the
+    one shape they all normalize into; the legacy kwargs keep working as
+    deprecated aliases routed through :func:`_normalize_options` (and
+    warn once per process).
+
+    Fields:
+        engine: ``"functional"`` or ``"pipeline"``.
+        policy: detection policy alias, instance, or factory.
+        defense: pluggable defense name or built
+            :class:`~repro.defenses.Detector`.
+        taint_labels: run the taint plane in provenance-label mode.
+        use_caches: route data accesses through the L1/L2 hierarchy.
+        superblocks: enable the fused superblock dispatch tier (on by
+            default; results are byte-identical either way -- the toggle
+            exists for benchmarking and digest-invariance tests).
+        metrics: ``True`` for a fresh registry, or a shared
+            :class:`MetricsRegistry`.
+        trace: ``True`` (ring only), a JSONL path, or a
+            :class:`TraceConfig` (the coarse legacy spelling).
+        trace_out: JSONL path for the streamed trace (overrides
+            ``trace``'s path).
+        trace_events: event-type selection for the trace (see
+            :class:`TraceConfig`).
+        workers: process-pool fan-out for campaigns/experiments
+            (``0`` = one per core).
+        max_instructions: per-run watchdog budget.
+    """
+
+    engine: str = "functional"
+    policy: Union[None, str, DetectionPolicy, Callable] = "paper"
+    defense: Union[None, str, Detector] = None
+    taint_labels: bool = False
+    use_caches: bool = False
+    superblocks: bool = True
+    metrics: Union[None, bool, MetricsRegistry] = None
+    trace: Union[None, bool, str, TraceConfig] = None
+    trace_out: Optional[str] = None
+    trace_events: Union[None, str, Sequence] = None
+    workers: int = 1
+    max_instructions: int = 20_000_000
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; choose {ENGINES}"
+            )
+        if isinstance(self.defense, str) and self.defense not in DEFENSES:
+            raise ValueError(
+                f"unknown defense {self.defense!r}; choose from "
+                f"{sorted(DEFENSES.names())}"
+            )
+        if isinstance(self.policy, str) and self.policy not in POLICIES:
+            raise ValueError(
+                f"unknown policy {self.policy!r}; choose from "
+                f"{sorted(POLICIES)}"
+            )
+        for flag in ("taint_labels", "use_caches", "superblocks"):
+            if not isinstance(getattr(self, flag), bool):
+                raise ValueError(f"{flag} must be a bool")
+        if not (
+            isinstance(self.workers, int)
+            and not isinstance(self.workers, bool)
+            and self.workers >= 0
+        ):
+            raise ValueError("workers must be an int >= 0 (0 = one per core)")
+        if not (
+            isinstance(self.max_instructions, int)
+            and not isinstance(self.max_instructions, bool)
+            and self.max_instructions >= 1
+        ):
+            raise ValueError("max_instructions must be an int >= 1")
+        if self.trace_out is not None and not isinstance(self.trace_out, str):
+            raise ValueError("trace_out must be a path string or None")
+        TraceConfig.coerce(self.trace)  # raises on a bogus trace spec
+
+    @classmethod
+    def coerce(cls, value: Union[None, dict, "ExecOptions"]) -> "ExecOptions":
+        """Accept an instance, a plain dict of fields, or None (defaults)."""
+        if value is None:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, dict):
+            known = {f.name for f in fields(cls)}
+            unknown = sorted(set(value) - known)
+            if unknown:
+                raise ValueError(
+                    f"unknown ExecOptions field(s) {unknown}; "
+                    f"choose from {sorted(known)}"
+                )
+            return cls(**value)
+        raise TypeError(f"cannot build ExecOptions from {value!r}")
+
+    def merged(self, **overrides: Any) -> "ExecOptions":
+        """A copy with ``overrides`` applied (re-validated)."""
+        return replace(self, **overrides) if overrides else self
+
+    def trace_config(self) -> Optional[TraceConfig]:
+        """Resolve the trace trio into one :class:`TraceConfig` (or None)."""
+        base = TraceConfig.coerce(self.trace)
+        if self.trace_out is None and self.trace_events is None:
+            return base
+        if base is None:
+            base = TraceConfig()
+        return TraceConfig(
+            path=self.trace_out if self.trace_out is not None else base.path,
+            events=(
+                self.trace_events
+                if self.trace_events is not None
+                else base.events
+            ),
+            limit=base.limit,
+        )
+
+
+def _normalize_options(
+    options: Union[None, dict, ExecOptions],
+    legacy: Dict[str, Any],
+    base: Optional[ExecOptions] = None,
+    new: Optional[Dict[str, Any]] = None,
+) -> ExecOptions:
+    """THE one legacy-kwarg normalization site.
+
+    Every entry point -- ``Session()``, ``run_minic``/``run_executable``,
+    ``run_campaign``, ``run_experiment``, the CLI, the serve workers --
+    funnels through here, so alias translation and deprecation warnings
+    cannot drift between layers.
+
+    ``options`` wins wholesale when given; mixing it with per-call kwargs
+    raises, because a silent merge would make precedence ambiguous.
+    Otherwise each ``legacy`` kwarg warns once per process
+    (:class:`DeprecationWarning`) and overrides ``base`` (the session's
+    options, or the defaults).  ``use_pipeline`` is translated onto
+    ``engine``; a legacy ``trace=`` spec replaces the whole trace trio.
+    ``new`` carries the non-deprecated spellings (``superblocks=``),
+    which override without warning.
+    """
+    new = new or {}
+    if options is not None:
+        if legacy or new:
+            mixed = sorted(list(legacy) + list(new))
+            raise ValueError(
+                f"pass either options= or individual kwargs, not both "
+                f"(got options= plus {mixed})"
+            )
+        return ExecOptions.coerce(options)
+    opts = base if base is not None else ExecOptions()
+    overrides: Dict[str, Any] = {}
+    for name, value in legacy.items():
+        _warn_legacy_kwarg(name)
+        if name == "use_pipeline":
+            overrides["engine"] = "pipeline" if value else "functional"
+        elif name == "trace":
+            overrides.update(trace=value, trace_out=None, trace_events=None)
+        else:
+            overrides[name] = value
+    overrides.update(new)
+    return opts.merged(**overrides)
 
 
 @dataclass
@@ -392,6 +587,16 @@ def validate_result_json(payload: Any) -> dict:
 class Session:
     """The stable entry point for everything this repo can run.
 
+    The preferred construction is one validated options bundle::
+
+        Session(options=ExecOptions(policy="paper", metrics=True))
+
+    Every individual kwarg below keeps working as a **deprecated alias**
+    (it warns once per process and routes through the same
+    :func:`_normalize_options` site), so pre-ExecOptions callers and
+    tests are untouched.  Passing ``options=`` together with individual
+    kwargs raises.
+
     Args:
         policy: detection policy -- alias (``"paper"``,
             ``"control-data"``, ``"none"``), instance, or factory.
@@ -418,38 +623,76 @@ class Session:
             default policy (comparators run unprotected so the inline
             taintedness check cannot preempt them); an explicit policy
             overrides that.
+        superblocks: enable the fused superblock dispatch tier
+            (default on; results are byte-identical either way).  Not a
+            legacy alias -- never warns.
+        workers: default process-pool fan-out for campaigns and
+            experiments.  Not a legacy alias.
+        trace_out / trace_events: the flat trace spellings (the CLI's
+            ``--trace-out``/``--trace-events``).  Not legacy aliases.
+        options: an :class:`ExecOptions` (or a dict of its fields)
+            carrying all of the above in one validated bundle.
     """
 
     def __init__(
         self,
-        policy: Union[None, str, DetectionPolicy, Callable] = "paper",
-        engine: str = "functional",
-        use_caches: bool = False,
-        metrics: Union[None, bool, MetricsRegistry] = None,
-        trace: Union[None, bool, str, TraceConfig] = None,
-        max_instructions: int = 20_000_000,
-        taint_labels: bool = False,
-        defense: Union[None, str, Detector] = None,
+        policy: Union[None, str, DetectionPolicy, Callable] = _UNSET,
+        engine: str = _UNSET,
+        use_caches: bool = _UNSET,
+        metrics: Union[None, bool, MetricsRegistry] = _UNSET,
+        trace: Union[None, bool, str, TraceConfig] = _UNSET,
+        max_instructions: int = _UNSET,
+        taint_labels: bool = _UNSET,
+        defense: Union[None, str, Detector] = _UNSET,
+        *,
+        superblocks: bool = _UNSET,
+        workers: int = _UNSET,
+        trace_out: Optional[str] = _UNSET,
+        trace_events: Union[None, str, Sequence] = _UNSET,
+        options: Union[None, dict, ExecOptions] = None,
     ) -> None:
-        if engine not in ENGINES:
-            raise ValueError(f"unknown engine {engine!r}; choose {ENGINES}")
-        if isinstance(defense, str) and defense not in DEFENSES:
-            raise ValueError(
-                f"unknown defense {defense!r}; choose from "
-                f"{sorted(DEFENSES.names())}"
+        legacy = {
+            name: value
+            for name, value in (
+                ("policy", policy),
+                ("engine", engine),
+                ("use_caches", use_caches),
+                ("metrics", metrics),
+                ("trace", trace),
+                ("max_instructions", max_instructions),
+                ("taint_labels", taint_labels),
+                ("defense", defense),
             )
-        self.policy_spec = policy
-        self.defense = defense
-        self.engine = engine
-        self.use_caches = use_caches
-        self.taint_labels = taint_labels
-        if metrics is True:
-            metrics = MetricsRegistry()
-        elif metrics is False:
-            metrics = None
-        self.metrics: Optional[MetricsRegistry] = metrics
-        self.trace = TraceConfig.coerce(trace)
-        self.max_instructions = max_instructions
+            if value is not _UNSET
+        }
+        new = {
+            name: value
+            for name, value in (
+                ("superblocks", superblocks),
+                ("workers", workers),
+                ("trace_out", trace_out),
+                ("trace_events", trace_events),
+            )
+            if value is not _UNSET
+        }
+        opts = _normalize_options(options, legacy, new=new)
+        #: The session's normalized :class:`ExecOptions` bundle.
+        self.options = opts
+        self.policy_spec = opts.policy
+        self.defense = opts.defense
+        self.engine = opts.engine
+        self.use_caches = opts.use_caches
+        self.taint_labels = opts.taint_labels
+        self.superblocks = opts.superblocks
+        self.workers = opts.workers
+        metrics_value = opts.metrics
+        if metrics_value is True:
+            metrics_value = MetricsRegistry()
+        elif metrics_value is False:
+            metrics_value = None
+        self.metrics: Optional[MetricsRegistry] = metrics_value
+        self.trace = opts.trace_config()
+        self.max_instructions = opts.max_instructions
         #: The most recent run's trace recorder (ring buffer inspection).
         self.last_trace: Optional[TraceRecorder] = None
         self._trace_paths_opened: set = set()
@@ -511,34 +754,58 @@ class Session:
     # run: single executions (replaces ad-hoc run_minic/run_executable)
     # ------------------------------------------------------------------
 
+    #: ``run_*`` kwargs that are deprecated aliases for ExecOptions
+    #: fields (``use_pipeline`` is the pre-ExecOptions engine spelling).
+    _RUN_LEGACY = (
+        "use_pipeline", "use_caches", "taint_labels", "max_instructions",
+        "defense",
+    )
+
     def run_executable(
         self,
         exe: Executable,
         policy: Union[None, str, DetectionPolicy] = None,
+        *,
+        options: Union[None, dict, ExecOptions] = None,
         **kwargs: Any,
     ) -> RunResult:
         """Run a built executable; returns a :class:`RunResult`.
 
         Keyword arguments (``stdin``, ``argv``, ``clients``,
         ``filesystem``, ``subscribers``, ``record_events``, ...) are the
-        replay harness's; session defaults fill ``max_instructions``,
-        ``use_caches``, and the engine choice.
+        replay harness's.  Execution knobs come from the session's
+        :class:`ExecOptions`; a per-call ``options=`` replaces them for
+        this run, and the pre-ExecOptions per-call kwargs
+        (``use_pipeline``, ``use_caches``, ``taint_labels``,
+        ``max_instructions``, ``defense``) keep working as deprecated
+        aliases.
         """
-        kwargs.setdefault("max_instructions", self.max_instructions)
-        kwargs.setdefault("use_caches", self.use_caches)
-        kwargs.setdefault("use_pipeline", self.engine == "pipeline")
-        kwargs.setdefault("taint_labels", self.taint_labels)
-        defense = kwargs.pop("defense", None)
-        if defense is None:
-            defense = self.defense
+        legacy = {
+            name: kwargs.pop(name)
+            for name in self._RUN_LEGACY
+            if name in kwargs
+        }
+        if legacy.get("defense", _UNSET) is None:
+            # defense=None always meant "inherit the session default".
+            legacy.pop("defense", None)
+        new = {}
+        if "superblocks" in kwargs:
+            new["superblocks"] = kwargs.pop("superblocks")
+        opts = _normalize_options(options, legacy, base=self.options, new=new)
+        kwargs["max_instructions"] = opts.max_instructions
+        kwargs["use_caches"] = opts.use_caches
+        kwargs["use_pipeline"] = opts.engine == "pipeline"
+        kwargs["taint_labels"] = opts.taint_labels
+        kwargs["superblocks"] = opts.superblocks
+        defense = opts.defense
         if policy is not None:
             resolved = resolve_policy(policy)
-        elif defense is not None and self.policy_spec == "paper":
+        elif defense is not None and opts.policy == "paper":
             # Let the replay harness pick the defense's default policy
             # (NullPolicy for the comparators).
             resolved = None
         else:
-            resolved = resolve_policy(self.policy_spec)
+            resolved = resolve_policy(opts.policy)
         return _run_executable(
             exe, resolved, instrument=self._instrument, defense=defense,
             **kwargs
@@ -567,6 +834,7 @@ class Session:
         stdin: bytes = b"",
         argv: Sequence[str] = (),
         schedule: Optional[Sequence] = None,
+        options: Union[None, dict, ExecOptions] = None,
         **config_kwargs: Any,
     ) -> CampaignResult:
         """Run a fault-injection campaign; returns a
@@ -575,11 +843,13 @@ class Session:
         Exactly one of ``source`` (MiniC text), ``builtin`` (workload
         name), or ``workload`` must be given.  ``config_kwargs`` feed
         :class:`CampaignConfig` (``seed``, ``trials``, ``recovery``,
-        ``kinds``, ``workers``, ...); the session supplies ``engine`` and
-        ``use_caches`` defaults.  ``workers=N`` runs the trials on the
-        :mod:`repro.parallel` process pool (``0`` = one worker per core)
-        with a byte-identical digest; the result then carries a
-        ``stats.parallel`` summary.
+        ``kinds``, ...).  Execution knobs (``engine``, ``use_caches``,
+        ``taint_labels``, ``superblocks``, ``workers``) come from the
+        session's :class:`ExecOptions` or a per-call ``options=``; the
+        flat spellings keep working as deprecated aliases.
+        ``workers=N`` runs the trials on the :mod:`repro.parallel`
+        process pool (``0`` = one worker per core) with a byte-identical
+        digest; the result then carries a ``stats.parallel`` summary.
         """
         given = [x is not None for x in (source, builtin, workload)]
         if sum(given) != 1:
@@ -596,9 +866,20 @@ class Session:
                 stdin=stdin,
                 argv=tuple(argv),
             )
-        config_kwargs.setdefault("engine", self.engine)
-        config_kwargs.setdefault("use_caches", self.use_caches)
-        config_kwargs.setdefault("taint_labels", self.taint_labels)
+        legacy = {
+            key: config_kwargs.pop(key)
+            for key in ("engine", "use_caches", "taint_labels", "workers")
+            if key in config_kwargs
+        }
+        new = {}
+        if "superblocks" in config_kwargs:
+            new["superblocks"] = config_kwargs.pop("superblocks")
+        opts = _normalize_options(options, legacy, base=self.options, new=new)
+        config_kwargs["engine"] = opts.engine
+        config_kwargs["use_caches"] = opts.use_caches
+        config_kwargs["taint_labels"] = opts.taint_labels
+        config_kwargs["superblocks"] = opts.superblocks
+        config_kwargs["workers"] = opts.workers
         config = CampaignConfig(**config_kwargs)
 
         finalizers = []
@@ -635,7 +916,12 @@ class Session:
     # ------------------------------------------------------------------
 
     def run_experiment(
-        self, name: str, render: bool = True, workers: int = 1
+        self,
+        name: str,
+        render: bool = True,
+        workers: Optional[int] = None,
+        *,
+        options: Union[None, dict, ExecOptions] = None,
     ) -> ExperimentResult:
         """Run one paper artifact; returns an :class:`ExperimentResult`.
 
@@ -643,7 +929,9 @@ class Session:
         ``table2``, ``table3``, ``table4``, ``sec54``, ``coverage``,
         ``matrix``).
         With ``render=True`` the paper-style text report is included.
-        ``workers=N`` fans row-independent artifacts out to the
+        ``workers=N`` (a deprecated alias for
+        ``options=ExecOptions(workers=N)``; the session's options supply
+        the default) fans row-independent artifacts out to the
         :mod:`repro.parallel` process pool (``0`` = one per core);
         rendered tables are byte-identical to serial runs.  ``fig1``
         (static data) and ``sec54`` (wall-clock measurement) always run
@@ -667,6 +955,9 @@ class Session:
             raise ValueError(
                 f"unknown experiment {name!r}; choose from {sorted(adapters)}"
             )
+        legacy = {} if workers is None else {"workers": workers}
+        opts = _normalize_options(options, legacy, base=self.options)
+        workers = opts.workers
         timer = (
             self.metrics.timer(f"experiment.{name}.seconds").start()
             if self.metrics is not None

@@ -135,6 +135,20 @@ class RunResult:
             # Present only when a pluggable defense is attached, so
             # default-path result JSON stays byte-identical.
             stats["defenses"] = self.sim.defense_summaries()
+        if (
+            self.sim is not None
+            and self.pstats is None
+            and getattr(self.sim, "superblocks_enabled", False)
+        ):
+            # Fused-tier observability: cache size, build/invalidation
+            # counts, and the fraction of fused dispatches served from
+            # cache (a dispatch that had to build its block is a miss).
+            info = self.sim.superblocks.info()
+            hits = info["hits"]
+            info["hit_rate"] = (
+                round((hits - info["built"]) / hits, 4) if hits else 0.0
+            )
+            stats["superblocks"] = info
         return {
             "kind": "run",
             "detected": self.detected,
@@ -158,6 +172,7 @@ def run_executable(
     use_pipeline: bool = False,
     taint_inputs: bool = True,
     taint_labels: bool = False,
+    superblocks: bool = True,
     subscribers: Optional[Sequence] = None,
     record_events: Sequence[type] = (),
     instrument: Optional[Callable[[Simulator], Optional[Callable]]] = None,
@@ -210,6 +225,7 @@ def run_executable(
         taint_inputs=taint_inputs,
         use_caches=use_caches,
         taint_labels=taint_labels,
+        superblocks=superblocks,
     )
     if detector is not None:
         sim.attach_defense(detector)

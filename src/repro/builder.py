@@ -39,6 +39,7 @@ def build_machine(
     taint_inputs: bool = True,
     use_caches: bool = False,
     taint_labels: bool = False,
+    superblocks: bool = True,
 ) -> Tuple[Simulator, Kernel]:
     """Build a fully wired machine: kernel, simulator, attached process.
 
@@ -51,6 +52,10 @@ def build_machine(
     ``taint_labels=True`` puts the machine's taint plane in label mode:
     every external-input copy-in gets a provenance label and detection
     exceptions carry the tainting input's byte ranges.
+
+    ``superblocks=False`` disables the fused superblock dispatch tier
+    (results are byte-identical either way; the toggle exists for
+    benchmarking and digest-invariance tests).
     """
     kernel = Kernel(
         argv=argv,
@@ -67,6 +72,7 @@ def build_machine(
         syscall_handler=kernel,
         use_caches=use_caches,
         taint_labels=taint_labels,
+        superblocks=superblocks,
     )
     kernel.attach(sim)
     return sim, kernel

@@ -30,7 +30,7 @@ import sys
 from time import perf_counter
 from typing import Callable, Dict, Optional, Sequence
 
-from .api import POLICIES, Session, TraceConfig, validate_result_json
+from .api import ExecOptions, POLICIES, Session, validate_result_json
 from .defenses import DEFENSES
 from .core.events import InstructionRetired
 from .evalx import experiments
@@ -57,6 +57,10 @@ REPORTS: Dict[str, Callable[..., str]] = {
 def _add_observability_options(p: argparse.ArgumentParser) -> None:
     p.add_argument("--metrics", action="store_true",
                    help="collect and print the metrics registry")
+    p.add_argument("--no-superblocks", action="store_true",
+                   help="disable the fused superblock dispatch tier "
+                        "(results are byte-identical; the toggle exists "
+                        "for benchmarking and digest checks)")
     p.add_argument("--trace-out", default=None, metavar="PATH",
                    help="stream a structured JSONL trace to PATH "
                         "(render it later with `repro trace PATH`)")
@@ -307,19 +311,20 @@ def _build(path: str, raw_asm: bool):
 
 
 def _make_session(args: argparse.Namespace, engine: str) -> Session:
-    trace = None
-    if args.trace_out is not None or args.trace_events is not None:
-        trace = TraceConfig(path=args.trace_out, events=args.trace_events)
-    return Session(
+    # The CLI is ExecOptions-native: every flag lands in the one bundle,
+    # so no run here ever goes through the deprecated-alias path.
+    return Session(options=ExecOptions(
         policy=args.policy if hasattr(args, "policy") else "paper",
         engine=engine,
         use_caches=args.caches,
         metrics=bool(args.metrics) or None,
-        trace=trace,
+        trace_out=args.trace_out,
+        trace_events=args.trace_events,
         max_instructions=getattr(args, "max_instructions", 20_000_000),
         taint_labels=getattr(args, "taint_labels", False),
         defense=getattr(args, "defense", None),
-    )
+        superblocks=not getattr(args, "no_superblocks", False),
+    ))
 
 
 def _write_json(path: str, payload: dict) -> None:
@@ -374,20 +379,19 @@ def _command_forensics(args: argparse.Namespace, out=sys.stdout) -> int:
 
     exe = _build(args.file, raw_asm=False)
     argv = [args.file] + list(args.arg)
-    trace = None
-    if args.trace_out is not None or args.trace_events is not None:
-        trace = TraceConfig(path=args.trace_out, events=args.trace_events)
     # Forensics always runs in label mode with a registry: provenance and
     # the taint.labels.* gauges ARE the report.
-    session = Session(
+    session = Session(options=ExecOptions(
         policy=args.policy,
         engine="pipeline" if args.pipeline else "functional",
         use_caches=args.caches,
         metrics=True,
-        trace=trace,
+        trace_out=args.trace_out,
+        trace_events=args.trace_events,
         max_instructions=args.max_instructions,
         taint_labels=True,
-    )
+        superblocks=not args.no_superblocks,
+    ))
     result = session.run_executable(
         exe, stdin=_read_stdin(args), argv=argv
     )
@@ -421,22 +425,21 @@ def _command_campaign(args: argparse.Namespace, out=sys.stdout) -> int:
 
     if (args.file is None) == (args.builtin is None):
         raise SystemExit("campaign needs exactly one of FILE or --builtin")
-    trace = None
-    if args.trace_out is not None or args.trace_events is not None:
-        trace = TraceConfig(path=args.trace_out, events=args.trace_events)
-    session = Session(
+    session = Session(options=ExecOptions(
         engine=args.engine,
         use_caches=args.caches,
         metrics=bool(args.metrics) or None,
-        trace=trace,
+        trace_out=args.trace_out,
+        trace_events=args.trace_events,
         taint_labels=args.taint_labels,
-    )
+        workers=args.workers,
+        superblocks=not args.no_superblocks,
+    ))
     kwargs = dict(
         seed=args.seed,
         trials=args.trials,
         recovery=args.recovery,
         kinds=tuple(args.kind) if args.kind else FAULT_KINDS,
-        workers=args.workers,
     )
     try:
         if args.builtin is not None:

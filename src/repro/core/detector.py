@@ -6,9 +6,16 @@ alert vocabulary.  The defenses extraction (ROADMAP item 4) split it into
 shim re-exports the public surface so existing imports keep working.  The
 old intentional tail import of the policy module (a documentation-cycle
 dodge) is gone -- the defenses package imports cleanly top-of-file.
+
+.. deprecated::
+    Importing this shim emits a :class:`DeprecationWarning`.  No module
+    under ``repro`` itself imports it (asserted in tests) -- it exists
+    purely for out-of-tree callers.
 """
 
 from __future__ import annotations
+
+import warnings
 
 from ..defenses.alerts import (
     CONTROL_KINDS,
@@ -22,6 +29,13 @@ from ..defenses.alerts import (
 )
 from ..defenses.policy import DetectionPolicy
 from ..defenses.taintedness import TaintednessDetector
+
+warnings.warn(
+    "repro.core.detector is a deprecated compatibility shim; "
+    "import from repro.defenses instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 __all__ = [
     "Alert",

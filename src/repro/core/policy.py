@@ -2,15 +2,29 @@
 
 Kept so that ``from repro.core.policy import PointerTaintPolicy`` and
 friends keep working after the defenses extraction (ROADMAP item 4).
+
+.. deprecated::
+    Importing this shim emits a :class:`DeprecationWarning`.  No module
+    under ``repro`` itself imports it (asserted in tests) -- it exists
+    purely for out-of-tree callers.
 """
 
 from __future__ import annotations
+
+import warnings
 
 from ..defenses.policy import (
     ControlDataPolicy,
     DetectionPolicy,
     NullPolicy,
     PointerTaintPolicy,
+)
+
+warnings.warn(
+    "repro.core.policy is a deprecated compatibility shim; "
+    "import from repro.defenses.policy instead",
+    DeprecationWarning,
+    stacklevel=2,
 )
 
 __all__ = [

@@ -22,7 +22,7 @@ tainted, little-endian byte order).
 
 from __future__ import annotations
 
-from .taint import WORD_TAINTED
+from ..taint.bits import WORD_TAINTED
 
 #: Shift direction constants.  ``SHIFT_LEFT`` moves bits toward the most
 #: significant end, i.e. taint creeps toward *higher* byte indices.

@@ -4,9 +4,16 @@ The per-byte taint representation moved to :mod:`repro.taint.bits` when
 shadow storage was unified under :class:`repro.taint.plane.TaintPlane`.
 Import from :mod:`repro.taint` in new code; this module keeps every
 historical ``repro.core.taint`` import working unchanged.
+
+.. deprecated::
+    Importing this shim emits a :class:`DeprecationWarning`.  No module
+    under ``repro`` itself imports it (asserted in tests) -- it exists
+    purely for out-of-tree callers.
 """
 
 from __future__ import annotations
+
+import warnings
 
 from ..taint.bits import (
     CLEAN,
@@ -17,6 +24,13 @@ from ..taint.bits import (
     mask_for_bytes,
     mask_from_flags,
     word_mask_is_tainted,
+)
+
+warnings.warn(
+    "repro.core.taint is a deprecated compatibility shim; "
+    "import from repro.taint (repro.taint.bits) instead",
+    DeprecationWarning,
+    stacklevel=2,
 )
 
 __all__ = [

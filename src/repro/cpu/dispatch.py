@@ -53,7 +53,7 @@ from typing import Callable, Dict, List
 from ..defenses.alerts import KIND_JUMP, KIND_LOAD, KIND_STORE
 from ..core.events import SyscallEnter, SyscallExit, TaintPropagated
 from ..core.propagation import propagate_and
-from ..core.taint import WORD_TAINTED
+from ..taint.bits import WORD_TAINTED
 from ..isa.instructions import Instr, LOAD_INFO, STORE_INFO
 from .machine import MachineState, SimulatorFault
 

@@ -170,14 +170,17 @@ class MachineState:
 
     def _load_image(self) -> None:
         exe = self.executable
+        self._text_base = exe.text_base
+        self._text_end = exe.text_base + 4 * len(exe.text_words)
+        self._instructions = exe.instructions
+        # The loader writes text through memory directly (not mem_write),
+        # so image loading never counts as a self-modifying-code write.
         for i, word in enumerate(exe.text_words):
             self.memory.write(exe.text_base + 4 * i, 4, word, 0)
         if exe.data:
             self.memory.write_bytes(exe.data_base, bytes(exe.data), False)
         self.pc = exe.entry
         self.regs.write(29, STACK_TOP)  # $sp
-        self._text_base = exe.text_base
-        self._instructions = exe.instructions
 
     # ------------------------------------------------------------------
     # memory plumbing (through caches when enabled)
@@ -189,8 +192,13 @@ class MachineState:
         return self.memory.read(addr, size)
 
     def mem_write(self, addr: int, size: int, value: int, taint: int) -> None:
+        addr &= _MASK32
+        # Text-page write hook: data/stack live above the text segment,
+        # so for well-behaved stores this is one always-false compare.
+        if addr < self._text_end and addr + size > self._text_base:
+            self._on_text_write()
         if self.caches is not None:
-            self.caches.write(addr & _MASK32, size, value, taint)
+            self.caches.write(addr, size, value, taint)
         else:
             self.memory.write(addr, size, value, taint)
 
@@ -210,6 +218,9 @@ class MachineState:
         same plane call, so the two configurations share identical taint
         (and, in label mode, provenance) semantics.
         """
+        start = addr & _MASK32
+        if start < self._text_end and start + len(data) > self._text_base:
+            self._on_text_write()
         if self.caches is None:
             self.memory.write_bytes(addr, data, bool(tainted))
         else:
@@ -219,6 +230,14 @@ class MachineState:
                 write((addr + i) & _MASK32, 1, byte, taint_bit)
         if tainted and label_sid:
             self.plane.label_span(addr, len(data), label_sid)
+
+    def _on_text_write(self) -> None:
+        """Hook: a store/copy-in touched the text segment.
+
+        Both engines execute from the immutable predecode, so a text
+        write never changes executed semantics; engines with derived
+        execution state (the superblock tier) override this to drop it.
+        """
 
     # ------------------------------------------------------------------
     # watchdog (shared limit guard for both execution engines)

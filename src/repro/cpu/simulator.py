@@ -31,7 +31,13 @@ from ..isa.instructions import Instr
 from ..isa.program import Executable
 from ..mem.tainted_memory import MemoryFault
 from .dispatch import bind_program
-from .machine import ExecutionLimit, MachineState, SimulatorFault
+from .machine import (
+    ExecutionLimit,
+    MachineState,
+    RECENT_PC_DEPTH,
+    SimulatorFault,
+)
+from .superblock import SuperblockCache
 
 __all__ = ["ExecutionLimit", "Simulator", "SimulatorFault"]
 
@@ -50,6 +56,11 @@ class Simulator(MachineState):
             hierarchy instead of directly to RAM.
         taint_labels: run the taint plane in provenance-label mode (see
             :mod:`repro.taint.plane`).
+        superblocks: fuse straight-line decoded runs into single closures
+            (:mod:`repro.cpu.superblock`).  On by default; results are
+            byte-identical either way -- the fused tier falls back to
+            single-stepping whenever an ``InstructionRetired`` subscriber
+            needs per-instruction events.
     """
 
     def __init__(
@@ -59,6 +70,7 @@ class Simulator(MachineState):
         syscall_handler: Optional[Callable[["Simulator"], None]] = None,
         use_caches: bool = False,
         taint_labels: bool = False,
+        superblocks: bool = True,
     ) -> None:
         super().__init__(executable, policy, syscall_handler, use_caches, taint_labels)
         self._trace_hook: Optional[Callable[["Simulator", int, Instr], None]] = None
@@ -69,6 +81,16 @@ class Simulator(MachineState):
         # accounting never touches Instr attributes on the hot path.
         self._names = [instr.name for instr in self._instructions]
         self._klasses = [instr.klass for instr in self._instructions]
+        #: Fused superblock cache (derived from the immutable predecode:
+        #: snapshot-safe, flushed only on text-segment writes).
+        self.superblocks = SuperblockCache()
+        self.superblocks_enabled = bool(superblocks)
+
+    def _on_text_write(self) -> None:
+        # Self-modifying-code write: drop every fused block so no fused
+        # closure outlives a text write (re-fusion happens lazily at the
+        # next dispatch, from the same immutable decode).
+        self.superblocks.invalidate()
 
     # ------------------------------------------------------------------
     # deprecated observation shim (prefer the event bus)
@@ -89,6 +111,14 @@ class Simulator(MachineState):
     def trace_hook(
         self, hook: Optional[Callable[["Simulator", int, Instr], None]]
     ) -> None:
+        import warnings
+
+        warnings.warn(
+            "Simulator.trace_hook is deprecated; subscribe to "
+            "InstructionRetired on the event bus instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if self._trace_adapter is not None:
             self.events.unsubscribe(InstructionRetired, self._trace_adapter)
             self._trace_adapter = None
@@ -126,7 +156,19 @@ class Simulator(MachineState):
         via :meth:`~repro.cpu.machine.MachineState.arm_watchdog` -- is
         exhausted, or when an armed wall-clock deadline passes (checked
         every 2048 instructions to keep the hot path cheap).
+
+        With :attr:`superblocks_enabled` (the default) dispatch runs
+        through the fused superblock tier; otherwise the classic
+        one-closure-per-instruction loop.  Both produce byte-identical
+        architectural results, statistics, and events.
         """
+        if self.superblocks_enabled:
+            return self._run_fused(max_instructions)
+        return self._run_unfused(max_instructions)
+
+    def _run_unfused(self, max_instructions: int) -> int:
+        """The classic per-instruction loop (also the semantic reference
+        the fused tier's single-step fallback replicates exactly)."""
         ops = self._ops
         names = self._names
         klasses = self._klasses
@@ -198,6 +240,174 @@ class Simulator(MachineState):
             # On SecurityException / faults the pc stays at the offending
             # instruction; on a clean halt it has advanced past the exit
             # syscall -- same contract as before the decode-once refactor.
+            self.pc = pc
+        return self.exit_status if self.exit_status is not None else 0
+
+    def _run_fused(self, max_instructions: int) -> int:
+        """Superblock-fused dispatch loop.
+
+        Per dispatch: look up (or lazily build) the superblock at the
+        current pc and run it as one closure, batching the loop-exit
+        checks and instruction-mix accounting per block.  Falls back to
+        an exact copy of the unfused per-instruction body whenever a
+        block cannot run fused: an ``InstructionRetired`` subscriber
+        needs per-instruction events (tracing, fault injectors, defense
+        comparators), the remaining budget is smaller than the block, or
+        the block is a single instruction.  On a mid-block exception the
+        sync closure's ``stats.instructions`` updates pinpoint the
+        faulting instruction, and partial progress (recent pcs,
+        instruction mix, ``self.pc``) is reconciled to byte-identical
+        unfused state before the exception propagates.
+        """
+        ops = self._ops
+        names = self._names
+        klasses = self._klasses
+        count = len(ops)
+        base = self._text_base
+        instructions = self._instructions
+        stats = self.stats
+        by_mnemonic = stats.by_mnemonic
+        by_class = stats.by_class
+        recent = self.recent_pcs
+        bus = self.events
+        retired_subs = bus.subscribers(InstructionRetired)
+        fault_subs = bus.subscribers(MemoryFaulted)
+        cache = self.superblocks
+        blocks = cache.blocks
+        lookup = cache.lookup
+        hits = 0
+        pc = self.pc
+        budget = max_instructions
+        limit = self.instruction_limit
+        if limit is not None:
+            budget = min(budget, max(0, limit - stats.instructions))
+        deadline = self.deadline
+        monotonic = _monotonic
+        next_deadline_check = stats.instructions
+        try:
+            while not self.halted:
+                if budget <= 0:
+                    raise ExecutionLimit(
+                        f"exceeded instruction budget at pc={pc:#x}",
+                        reason="instructions",
+                        pc=pc,
+                        instructions=stats.instructions,
+                    )
+                if (
+                    deadline is not None
+                    and stats.instructions >= next_deadline_check
+                ):
+                    next_deadline_check = stats.instructions + 2048
+                    if monotonic() >= deadline:
+                        raise ExecutionLimit(
+                            f"watchdog: wall-clock deadline exceeded at "
+                            f"pc={pc:#x}",
+                            reason="wallclock",
+                            pc=pc,
+                            instructions=stats.instructions,
+                        )
+                index = (pc - base) >> 2
+                if pc & 3 or index < 0 or index >= count:
+                    fault = SimulatorFault(
+                        f"instruction fetch from {pc:#010x} (outside text segment)"
+                    )
+                    if fault_subs:
+                        bus.emit(MemoryFaulted(pc, str(fault)))
+                    raise fault
+                block = blocks.get(index)
+                if block is None:
+                    block = lookup(self, index)
+                n = block.n
+                if retired_subs or n < 2 or budget < n:
+                    # Single-step fallback: byte-for-byte the unfused body.
+                    recent.append(pc)
+                    stats.instructions += 1
+                    by_mnemonic[names[index]] += 1
+                    by_class[klasses[index]] += 1
+                    try:
+                        next_pc = ops[index]()
+                    except (SimulatorFault, MemoryFault) as exc:
+                        if fault_subs:
+                            bus.emit(MemoryFaulted(pc, str(exc)))
+                        raise
+                    if retired_subs:
+                        bus.emit(
+                            InstructionRetired(
+                                pc, instructions[index], stats.instructions
+                            )
+                        )
+                    pc = next_pc
+                    budget -= 1
+                    continue
+                if block.pure:
+                    # Pure blocks cannot raise and observe nothing: let
+                    # the closure iterate the block while its terminator
+                    # branches back to the entry (one exit check per
+                    # iteration), then account for the whole burst.
+                    max_iters = budget // n
+                    if deadline is not None and n * max_iters > 2048:
+                        # Keep the unfused loop's ~2048-instruction
+                        # wall-clock check cadence.
+                        max_iters = max(1, 2048 // n)
+                    next_pc, iters = block.fn(max_iters)
+                    if iters == 1:
+                        stats.instructions += n
+                        recent.extend(block.pcs)
+                        for name, cnt in block.mix_names:
+                            by_mnemonic[name] += cnt
+                        for klass, cnt in block.mix_classes:
+                            by_class[klass] += cnt
+                        hits += 1
+                        pc = next_pc
+                        budget -= n
+                        continue
+                    executed = n * iters
+                    stats.instructions += executed
+                    if executed >= RECENT_PC_DEPTH:
+                        recent.extend(block.loop_tail)
+                    else:
+                        recent.extend(block.pcs * iters)
+                    for name, cnt in block.mix_names:
+                        by_mnemonic[name] += cnt * iters
+                    for klass, cnt in block.mix_classes:
+                        by_class[klass] += cnt * iters
+                    hits += iters
+                    pc = next_pc
+                    budget -= executed
+                    continue
+                else:
+                    n0 = stats.instructions
+                    try:
+                        next_pc = block.fn()
+                    except BaseException as exc:
+                        # The sync closure advanced stats.instructions
+                        # before each op, so it names the faulting slot.
+                        k = stats.instructions - n0 - 1
+                        if 0 <= k < n:
+                            recent.extend(block.pcs[: k + 1])
+                            block_names = block.names
+                            block_klasses = block.klasses
+                            for i in range(k + 1):
+                                by_mnemonic[block_names[i]] += 1
+                                by_class[block_klasses[i]] += 1
+                            pc = block.pcs[k]
+                            if fault_subs and isinstance(
+                                exc, (SimulatorFault, MemoryFault)
+                            ):
+                                bus.emit(MemoryFaulted(pc, str(exc)))
+                        raise
+                recent.extend(block.pcs)
+                for name, cnt in block.mix_names:
+                    by_mnemonic[name] += cnt
+                for klass, cnt in block.mix_classes:
+                    by_class[klass] += cnt
+                hits += 1
+                pc = next_pc
+                budget -= n
+        finally:
+            cache.hits += hits
+            # Same pc contract as the unfused loop: the offending
+            # instruction on faults, past the exit syscall on halt.
             self.pc = pc
         return self.exit_status if self.exit_status is not None else 0
 

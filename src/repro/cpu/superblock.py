@@ -1,0 +1,262 @@
+"""Superblock fusion: straight-line decoded runs as single closures.
+
+The decode-once dispatch (:mod:`repro.cpu.dispatch`) already resolves
+every static instruction to a zero-argument executor closure, but the
+functional engine still pays full per-instruction accounting -- budget
+check, bounds check, recent-pc append, three counter updates -- around
+every single call.  This module fuses a straight-line run of executors
+(a basic block / superblock keyed by its entry slot, discovered lazily
+the first time the engine dispatches to it) into **one** generated
+closure, so the engine pays the loop-exit checks and the instruction-mix
+accounting once per block instead of once per instruction.
+
+Two fusion flavours, chosen by classifying the block's mnemonics:
+
+* **pure blocks** -- every instruction is an ALU/branch/jump executor
+  that cannot raise and never observes ``stats.instructions`` (div-by-
+  zero is guarded inside the binder, add/sub are masked, branches only
+  compute a target).  The generated closure is a bare unrolled call
+  sequence; the engine batches *all* accounting after the block returns.
+* **sync blocks** -- the block contains at least one load, store, jr,
+  jalr, syscall, break, or unknown executor.  Those can raise
+  (``SecurityException``, ``MemoryFault``, ``SimulatorFault``) and
+  observe ``stats.instructions`` (alert ``instruction_index``, label
+  allocation, the profiler's syscall gap histogram), so the generated
+  closure advances ``stats.instructions`` *before* each call -- exactly
+  the order the unfused loop uses -- and the engine reconciles partial
+  progress from that counter when an exception escapes mid-block.
+
+Every closure is generated with its executors bound as default
+arguments (LOAD_FAST at call time) and compiled once per block entry.
+
+**Self-modifying code**: fused closures are derived from the immutable
+predecoded program, the same source both engines execute from, so a
+store into the text segment cannot change what either tier runs.  The
+machine still reports text writes (:meth:`MachineState._on_text_write`)
+and the cache drops every fused block, forcing re-fusion from the
+decode on the next dispatch -- the invariant "no fused closure outlives
+a text write" holds by construction, and results are preserved because
+re-fusion reproduces the same composition.  For the same reason the
+cache is **snapshot-safe**: checkpoint/rollback never needs to flush it
+(see :mod:`repro.fault.checkpoint`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .machine import RECENT_PC_DEPTH
+
+__all__ = [
+    "MAX_SUPERBLOCK_LEN",
+    "PURE_OPS",
+    "TERMINATORS",
+    "Superblock",
+    "SuperblockCache",
+    "build_superblock",
+]
+
+#: Upper bound on fused run length: bounds generated-code size and the
+#: worst-case partial-progress reconciliation on a mid-block exception.
+MAX_SUPERBLOCK_LEN = 64
+
+#: Mnemonics whose executors end a superblock: they compute (or refuse
+#: to compute) a non-fall-through next pc, or can halt the machine.
+TERMINATORS = frozenset({
+    "beq", "bne", "blez", "bgtz", "bltz", "bgez",
+    "j", "jal", "jr", "jalr", "syscall", "break",
+})
+
+#: Mnemonics whose executors cannot raise and never observe
+#: ``stats.instructions``: the whole block can run with zero per-op
+#: accounting.  Branches/j/jal qualify (pure terminators); loads,
+#: stores, jr/jalr (dereference checks), syscall, and break do not.
+PURE_OPS = frozenset({
+    "add", "addu", "sub", "subu", "or", "nor", "xor", "and",
+    "andi", "addi", "addiu", "ori", "xori", "lui",
+    "slt", "sltu", "slti", "sltiu",
+    "sll", "srl", "sra", "sllv", "srlv", "srav",
+    "mult", "multu", "div", "divu", "mfhi", "mflo",
+    "beq", "bne", "blez", "bgtz", "bltz", "bgez", "j", "jal",
+})
+
+
+class Superblock:
+    """One fused straight-line run, keyed by its entry slot index."""
+
+    __slots__ = (
+        "entry", "n", "pure", "fn", "pcs", "names", "klasses",
+        "mix_names", "mix_classes", "loop_tail",
+    )
+
+    def __init__(
+        self,
+        entry: int,
+        pure: bool,
+        fn,
+        pcs: Tuple[int, ...],
+        names: Tuple[str, ...],
+        klasses: Tuple[str, ...],
+    ) -> None:
+        self.entry = entry
+        self.n = len(pcs)
+        self.pure = pure
+        #: The fused closure.  Pure blocks: ``fn(max_iters) ->
+        #: (next_pc, iters)`` (self-iterating, see ``_compose_pure``).
+        #: Sync blocks: ``fn() -> next_pc`` (single pass).
+        self.fn = fn
+        self.pcs = pcs
+        #: Per-instruction mnemonics/classes, for partial reconciliation.
+        self.names = names
+        self.klasses = klasses
+        #: Aggregated instruction mix in first-occurrence order, so
+        #: batched counter updates preserve the insertion order the
+        #: incremental loop would produce.
+        self.mix_names = _aggregate(names)
+        self.mix_classes = _aggregate(klasses)
+        #: The last RECENT_PC_DEPTH pcs of a long self-loop burst
+        #: (cyclic suffix ending at the terminator), precomputed so the
+        #: engine can refill the recent-pc ring in one extend.
+        repeats = (RECENT_PC_DEPTH - 1) // self.n + 1
+        self.loop_tail = (pcs * repeats)[-RECENT_PC_DEPTH:]
+
+
+def _aggregate(items: Tuple[str, ...]) -> Tuple[Tuple[str, int], ...]:
+    counts: Dict[str, int] = {}
+    for item in items:
+        counts[item] = counts.get(item, 0) + 1
+    return tuple(counts.items())
+
+
+def _compose_pure(ops: List, entry_pc: int) -> object:
+    """Self-iterating unrolled closure for a pure block.
+
+    ``fn(max_iters) -> (next_pc, iters)`` runs the block body repeatedly
+    while the terminator branches back to the block's own entry -- the
+    hot-loop shape -- paying exactly **one loop-exit check per
+    iteration**.  Non-looping blocks exit after one pass.  ``max_iters``
+    bounds the burst so the engine keeps its budget and wall-clock
+    deadline cadence.
+    """
+    n = len(ops)
+    params = ", ".join(
+        [f"o{i}=_b[{i}]" for i in range(n)] + [f"_entry={entry_pc}"]
+    )
+    calls = "".join(f"        o{i}()\n" for i in range(n - 1))
+    src = (
+        f"def _fused(max_iters, {params}):\n"
+        f"    i = 0\n"
+        f"    while True:\n"
+        f"{calls}"
+        f"        next_pc = o{n - 1}()\n"
+        f"        i += 1\n"
+        f"        if next_pc != _entry or i >= max_iters:\n"
+        f"            return next_pc, i\n"
+    )
+    namespace = {"_b": ops}
+    exec(compile(src, "<superblock>", "exec"), namespace)
+    return namespace["_fused"]
+
+
+def _compose_sync(ops: List, stats) -> object:
+    """Unrolled sequence that advances ``stats.instructions`` before each
+    call, mirroring the unfused loop's increment-then-execute order so
+    alert indices, label allocation, and exception reconciliation all see
+    the exact per-instruction counter."""
+    n = len(ops)
+    params = ", ".join(
+        ["_s=_stats"] + [f"o{i}=_b[{i}]" for i in range(n)]
+    )
+    lines = ["    n = _s.instructions\n"]
+    for i in range(n - 1):
+        lines.append(f"    _s.instructions = n + {i + 1}\n    o{i}()\n")
+    lines.append(f"    _s.instructions = n + {n}\n    return o{n - 1}()\n")
+    src = f"def _fused({params}):\n{''.join(lines)}"
+    namespace = {"_b": ops, "_stats": stats}
+    exec(compile(src, "<superblock>", "exec"), namespace)
+    return namespace["_fused"]
+
+
+def build_superblock(sim, entry: int) -> Superblock:
+    """Fuse the straight-line run starting at slot ``entry``.
+
+    Walks the predecoded mnemonic list to the first terminator (or the
+    length cap, or the end of text), classifies the run, and compiles
+    the fused closure.  Unknown mnemonics terminate the block and make
+    it a sync block: their executors fault on execution, exactly like
+    the unfused path.
+    """
+    from .dispatch import BINDERS  # local import: dispatch imports nothing here
+
+    names = sim._names
+    klasses = sim._klasses
+    ops = sim._ops
+    count = len(ops)
+    base = sim._text_base
+    slots = []
+    idx = entry
+    while idx < count and len(slots) < MAX_SUPERBLOCK_LEN:
+        name = names[idx]
+        slots.append(idx)
+        if name in TERMINATORS or name not in BINDERS:
+            break
+        idx += 1
+    block_ops = [ops[i] for i in slots]
+    block_names = tuple(names[i] for i in slots)
+    pure = all(nm in PURE_OPS for nm in block_names)
+    pcs = tuple(base + 4 * i for i in slots)
+    fn = (
+        _compose_pure(block_ops, pcs[0])
+        if pure
+        else _compose_sync(block_ops, sim.stats)
+    )
+    return Superblock(
+        entry=entry,
+        pure=pure,
+        fn=fn,
+        pcs=pcs,
+        names=block_names,
+        klasses=tuple(klasses[i] for i in slots),
+    )
+
+
+class SuperblockCache:
+    """Lazily populated entry-slot -> :class:`Superblock` map.
+
+    Derived entirely from the immutable predecode, so snapshots never
+    capture it and rollback never flushes it; a text-segment write
+    clears it wholesale (SMC is rare enough that selective invalidation
+    would be complexity without a workload).
+    """
+
+    __slots__ = ("blocks", "built", "invalidated", "hits")
+
+    def __init__(self) -> None:
+        self.blocks: Dict[int, Superblock] = {}
+        #: Observability counters, harvested into metrics as
+        #: ``superblock.{built,invalidated,hits}``.
+        self.built = 0
+        self.invalidated = 0
+        self.hits = 0
+
+    def lookup(self, sim, entry: int) -> Superblock:
+        block = self.blocks.get(entry)
+        if block is None:
+            block = build_superblock(sim, entry)
+            self.blocks[entry] = block
+            self.built += 1
+        return block
+
+    def invalidate(self) -> None:
+        """Drop every fused block (text-segment write observed)."""
+        self.blocks.clear()
+        self.invalidated += 1
+
+    def info(self) -> Dict[str, int]:
+        """Cache observability snapshot (serve health, metrics)."""
+        return {
+            "size": len(self.blocks),
+            "built": self.built,
+            "invalidated": self.invalidated,
+            "hits": self.hits,
+        }

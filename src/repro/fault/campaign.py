@@ -165,6 +165,10 @@ class CampaignConfig:
     #: trial outcomes: the campaign digest is identical in both modes
     #: (alert strings and fault details never include provenance).
     taint_labels: bool = False
+    #: Fused superblock dispatch (see :mod:`repro.cpu.superblock`).
+    #: Orthogonal to trial outcomes: the campaign digest is identical
+    #: with the tier on or off (asserted in tests and CI).
+    superblocks: bool = True
     instruction_slack: float = 4.0
     max_seconds: float = 30.0
     reuse_snapshots: bool = True
@@ -372,6 +376,7 @@ class FaultCampaign:
             stdin=workload.stdin,
             use_caches=self.config.use_caches,
             taint_labels=self.config.taint_labels,
+            superblocks=self.config.superblocks,
         )
         if self.instrument is not None:
             self.instrument(sim)

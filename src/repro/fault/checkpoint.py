@@ -13,6 +13,12 @@ snapshot serializes the whole :class:`~repro.taint.plane.TaintPlane`
 (taint pages, register masks, and the provenance sidecar in label mode)
 exactly once, so checkpoint/rollback works identically in both plane
 modes.
+
+The fused superblock cache (:mod:`repro.cpu.superblock`) is derived
+entirely from the immutable predecode, so snapshots never capture it
+and restores never flush it: blocks fused before a checkpoint keep
+replaying across every rollback, and only a text-segment write (SMC)
+drops them.
 """
 
 from __future__ import annotations

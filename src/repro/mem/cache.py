@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from ..core.taint import TaintVector
+from ..taint.bits import TaintVector
 from .tainted_memory import TaintedMemory
 
 

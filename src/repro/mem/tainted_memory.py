@@ -43,6 +43,11 @@ class TaintedMemory:
         # Identity-shared with the plane: pages materialize here, snapshots
         # happen there.
         self._taint_pages: Dict[int, bytearray] = plane.mem_taint
+        # Identity-shared clean-page summary (see TaintPlane.tainted_pages):
+        # a page base absent from this set is guaranteed all-clean, so reads
+        # skip the per-byte shadow loop and clean writes skip the clearing
+        # loop.  Conservative: taint-setting paths add, untaint never removes.
+        self._tainted_pages = plane.tainted_pages
         #: Running count of tainted-byte writes, for statistics.
         self.tainted_bytes_written = 0
 
@@ -111,9 +116,20 @@ class TaintedMemory:
         if size not in (1, 2, 4):
             raise MemoryFault(f"bad access size {size}")
         addr &= 0xFFFFFFFF
-        page, taint, offset = self._page(addr)
+        base = addr & ~_PAGE_MASK
+        page = self._pages.get(base)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[base] = page
+            self._taint_pages[base] = bytearray(PAGE_SIZE)
+        offset = addr & _PAGE_MASK
         if offset + size <= PAGE_SIZE:
             value = int.from_bytes(page[offset : offset + size], "little")
+            if base not in self._tainted_pages:
+                # Clean-page fast path: the summary proves every shadow
+                # byte on this page is zero.
+                return value, 0
+            taint = self._taint_pages[base]
             mask = 0
             for i in range(size):
                 if taint[offset + i]:
@@ -134,15 +150,27 @@ class TaintedMemory:
         if size not in (1, 2, 4):
             raise MemoryFault(f"bad access size {size}")
         addr &= 0xFFFFFFFF
-        page, taint, offset = self._page(addr)
+        base = addr & ~_PAGE_MASK
+        page = self._pages.get(base)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[base] = page
+            self._taint_pages[base] = bytearray(PAGE_SIZE)
+        offset = addr & _PAGE_MASK
         if offset + size <= PAGE_SIZE:
             value &= (1 << (8 * size)) - 1
             page[offset : offset + size] = value.to_bytes(size, "little")
-            for i in range(size):
-                bit = 1 if taint_mask >> i & 1 else 0
-                taint[offset + i] = bit
-                if bit:
-                    self.tainted_bytes_written += 1
+            if taint_mask:
+                self._tainted_pages.add(base)
+                taint = self._taint_pages[base]
+                for i in range(size):
+                    bit = 1 if taint_mask >> i & 1 else 0
+                    taint[offset + i] = bit
+                    if bit:
+                        self.tainted_bytes_written += 1
+            elif base in self._tainted_pages:
+                self._taint_pages[base][offset : offset + size] = bytes(size)
+            # Clean write to a clean page: shadow bytes are already zero.
             return
         for i in range(size):
             self._write_byte(addr + i, value >> (8 * i) & 0xFF, bool(taint_mask >> i & 1))
@@ -152,11 +180,13 @@ class TaintedMemory:
         return page[offset], taint[offset]
 
     def _write_byte(self, addr: int, value: int, tainted: bool) -> None:
-        page, taint, offset = self._page(addr & 0xFFFFFFFF)
+        addr &= 0xFFFFFFFF
+        page, taint, offset = self._page(addr)
         page[offset] = value & 0xFF
         taint[offset] = 1 if tainted else 0
         if tainted:
             self.tainted_bytes_written += 1
+            self._tainted_pages.add(addr & ~_PAGE_MASK)
 
     # ------------------------------------------------------------------
     # bulk accesses (loader, system calls, tests)
@@ -203,10 +233,15 @@ class TaintedMemory:
         position = 0
         remaining = len(data)
         while remaining > 0:
+            base = cursor & 0xFFFFFFFF & ~_PAGE_MASK
             page, taint_page, offset = self._page(cursor & 0xFFFFFFFF)
             chunk = min(remaining, PAGE_SIZE - offset)
             page[offset : offset + chunk] = data[position : position + chunk]
-            taint_page[offset : offset + chunk] = bytes([fill]) * chunk
+            if fill:
+                self._tainted_pages.add(base)
+                taint_page[offset : offset + chunk] = b"\x01" * chunk
+            elif base in self._tainted_pages:
+                taint_page[offset : offset + chunk] = bytes(chunk)
             cursor += chunk
             position += chunk
             remaining -= chunk
@@ -225,9 +260,13 @@ class TaintedMemory:
 
     def set_taint(self, addr: int, length: int, tainted: bool) -> None:
         """Force the taint of a byte span without touching the data."""
+        bit = 1 if tainted else 0
         for i in range(length):
-            _, taint_page, offset = self._page((addr + i) & 0xFFFFFFFF)
-            taint_page[offset] = 1 if tainted else 0
+            a = (addr + i) & 0xFFFFFFFF
+            _, taint_page, offset = self._page(a)
+            taint_page[offset] = bit
+            if bit:
+                self._tainted_pages.add(a & ~_PAGE_MASK)
 
     def count_tainted(self, addr: int, length: int) -> int:
         """Number of tainted bytes in a span."""

@@ -196,6 +196,15 @@ class Observer:
                 )
                 reg.gauge(f"{prefix}.hit_rate").set(level.stats.hit_rate)
 
+        superblocks = getattr(sim, "superblocks", None)
+        if superblocks is not None and getattr(
+            sim, "superblocks_enabled", False
+        ):
+            info = superblocks.info()
+            for key in ("built", "invalidated", "hits"):
+                reg.counter(f"superblock.{key}").inc(info[key])
+            reg.gauge("superblock.cached").set(info["size"])
+
         pstats = getattr(pipeline, "pstats", pipeline)
         if pstats is not None:
             reg.counter("pipeline.cycles").inc(pstats.cycles)

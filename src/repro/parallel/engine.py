@@ -281,6 +281,7 @@ def _campaign_key(workload: Workload, config) -> tuple:
         config.recovery,
         config.use_caches,
         config.taint_labels,
+        config.superblocks,
         config.instruction_slack,
         config.max_seconds,
         tuple(config.kinds),

@@ -24,7 +24,9 @@ from typing import Any, Dict, Optional
 
 __all__ = [
     "JOB_KINDS",
+    "LEGACY_OPTION_KEYS",
     "MAX_LINE_BYTES",
+    "OPTIONS_FIELDS",
     "PRIORITIES",
     "ProtocolError",
     "REQUEST_KINDS",
@@ -53,6 +55,22 @@ MAX_LINE_BYTES = 8 * 1024 * 1024
 EXPERIMENT_NAMES = (
     "fig1", "fig2", "table2", "table3", "table4", "sec54", "coverage",
     "matrix",
+)
+
+
+#: Fields a request's ``"options"`` object may carry -- the wire subset
+#: of :class:`repro.api.ExecOptions` (observability and pool fan-out are
+#: server-side concerns, so ``metrics``/``trace*``/``workers`` are not
+#: accepted over the wire).
+OPTIONS_FIELDS = (
+    "engine", "policy", "defense", "taint_labels", "use_caches",
+    "superblocks", "max_instructions",
+)
+
+#: Top-level request keys that remain accepted as deprecated aliases for
+#: the same-named ``options`` fields (pre-ExecOptions clients).
+LEGACY_OPTION_KEYS = (
+    "engine", "policy", "defense", "taint_labels", "max_instructions",
 )
 
 
@@ -109,6 +127,38 @@ def _check_number(obj: dict, key: str) -> Optional[float]:
     return float(value)
 
 
+def _check_options(obj: dict) -> None:
+    """Structural checks for a request's ``"options"`` object.
+
+    Mirrors :class:`repro.api.ExecOptions` validation for the wire
+    subset; a top-level legacy alias that duplicates an ``options``
+    field is rejected so precedence is never ambiguous (the same rule
+    ``Session`` applies to ``options=`` plus individual kwargs).
+    """
+    options = obj.get("options")
+    if options is None:
+        return
+    _require(isinstance(options, dict), "'options' must be a JSON object")
+    unknown = sorted(set(options) - set(OPTIONS_FIELDS))
+    _require(not unknown,
+             f"unknown options field(s) {unknown}; "
+             f"choose from {sorted(OPTIONS_FIELDS)}")
+    overlap = sorted(set(options) & set(obj) - {"options"})
+    _require(not overlap,
+             f"give {overlap} inside 'options' or at the top level, "
+             f"not both")
+    engine = options.get("engine", "functional")
+    _require(engine in ("functional", "pipeline"),
+             f"options.engine={engine!r} not in ('functional', 'pipeline')")
+    for flag in ("taint_labels", "use_caches", "superblocks"):
+        value = options.get(flag)
+        _require(value is None or isinstance(value, bool),
+                 f"options.{flag} must be a bool")
+    for key in ("policy", "defense"):
+        _check_str(options, key)
+    _check_int(options, "max_instructions", minimum=1)
+
+
 def validate_request(obj: Any) -> dict:
     """Check one decoded request object; returns it (normalized).
 
@@ -116,6 +166,11 @@ def validate_request(obj: Any) -> dict:
     are structural (types, enums, required fields) -- semantic failures
     (an unknown builtin workload, a MiniC compile error) surface later as
     job-level error envelopes, so one bad job never kills a connection.
+
+    ``run`` and ``campaign`` requests may carry an ``"options"`` object
+    (the wire form of :class:`repro.api.ExecOptions`, see
+    :data:`OPTIONS_FIELDS`); the flat top-level keys in
+    :data:`LEGACY_OPTION_KEYS` keep working as deprecated aliases.
     """
     _require(isinstance(obj, dict), "request must be a JSON object")
     kind = obj.get("kind")
@@ -142,6 +197,7 @@ def validate_request(obj: Any) -> dict:
                  f"engine={engine!r} not in ('functional', 'pipeline')")
         _check_int(obj, "max_instructions", minimum=1)
         _check_number(obj, "deadline_s")
+        _check_options(obj)
     elif kind == "campaign":
         source = _check_str(obj, "source")
         builtin = _check_str(obj, "builtin")
@@ -154,6 +210,7 @@ def validate_request(obj: Any) -> dict:
         _require(engine in ("functional", "pipeline"),
                  f"engine={engine!r} not in ('functional', 'pipeline')")
         _check_number(obj, "deadline_s")
+        _check_options(obj)
     elif kind in ("experiment", "matrix"):
         name = obj.get("name", "matrix" if kind == "matrix" else None)
         _require(name in EXPERIMENT_NAMES,

@@ -86,6 +86,11 @@ class ReproServer:
         )
         self.started_at: Optional[float] = None
         self.completed = 0
+        #: Fused-tier totals accumulated from completed run payloads
+        #: (the caches themselves live in worker processes), surfaced by
+        #: the health probe.
+        self.superblocks = {"runs": 0, "built": 0, "invalidated": 0,
+                            "hits": 0}
         self.draining = False
         self.loop: Optional[asyncio.AbstractEventLoop] = None
         self._seq = 0
@@ -201,6 +206,11 @@ class ReproServer:
                 job.job_id, job.seq, queue_ms, exec_s * 1000.0, retries
             )
             self.completed += 1
+            fused = payload.get("stats", {}).get("superblocks")
+            if isinstance(fused, dict):
+                self.superblocks["runs"] += 1
+                for key in ("built", "invalidated", "hits"):
+                    self.superblocks[key] += int(fused.get(key, 0))
             if self.registry is not None:
                 self.registry.counter("serve.jobs.completed").inc()
             await self._send(job.context, payload)
@@ -335,6 +345,8 @@ class ReproServer:
         uptime = 0.0
         if self.started_at is not None:
             uptime = monotonic() - self.started_at
+        hits = self.superblocks["hits"]
+        built = self.superblocks["built"]
         return {
             "kind": "health",
             "status": "draining" if self.draining else "ok",
@@ -343,6 +355,10 @@ class ReproServer:
             "in_flight": self._in_flight,
             "completed": self.completed,
             "workers": self.pool.snapshot(),
+            "superblocks": dict(
+                self.superblocks,
+                hit_rate=round((hits - built) / hits, 4) if hits else 0.0,
+            ),
         }
 
 

@@ -95,18 +95,33 @@ def _cached_executable(request: dict):
     return exe
 
 
+def _exec_options(request: dict):
+    """Build the job's :class:`repro.api.ExecOptions`.
+
+    The validated ``"options"`` object wins; the flat top-level keys
+    (``engine``, ``policy``, ...) remain the deprecated-alias spelling
+    for pre-ExecOptions clients.  The protocol layer already rejected
+    requests that give the same knob both ways.
+    """
+    from ..api import ExecOptions
+
+    merged = {
+        "policy": request.get("policy", "paper"),
+        "engine": request.get("engine", "functional"),
+        "taint_labels": bool(request.get("taint_labels", False)),
+        "defense": request.get("defense"),
+    }
+    if request.get("max_instructions") is not None:
+        merged["max_instructions"] = request["max_instructions"]
+    merged.update(request.get("options") or {})
+    return ExecOptions(**merged)
+
+
 def _execute_run(request: dict) -> dict:
     from ..api import Session
 
-    session = Session(
-        policy=request.get("policy", "paper"),
-        engine=request.get("engine", "functional"),
-        taint_labels=bool(request.get("taint_labels", False)),
-        defense=request.get("defense"),
-    )
+    session = Session(options=_exec_options(request))
     kwargs = {}
-    if request.get("max_instructions") is not None:
-        kwargs["max_instructions"] = request["max_instructions"]
     if request.get("deadline_s") is not None:
         kwargs["max_seconds"] = request["deadline_s"]
     result = session.run_executable(
@@ -131,12 +146,15 @@ def _execute_campaign(request: dict) -> dict:
             stdin=request.get("stdin", "").encode("latin-1"),
             argv=tuple(request.get("argv", ())),
         )
+    options = _exec_options(request)
     config_kwargs = dict(
         seed=request.get("seed", 7),
         trials=request.get("trials", 100),
-        engine=request.get("engine", "functional"),
+        engine=options.engine,
         recovery=request.get("recovery", "halt"),
-        taint_labels=bool(request.get("taint_labels", False)),
+        taint_labels=options.taint_labels,
+        use_caches=options.use_caches,
+        superblocks=options.superblocks,
     )
     if request.get("kinds"):
         config_kwargs["kinds"] = tuple(request["kinds"])

@@ -34,10 +34,13 @@ exceptions, forensics, traces, and ``--json`` output.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from .bits import WORD_TAINTED
 from .labels import LabelTable, TaintLabel
+
+_PAGE_SHIFT = 12  # PAGE_SIZE == 4096 (repro.mem.layout); kept local to
+_PAGE_MASK = (1 << _PAGE_SHIFT) - 1  # avoid an import cycle with mem.
 
 __all__ = ["MODE_BIT", "MODE_LABEL", "TaintPlane"]
 
@@ -63,6 +66,14 @@ class TaintPlane:
         #: ``TaintedMemory._taint_pages``; the memory object manages page
         #: allocation, the plane owns snapshot/restore.
         self.mem_taint: Dict[int, bytearray] = {}
+        #: Clean-page summary: page bases that *may* hold tainted bytes.
+        #: Shared by identity with ``TaintedMemory._tainted_pages``.  The
+        #: set is conservative -- every path that sets a taint bit adds
+        #: the page, untaint paths never remove it -- so "base not in
+        #: tainted_pages" proves the page's taint bytes are all zero and
+        #: fully-clean workloads skip per-byte shadow reads entirely.
+        #: :meth:`restore` recomputes it exactly from the restored pages.
+        self.tainted_pages: Set[int] = set()
         #: Word taint masks for the 32 GPRs.  Shared by identity with
         #: ``RegisterFile.taints``.
         self.reg_taints: List[int] = [0] * 32
@@ -168,12 +179,21 @@ class TaintPlane:
     # ------------------------------------------------------------------
 
     def label_span(self, addr: int, length: int, sid: int) -> None:
-        """Stamp ``sid`` on a freshly copied-in span (no-op in bit mode)."""
+        """Stamp ``sid`` on a freshly copied-in span (no-op in bit mode).
+
+        Also conservatively marks the covered pages in the clean-page
+        summary: a labelled span is by construction a tainted span (the
+        copy-in wrote the taint bits just before), so the summary must
+        already consider those pages dirty.
+        """
         if self.table is None or sid == 0:
             return
         labels = self.mem_labels
+        dirty = self.tainted_pages
         for i in range(length):
-            labels[(addr + i) & _MASK32] = sid
+            a = (addr + i) & _MASK32
+            labels[a] = sid
+            dirty.add(a & ~_PAGE_MASK)
 
     def span_sid(self, addr: int, length: int, taint_mask: int) -> int:
         """Union sid over a memory span, gated by a caller-supplied mask.
@@ -273,7 +293,13 @@ class TaintPlane:
         )
 
     def restore(self, snapshot: Tuple) -> None:
-        """Restore in place: every shared container keeps its identity."""
+        """Restore in place: every shared container keeps its identity.
+
+        The clean-page summary is not part of the snapshot tuple (the
+        shape predates it and stays stable); it is recomputed *exactly*
+        from the restored taint pages, which also sheds the conservative
+        over-approximation a long run accumulates.
+        """
         mode, taint_pages, reg_taints, label_state = snapshot
         if mode != self.mode:
             raise ValueError(
@@ -281,8 +307,11 @@ class TaintPlane:
                 f"plane is {self.mode!r}"
             )
         self.mem_taint.clear()
+        self.tainted_pages.clear()
         for base, data in taint_pages.items():
             self.mem_taint[base] = bytearray(data)
+            if any(data):
+                self.tainted_pages.add(base)
         self.reg_taints[:] = reg_taints
         if label_state is not None:
             mem_labels, reg_labels, hilo_label, table_state = label_state

@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 from repro.builder import build_machine
-from repro.core.policy import DetectionPolicy
+from repro.defenses.policy import DetectionPolicy
 from repro.cpu.simulator import Simulator
 from repro.isa.assembler import assemble
 
