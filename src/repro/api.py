@@ -815,10 +815,18 @@ class Session:
         self,
         source: str,
         policy: Union[None, str, DetectionPolicy] = None,
+        opt_level: int = 0,
         **kwargs: Any,
     ) -> RunResult:
-        """Compile a MiniC program against the libc and run it."""
-        return self.run_executable(build_program(source), policy, **kwargs)
+        """Compile a MiniC program against the libc and run it.
+
+        ``opt_level`` selects the MiniC backend: 0 is the legacy oracle
+        codegen, 1 the IR optimization pipeline (same verdicts, fewer
+        dynamic instructions).
+        """
+        return self.run_executable(
+            build_program(source, opt_level=opt_level), policy, **kwargs
+        )
 
     # ------------------------------------------------------------------
     # campaign: seeded fault injection (replaces raw FaultCampaign use)

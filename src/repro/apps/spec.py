@@ -507,6 +507,327 @@ int main(void) {
 
 
 # ---------------------------------------------------------------------------
+# CRAFTY -- alpha-beta game-tree search over an input-derived position
+# ---------------------------------------------------------------------------
+
+CRAFTY_SOURCE = r"""
+char input[4096];
+int board[64];
+int history[64];
+int nodes_visited;
+
+int evaluate(int depth) {
+    int i;
+    int score;
+    score = 0;
+    for (i = 0; i < 64; i++) {
+        score = score + board[i] * ((i & 7) - 3);
+    }
+    if (depth & 1) {
+        return -score;
+    }
+    return score;
+}
+
+int negamax(int depth, int alpha, int beta, int seed) {
+    int move;
+    int square;
+    int saved;
+    int value;
+    nodes_visited++;
+    if (depth == 0) {
+        return evaluate(depth);
+    }
+    for (move = 0; move < 4; move++) {
+        /* Derive a pseudo-move from the seed; squares stay validated. */
+        square = (seed * 31 + move * 17 + depth * 7) % 64;
+        if (square < 0) {
+            square = -square;
+        }
+        saved = board[square];
+        board[square] = (saved + depth + move) % 97;
+        value = -negamax(depth - 1, -beta, -alpha,
+                         seed * 13 + move + 1);
+        board[square] = saved;
+        if (value > alpha) {
+            alpha = value;
+            if (depth < 64) {
+                history[depth] = square;
+            }
+        }
+        if (alpha >= beta) {
+            break;
+        }
+    }
+    return alpha;
+}
+
+int main(void) {
+    int n;
+    int i;
+    int games;
+    int total;
+    int score;
+    n = read(0, input, 4095);
+    input[n] = 0;
+    /* Seed the position from external (tainted) bytes, validated into
+       the 0..96 piece range before they become board state. */
+    for (i = 0; i < 64; i++) {
+        if (i < n) {
+            score = input[i] % 97;
+            if (score < 0) {
+                score = -score;
+            }
+            board[i] = score;
+        } else {
+            board[i] = 0;
+        }
+    }
+    nodes_visited = 0;
+    total = 0;
+    games = 0;
+    for (i = 0; i + 8 <= n && games < 6; i = i + 8) {
+        score = negamax(5, -100000, 100000, input[i] & 0x7f);
+        total = total + score;
+        games++;
+    }
+    printf("crafty: %d games, %d nodes, total=%d\n",
+           games, nodes_visited, total);
+    return 0;
+}
+"""
+
+
+# ---------------------------------------------------------------------------
+# GAP -- breadth-first search over an input-derived graph
+# ---------------------------------------------------------------------------
+
+GAP_SOURCE = r"""
+char input[8192];
+int adj_head[128];
+int edge_to[2048];
+int edge_next[2048];
+int dist[128];
+int queue[128];
+
+int main(void) {
+    int n;
+    int p;
+    int value;
+    int a;
+    int b;
+    int edges;
+    int nodes;
+    int head;
+    int tail;
+    int u;
+    int v;
+    int e;
+    int reached;
+    int sum;
+    n = read(0, input, 8191);
+    input[n] = 0;
+    for (u = 0; u < 128; u++) {
+        adj_head[u] = -1;
+        dist[u] = -1;
+    }
+    /* Parse whitespace-separated numbers as edge endpoint pairs; every
+       tainted value is range-validated before it indexes anything. */
+    p = 0;
+    edges = 0;
+    nodes = 0;
+    a = -1;
+    while (input[p] && edges < 2048) {
+        while (input[p] && !isdigit(input[p])) {
+            p++;
+        }
+        if (!input[p]) {
+            break;
+        }
+        value = 0;
+        while (isdigit(input[p])) {
+            value = value * 10 + (input[p] - '0');
+            p++;
+        }
+        value = value % 128;
+        if (value >= nodes) {
+            nodes = value + 1;
+        }
+        if (a < 0) {
+            a = value;
+        } else {
+            b = value;
+            edge_to[edges] = b;
+            edge_next[edges] = adj_head[a];
+            adj_head[a] = edges;
+            edges++;
+            a = -1;
+        }
+    }
+    /* BFS from node 0 over the adjacency lists. */
+    head = 0;
+    tail = 0;
+    dist[0] = 0;
+    queue[tail] = 0;
+    tail++;
+    reached = 0;
+    sum = 0;
+    while (head < tail) {
+        u = queue[head];
+        head++;
+        reached++;
+        sum = sum + dist[u];
+        e = adj_head[u];
+        while (e >= 0) {
+            v = edge_to[e];
+            if (dist[v] < 0) {
+                dist[v] = dist[u] + 1;
+                if (tail < 128) {
+                    queue[tail] = v;
+                    tail++;
+                }
+            }
+            e = edge_next[e];
+        }
+    }
+    printf("gap: %d nodes, %d edges, %d reached, dist sum=%d\n",
+           nodes, edges, reached, sum);
+    return 0;
+}
+"""
+
+
+# ---------------------------------------------------------------------------
+# VORTEX -- hash-table database transactions (insert/lookup/delete)
+# ---------------------------------------------------------------------------
+
+VORTEX_SOURCE = r"""
+char input[8192];
+int table_keys[509];
+int table_values[509];
+char table_state[509];
+
+int probe(int key) {
+    /* Open addressing with linear probing; 0=empty 1=full 2=tombstone. */
+    int slot;
+    int first_free;
+    int tries;
+    slot = key % 509;
+    if (slot < 0) {
+        slot = -slot;
+    }
+    first_free = -1;
+    tries = 0;
+    while (tries < 509) {
+        if (table_state[slot] == 0) {
+            if (first_free >= 0) {
+                return first_free;
+            }
+            return slot;
+        }
+        if (table_state[slot] == 2) {
+            if (first_free < 0) {
+                first_free = slot;
+            }
+        } else if (table_keys[slot] == key) {
+            return slot;
+        }
+        slot++;
+        if (slot == 509) {
+            slot = 0;
+        }
+        tries++;
+    }
+    if (first_free >= 0) {
+        return first_free;
+    }
+    return -1;
+}
+
+int main(void) {
+    int n;
+    int p;
+    int key;
+    int op;
+    int slot;
+    int inserts;
+    int hits;
+    int misses;
+    int deletes;
+    int live;
+    int checksum;
+    n = read(0, input, 8191);
+    input[n] = 0;
+    inserts = 0;
+    hits = 0;
+    misses = 0;
+    deletes = 0;
+    /* Each input token is a transaction: hash of the token picks the
+       key, its first byte picks the operation. */
+    p = 0;
+    while (p < n) {
+        while (p < n && input[p] <= ' ') {
+            p++;
+        }
+        if (p >= n) {
+            break;
+        }
+        op = input[p] % 3;
+        if (op < 0) {
+            op = -op;
+        }
+        p++;
+        key = 0;
+        while (p < n && input[p] > ' ') {
+            key = key * 131 + input[p];
+            p++;
+        }
+        if (key < 0) {
+            key = -key;
+        }
+        slot = probe(key);
+        if (slot < 0) {
+            continue;
+        }
+        if (op == 0) {
+            if (table_state[slot] != 1) {
+                inserts++;
+            }
+            table_keys[slot] = key;
+            table_values[slot] = key % 1000;
+            table_state[slot] = 1;
+        } else if (op == 1) {
+            if (table_state[slot] == 1 && table_keys[slot] == key) {
+                hits++;
+            } else {
+                misses++;
+            }
+        } else {
+            if (table_state[slot] == 1 && table_keys[slot] == key) {
+                table_state[slot] = 2;
+                deletes++;
+            } else {
+                misses++;
+            }
+        }
+    }
+    live = 0;
+    checksum = 0;
+    for (slot = 0; slot < 509; slot++) {
+        if (table_state[slot] == 1) {
+            live++;
+            checksum = checksum ^ table_values[slot];
+        }
+    }
+    printf("vortex: %d inserts, %d hits, %d misses, %d deletes, "
+           "%d live, checksum=%d\n",
+           inserts, hits, misses, deletes, live, checksum);
+    return 0;
+}
+"""
+
+
+# ---------------------------------------------------------------------------
 # Workload registry + input generators
 # ---------------------------------------------------------------------------
 
@@ -550,6 +871,36 @@ def _vpr_input() -> bytes:
     return (b"12345 " + bytes(range(33, 127)) * 8)[:2000]
 
 
+def _crafty_input() -> bytes:
+    position = bytearray()
+    for i in range(512):
+        position.append((i * 89 + 37) % 256)
+    return bytes(position)
+
+
+def _gap_input() -> bytes:
+    pairs = []
+    # A connected backbone plus pseudo-random chords keeps the BFS
+    # frontier busy across the whole graph.
+    for i in range(90):
+        pairs.append(f"{i} {(i + 1) % 90}")
+    for i in range(500):
+        a = (i * 17 + 3) % 90
+        b = (i * i * 31 + 7) % 90
+        pairs.append(f"{a} {b}")
+    return (" ".join(pairs) + "\n").encode()
+
+
+def _vortex_input() -> bytes:
+    # 'c' % 3 == 0 (insert), 'a' % 3 == 1 (lookup), 'b' % 3 == 2 (delete):
+    # a realistic insert-heavy transaction mix with hits and misses.
+    ops = "ccacab"
+    tokens = []
+    for i in range(500):
+        tokens.append(f"{ops[i % len(ops)]}rec{(i * 7919 + 13) % 260:03d}")
+    return (" ".join(tokens) + "\n").encode()
+
+
 @dataclass(frozen=True)
 class SpecWorkload:
     """One Table 3 column: a benign program plus its default input."""
@@ -566,6 +917,9 @@ SPEC_WORKLOADS: List[SpecWorkload] = [
     SpecWorkload("MCF", MCF_SOURCE, _mcf_input),
     SpecWorkload("PARSER", PARSER_SOURCE, _parser_input),
     SpecWorkload("VPR", VPR_SOURCE, _vpr_input),
+    SpecWorkload("CRAFTY", CRAFTY_SOURCE, _crafty_input),
+    SpecWorkload("GAP", GAP_SOURCE, _gap_input),
+    SpecWorkload("VORTEX", VORTEX_SOURCE, _vortex_input),
 ]
 
 

@@ -271,7 +271,10 @@ def run_executable(
 def run_minic(
     source: str,
     policy: Optional[DetectionPolicy] = None,
+    opt_level: int = 0,
     **kwargs,
 ) -> RunResult:
     """Compile a MiniC program against the libc and run it."""
-    return run_executable(build_program(source), policy, **kwargs)
+    return run_executable(
+        build_program(source, opt_level=opt_level), policy, **kwargs
+    )

@@ -66,9 +66,9 @@ class AttackScenario:
             return result.sim.stats.tainted_dereferences > 0
         return False
 
-    def build(self) -> Executable:
+    def build(self, opt_level: int = 0) -> Executable:
         """Compile the vulnerable program (cached by the builder)."""
-        return build_program(self.source)
+        return build_program(self.source, opt_level=opt_level)
 
     def _materialize(self, spec: Dict[str, Any]) -> Dict[str, Any]:
         kwargs = {}
@@ -82,17 +82,20 @@ class AttackScenario:
 
         ``overrides`` are forwarded to :func:`run_executable` on top of the
         scenario's own replay kwargs (e.g. ``use_pipeline=True`` to replay
-        on the cycle-level engine, or ``record_events=...``).
+        on the cycle-level engine, ``opt_level=1`` to rebuild with the
+        optimizing backend, or ``record_events=...``).
         """
         kwargs = self._materialize(self.attack_input)
         kwargs.update(overrides)
-        return run_executable(self.build(), policy, **kwargs)
+        opt_level = kwargs.pop("opt_level", 0)
+        return run_executable(self.build(opt_level), policy, **kwargs)
 
     def run_benign(self, policy: DetectionPolicy, **overrides: Any) -> RunResult:
         """Run the benign workload under a policy (false-positive check)."""
         kwargs = self._materialize(self.benign_input)
         kwargs.update(overrides)
-        return run_executable(self.build(), policy, **kwargs)
+        opt_level = kwargs.pop("opt_level", 0)
+        return run_executable(self.build(opt_level), policy, **kwargs)
 
     @property
     def detected_by_pointer_taint(self) -> bool:

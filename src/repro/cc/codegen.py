@@ -22,7 +22,6 @@ values become trusted while unvalidated tainted values keep their taint.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from .ast_nodes import (
@@ -57,39 +56,22 @@ from .ast_nodes import (
     While,
 )
 from .errors import CompileError
+from .frame import (
+    FrameLayout as _FrameLayout,
+    Slot as _Slot,
+    StringPool,
+    collect_address_taken as _collect_address_taken_impl,
+    global_data_lines,
+    global_label,
+    layout_function as _layout_function_impl,
+)
 
 # Register conventions used by generated code.
 _ACC = "$t0"     # expression accumulator
 _SEC = "$t1"     # second operand
 _SCR = "$t2"     # scratch (read-modify-write)
-_SREGS = ["$s0", "$s1", "$s2", "$s3", "$s4", "$s5", "$s6", "$s7"]
 
 _COMPARISON_OPS = frozenset({"<", ">", "<=", ">=", "==", "!="})
-
-
-@dataclass
-class _Slot:
-    """Where a variable lives."""
-
-    kind: str            # "frame" | "param" | "sreg" | "global"
-    ctype: CType
-    offset: int = 0      # frame/param: offset from $fp
-    reg: str = ""        # sreg: home register
-    label: str = ""      # global: data label
-
-
-class _FrameLayout:
-    """Pre-pass results for one function: slots, frame size, s-reg usage."""
-
-    def __init__(self) -> None:
-        self.slots_by_node: Dict[int, _Slot] = {}
-        self.param_slots: Dict[str, _Slot] = {}
-        self.locals_size = 0
-        self.used_sregs: List[str] = []
-
-
-def _align4(size: int) -> int:
-    return (size + 3) & ~3
 
 
 class CodeGenerator:
@@ -101,7 +83,7 @@ class CodeGenerator:
         self.prefix = prefix
         self._text: List[str] = []
         self._data: List[str] = []
-        self._strings: Dict[bytes, str] = {}
+        self._strings = StringPool(prefix)
         self._label_counter = 0
         self._globals: Dict[str, _Slot] = {}
         self._functions: Dict[str, FuncDef] = {
@@ -124,11 +106,12 @@ class CodeGenerator:
             self._emit_global(decl)
         for func in self.unit.functions:
             self._emit_function(func)
+        data_lines = self._data + self._strings.data_lines
         lines = [".text"]
         lines.extend(self._text)
-        if self._data:
+        if data_lines:
             lines.append(".data")
-            lines.extend(self._data)
+            lines.extend(data_lines)
         return "\n".join(lines) + "\n"
 
     # ------------------------------------------------------------------
@@ -146,19 +129,7 @@ class CodeGenerator:
         return f".L{self.prefix}{hint}{self._label_counter}"
 
     def _string_label(self, data: bytes) -> str:
-        label = self._strings.get(data)
-        if label is None:
-            label = f"_str{self.prefix}{len(self._strings)}"
-            self._strings[data] = label
-            escaped = "".join(
-                ch if 32 <= ord(ch) < 127 and ch not in '"\\'
-                else f"\\x{ord(ch):02x}"
-                for ch in data.decode("latin-1")
-            )
-            # Data is emitted NUL-terminated already (parser appends \0),
-            # so use .ascii to avoid a second terminator.
-            self._data.append(f"{label}: .ascii \"{escaped}\"")
-        return label
+        return self._strings.label(data)
 
     def _push(self, reg: str = _ACC) -> None:
         self._emit("addiu $sp,$sp,-4")
@@ -173,48 +144,14 @@ class CodeGenerator:
     # ------------------------------------------------------------------
 
     def _global_label(self, name: str) -> str:
-        return f"_g_{name}"
+        return global_label(name)
 
     def _emit_global(self, decl: GlobalDecl) -> None:
         label = self._global_label(decl.name)
         self._globals[decl.name] = _Slot(
             kind="global", ctype=decl.ctype, label=label
         )
-        ctype = decl.ctype
-        init = decl.init
-        if isinstance(ctype, ArrayType):
-            if init is None:
-                self._data.append(f"{label}: .space {ctype.size}")
-            elif isinstance(init, bytes):
-                if len(init) > ctype.size:
-                    raise CompileError(
-                        f"initializer too long for {decl.name}", decl.line
-                    )
-                escaped = "".join(f"\\x{b:02x}" for b in init)
-                self._data.append(f'{label}: .ascii "{escaped}"')
-                if ctype.size > len(init):
-                    self._data.append(f".space {ctype.size - len(init)}")
-            elif isinstance(init, list):
-                if ctype.base.size == 1:
-                    values = ",".join(str(v & 0xFF) for v in init)
-                    self._data.append(f"{label}: .byte {values}")
-                    pad = ctype.size - len(init)
-                else:
-                    values = ",".join(str(v) for v in init)
-                    self._data.append(f"{label}: .word {values}")
-                    pad = ctype.size - 4 * len(init)
-                if pad > 0:
-                    self._data.append(f".space {pad}")
-            else:
-                raise CompileError(
-                    f"bad array initializer for {decl.name}", decl.line
-                )
-        elif ctype.size == 1:
-            value = init if isinstance(init, int) else 0
-            self._data.append(f"{label}: .byte {value & 0xFF}")
-        else:
-            value = init if isinstance(init, int) else 0
-            self._data.append(f"{label}: .word {value}")
+        self._data.extend(global_data_lines(decl, label))
 
     # ------------------------------------------------------------------
     # function layout pre-pass
@@ -222,140 +159,11 @@ class CodeGenerator:
 
     def _collect_address_taken(self, func: FuncDef) -> Set[str]:
         """Names whose address is taken anywhere in the function."""
-        taken: Set[str] = set()
-
-        def walk_expr(expr: Optional[Expr]) -> None:
-            if expr is None:
-                return
-            if isinstance(expr, Unary):
-                if expr.op == "&" and isinstance(expr.operand, VarRef):
-                    taken.add(expr.operand.name)
-                walk_expr(expr.operand)
-            elif isinstance(expr, Binary):
-                walk_expr(expr.left)
-                walk_expr(expr.right)
-            elif isinstance(expr, Assign):
-                walk_expr(expr.target)
-                walk_expr(expr.value)
-            elif isinstance(expr, Conditional):
-                walk_expr(expr.condition)
-                walk_expr(expr.then_value)
-                walk_expr(expr.else_value)
-            elif isinstance(expr, Call):
-                for arg in expr.args:
-                    walk_expr(arg)
-            elif isinstance(expr, Index):
-                walk_expr(expr.base)
-                walk_expr(expr.index)
-
-        def walk_stmt(stmt: Optional[Stmt]) -> None:
-            if stmt is None:
-                return
-            if isinstance(stmt, Block):
-                for inner in stmt.statements:
-                    walk_stmt(inner)
-            elif isinstance(stmt, ExprStmt):
-                walk_expr(stmt.expr)
-            elif isinstance(stmt, LocalDecl):
-                walk_expr(stmt.init)
-            elif isinstance(stmt, If):
-                walk_expr(stmt.condition)
-                walk_stmt(stmt.then_branch)
-                walk_stmt(stmt.else_branch)
-            elif isinstance(stmt, While):
-                walk_expr(stmt.condition)
-                walk_stmt(stmt.body)
-            elif isinstance(stmt, For):
-                walk_stmt(stmt.init)
-                walk_expr(stmt.condition)
-                walk_expr(stmt.step)
-                walk_stmt(stmt.body)
-            elif isinstance(stmt, Return):
-                walk_expr(stmt.value)
-
-        walk_stmt(func.body)
-        return taken
+        return _collect_address_taken_impl(func)
 
     def _layout_function(self, func: FuncDef) -> _FrameLayout:
         """Assign every local a slot and pick register promotions."""
-        layout = _FrameLayout()
-        address_taken = self._collect_address_taken(func)
-
-        # Count declarations per name; shadowed names are not promoted.
-        decl_counts: Dict[str, int] = {}
-        decls_in_order: List[Tuple[LocalDecl, bool]] = []  # (node, top_level)
-
-        def scan(stmt: Stmt, top_level: bool) -> None:
-            if isinstance(stmt, Block):
-                for inner in stmt.statements:
-                    scan(inner, top_level)
-            elif isinstance(stmt, LocalDecl):
-                decl_counts[stmt.name] = decl_counts.get(stmt.name, 0) + 1
-                decls_in_order.append((stmt, top_level))
-            elif isinstance(stmt, If):
-                if stmt.then_branch is not None:
-                    scan(stmt.then_branch, False)
-                if stmt.else_branch is not None:
-                    scan(stmt.else_branch, False)
-            elif isinstance(stmt, While):
-                if stmt.body is not None:
-                    scan(stmt.body, False)
-            elif isinstance(stmt, For):
-                if stmt.init is not None:
-                    scan(stmt.init, False)
-                if stmt.body is not None:
-                    scan(stmt.body, False)
-
-        for stmt in func.body.statements:
-            scan(stmt, True)
-        for param in func.params:
-            decl_counts[param.name] = decl_counts.get(param.name, 0) + 1
-
-        available = list(_SREGS)
-
-        def promotable(name: str, ctype: CType, is_param: bool) -> bool:
-            if not available:
-                return False
-            if isinstance(ctype, ArrayType):
-                return False
-            if name in address_taken:
-                return False
-            if decl_counts.get(name, 0) != 1:
-                return False
-            if is_param and func.varargs:
-                return False  # varargs walk the parameter area in memory
-            return True
-
-        # Parameters first: validated-input indices are usually parameters.
-        for i, param in enumerate(func.params):
-            if promotable(param.name, param.ctype, is_param=True):
-                reg = available.pop(0)
-                layout.used_sregs.append(reg)
-                layout.param_slots[param.name] = _Slot(
-                    kind="sreg", ctype=param.ctype, reg=reg, offset=8 + 4 * i
-                )
-            else:
-                layout.param_slots[param.name] = _Slot(
-                    kind="param", ctype=param.ctype, offset=8 + 4 * i
-                )
-
-        cursor = 0
-        for node, top_level in decls_in_order:
-            ctype = node.ctype
-            assert ctype is not None
-            if top_level and promotable(node.name, ctype, is_param=False):
-                reg = available.pop(0)
-                layout.used_sregs.append(reg)
-                layout.slots_by_node[id(node)] = _Slot(
-                    kind="sreg", ctype=ctype, reg=reg
-                )
-            else:
-                cursor += _align4(ctype.size)
-                layout.slots_by_node[id(node)] = _Slot(
-                    kind="frame", ctype=ctype, offset=-cursor
-                )
-        layout.locals_size = cursor
-        return layout
+        return _layout_function_impl(func)
 
     # ------------------------------------------------------------------
     # function emission

@@ -7,24 +7,41 @@ from typing import List, Sequence, Tuple
 from .codegen import generate
 from .errors import CompileError
 from .parser import parse
+from .pipeline import generate_optimized
 
 
-def compile_minic(source: str, prefix: str = "") -> str:
+def compile_minic(source: str, prefix: str = "", opt_level: int = 0) -> str:
     """Compile one MiniC translation unit to assembly.
 
     ``prefix`` namespaces compiler-internal labels (string literals, control
     flow) so several units can be concatenated into one assembly file.
+    ``opt_level`` selects the backend: 0 is the legacy single-pass
+    generator (byte-stable, the differential oracle), 1 is the IR pipeline
+    (lower -> passes -> linear-scan regalloc -> emit).
     """
     unit = parse(source)
+    if opt_level >= 1:
+        return generate_optimized(unit, prefix)
     return generate(unit, prefix)
 
 
-def compile_units(units: Sequence[Tuple[str, str]]) -> str:
+def compile_units(
+    units: Sequence[Tuple[str, str]], opt_level: int = 0
+) -> str:
     """Compile ``(name, source)`` units and concatenate their assembly."""
     parts: List[str] = []
     for name, source in units:
         try:
-            parts.append(compile_minic(source, prefix=f"{name}_"))
+            parts.append(
+                compile_minic(source, prefix=f"{name}_", opt_level=opt_level)
+            )
         except CompileError as exc:
-            raise CompileError(f"in unit {name!r}: {exc}") from exc
+            # Preserve the structured location: re-raise with the original
+            # line/column instead of flattening them to 0 (which also
+            # double-appended " at line N" through the rendered message).
+            raise CompileError(
+                f"in unit {name!r}: {exc.raw_message}",
+                exc.line,
+                exc.column,
+            ) from exc
     return "\n".join(parts)

@@ -1,0 +1,335 @@
+"""Assembly emission for allocated MiniC IR.
+
+Preserves the legacy backend's observable contracts:
+
+* prologue/epilogue shape is identical to ``-O0`` — including the PAC
+  ``.L{prefix}pac_sign_{func}_{n}`` / ``.L{prefix}pac_auth_{func}_{n}``
+  dot labels on the return-address spill and reload that
+  :mod:`repro.defenses.pac` matches through the symbol table;
+* frame geometry: ``args | $ra | $fp | locals | $s-save | spills``, so
+  local buffers keep their Figure 2 offsets (spill slots only ever grow
+  the frame *below* the s-register save area);
+* scratch discipline: ``$t8``/``$t9`` stage spilled operands and
+  immediate materializations; ``$at`` is untouched because the emitter
+  never uses the assembler's ``$at``-consuming branch pseudo-ops
+  (``blt`` and friends) — only ``beq``/``bne``/``beqz``/``bnez``.
+
+Immediate folding picks the I-type form (``addiu``/``andi``/``ori``/
+``xori``/``slti``/``sltiu``/``sll``/``sra``) whenever the constant fits,
+falling back to ``li`` + R-type otherwise.  ``slti`` untaints its one
+register operand exactly like ``slt`` untaints both, so the fold is
+verdict-neutral.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .errors import CompileError
+from .ir import (
+    BasicBlock,
+    BinOp,
+    Branch,
+    CallOp,
+    Copy,
+    IRFunction,
+    Jump,
+    Load,
+    LoadAddr,
+    Ret,
+    Store,
+    Temp,
+    Value,
+)
+from .regalloc import Location
+
+_SCRATCH = ("$t8", "$t9")
+
+#: I-type folds for BinOps with a constant right operand.
+_IMM_SIGNED = {"+": "addiu", "slt": "slti", "sltu": "sltiu"}
+_IMM_UNSIGNED = {"&": "andi", "|": "ori", "^": "xori"}
+_SHIFT_IMM = {"<<": "sll", ">>": "sra"}
+_R3 = {
+    "+": "addu", "-": "subu", "&": "and", "|": "or", "^": "xor",
+    "<<": "sllv", ">>": "srav", "slt": "slt", "sltu": "sltu", "nor": "nor",
+}
+_COMMUTATIVE = frozenset({"+", "&", "|", "^"})
+
+
+def _fits_signed16(value: int) -> bool:
+    return -32768 <= value <= 32767
+
+
+def _fits_unsigned16(value: int) -> bool:
+    return 0 <= value <= 0xFFFF
+
+
+class FunctionEmitter:
+    """Emits one allocated IR function as assembly text."""
+
+    def __init__(
+        self,
+        fn: IRFunction,
+        locations: Dict[int, Location],
+        new_label,
+        emit_label,
+        emit,
+    ) -> None:
+        self.fn = fn
+        self.locations = locations
+        self._new_label = new_label
+        self._emit_label = emit_label
+        self._emit = emit
+
+    # ------------------------------------------------------------------
+    # operand staging
+    # ------------------------------------------------------------------
+
+    def _loc(self, temp: Temp) -> Location:
+        loc = self.locations.get(temp.id)
+        if loc is None:
+            # Dead temp that survived passes (e.g. unused call result that
+            # kept its dst); stage through scratch.
+            return Location(reg=_SCRATCH[0])
+        return loc
+
+    def _read(self, value: Value, slot: int) -> str:
+        """Materialize ``value`` into a register; may use scratch ``slot``."""
+        if isinstance(value, Temp):
+            if value.pin is not None:
+                return value.pin
+            loc = self._loc(value)
+            if loc.spilled:
+                scratch = _SCRATCH[slot]
+                self._emit(f"lw {scratch},{loc.offset}($fp)")
+                return scratch
+            return loc.reg
+        if value == 0:
+            return "$0"
+        scratch = _SCRATCH[slot]
+        self._emit(f"li {scratch},{value}")
+        return scratch
+
+    def _dst_reg(self, temp: Temp) -> str:
+        """Register an instruction should compute its result into."""
+        if temp.pin is not None:
+            return temp.pin
+        loc = self._loc(temp)
+        return _SCRATCH[0] if loc.spilled else loc.reg
+
+    def _writeback(self, temp: Temp, reg: str) -> None:
+        if temp.pin is not None:
+            return
+        loc = self._loc(temp)
+        if loc.spilled:
+            self._emit(f"sw {reg},{loc.offset}($fp)")
+
+    # ------------------------------------------------------------------
+    # instructions
+    # ------------------------------------------------------------------
+
+    def _emit_copy(self, instr: Copy) -> None:
+        dst = self._dst_reg(instr.dst)
+        if isinstance(instr.src, Temp):
+            src = self._read(instr.src, 1)
+            if src != dst:
+                self._emit(f"move {dst},{src}")
+        else:
+            self._emit(f"li {dst},{instr.src}")
+        self._writeback(instr.dst, dst)
+
+    def _emit_binop(self, instr: BinOp) -> None:
+        op, a, b = instr.op, instr.a, instr.b
+        dst = self._dst_reg(instr.dst)
+
+        if op in ("*", "/", "%"):
+            ra = self._read(a, 0)
+            rb = self._read(b, 1)
+            self._emit(f"{'mult' if op == '*' else 'div'} {ra},{rb}")
+            self._emit(f"{'mfhi' if op == '%' else 'mflo'} {dst}")
+            self._writeback(instr.dst, dst)
+            return
+
+        # Commutative const-on-the-left: swap into immediate position.
+        if isinstance(a, int) and not isinstance(b, int):
+            if op in _COMMUTATIVE:
+                a, b = b, a
+
+        if isinstance(b, int) and not isinstance(a, int):
+            mn = _IMM_SIGNED.get(op)
+            if mn is not None and _fits_signed16(b):
+                ra = self._read(a, 0)
+                self._emit(f"{mn} {dst},{ra},{b}")
+                self._writeback(instr.dst, dst)
+                return
+            if op == "-" and _fits_signed16(-b):
+                ra = self._read(a, 0)
+                self._emit(f"addiu {dst},{ra},{-b}")
+                self._writeback(instr.dst, dst)
+                return
+            mn = _IMM_UNSIGNED.get(op)
+            if mn is not None and _fits_unsigned16(b):
+                ra = self._read(a, 0)
+                self._emit(f"{mn} {dst},{ra},{b}")
+                self._writeback(instr.dst, dst)
+                return
+            mn = _SHIFT_IMM.get(op)
+            if mn is not None and 0 <= b <= 31:
+                ra = self._read(a, 0)
+                self._emit(f"{mn} {dst},{ra},{b}")
+                self._writeback(instr.dst, dst)
+                return
+
+        ra = self._read(a, 0)
+        rb = self._read(b, 1)
+        mn = _R3.get(op)
+        if mn is None:  # pragma: no cover
+            raise CompileError(f"unhandled IR binop {op!r}")
+        self._emit(f"{mn} {dst},{ra},{rb}")
+        self._writeback(instr.dst, dst)
+
+    def _emit_load(self, instr: Load) -> None:
+        base = self._read(instr.base, 1)
+        dst = self._dst_reg(instr.dst)
+        op = "lbu" if instr.size == 1 else "lw"
+        self._emit(f"{op} {dst},{instr.offset}({base})")
+        self._writeback(instr.dst, dst)
+
+    def _emit_store(self, instr: Store) -> None:
+        src = self._read(instr.src, 0)
+        base = self._read(instr.base, 1)
+        op = "sb" if instr.size == 1 else "sw"
+        self._emit(f"{op} {src},{instr.offset}({base})")
+
+    def _emit_loadaddr(self, instr: LoadAddr) -> None:
+        dst = self._dst_reg(instr.dst)
+        self._emit(f"la {dst},{instr.label}")
+        self._writeback(instr.dst, dst)
+
+    def _emit_call(self, instr: CallOp) -> None:
+        n = len(instr.args)
+        if n:
+            self._emit(f"addiu $sp,$sp,-{4 * n}")
+            for i, arg in enumerate(instr.args):
+                reg = self._read(arg, 0)
+                self._emit(f"sw {reg},{4 * i}($sp)")
+        self._emit(f"jal {instr.name}")
+        if n:
+            self._emit(f"addiu $sp,$sp,{4 * n}")
+        if instr.dst is not None:
+            dst = self._dst_reg(instr.dst)
+            if dst != "$v0":
+                self._emit(f"move {dst},$v0")
+            self._writeback(instr.dst, dst)
+
+    def _emit_instr(self, instr) -> None:
+        if isinstance(instr, Copy):
+            self._emit_copy(instr)
+        elif isinstance(instr, BinOp):
+            self._emit_binop(instr)
+        elif isinstance(instr, Load):
+            self._emit_load(instr)
+        elif isinstance(instr, Store):
+            self._emit_store(instr)
+        elif isinstance(instr, LoadAddr):
+            self._emit_loadaddr(instr)
+        elif isinstance(instr, CallOp):
+            self._emit_call(instr)
+        else:  # pragma: no cover
+            raise CompileError(f"unhandled IR instr {type(instr).__name__}")
+
+    # ------------------------------------------------------------------
+    # terminators
+    # ------------------------------------------------------------------
+
+    def _emit_branch(self, term: Branch, next_label: Optional[str]) -> None:
+        a, b = term.a, term.b
+        if isinstance(a, int) and isinstance(b, int):
+            # Passes fold this; stay robust anyway.
+            taken = (a == b) == (term.op == "beq")
+            target = term.if_true if taken else term.if_false
+            if target != next_label:
+                self._emit(f"b {target}")
+            return
+        if isinstance(a, int) and not isinstance(b, int):
+            a, b = b, a  # beq/bne are symmetric
+        op = term.op
+        true_target, false_target = term.if_true, term.if_false
+        if true_target == next_label:
+            # Invert so the common path falls through.
+            op = "bne" if op == "beq" else "beq"
+            true_target, false_target = false_target, true_target
+        ra = self._read(a, 0)
+        if isinstance(b, int) and b == 0:
+            mn = "beqz" if op == "beq" else "bnez"
+            self._emit(f"{mn} {ra},{true_target}")
+        else:
+            rb = self._read(b, 1)
+            self._emit(f"{op} {ra},{rb},{true_target}")
+        if false_target != next_label:
+            self._emit(f"b {false_target}")
+
+    # ------------------------------------------------------------------
+    # function body
+    # ------------------------------------------------------------------
+
+    def emit_function(self) -> None:
+        fn = self.fn
+        layout = fn.layout
+        func_name = fn.name
+        epilogue = self._new_label(f"epi_{func_name}_")
+
+        save_area = 4 * len(layout.used_sregs)
+        frame = layout.locals_size + save_area + fn.spill_size
+
+        self._emit_label(func_name)
+        self._emit("addiu $sp,$sp,-8")
+        self._emit_label(self._new_label(f"pac_sign_{func_name}_"))
+        self._emit("sw $ra,4($sp)")
+        self._emit("sw $fp,0($sp)")
+        self._emit("move $fp,$sp")
+        if frame:
+            self._emit(f"addiu $sp,$sp,-{frame}")
+        for i, reg in enumerate(layout.used_sregs):
+            self._emit(f"sw {reg},{-(layout.locals_size + 4 * (i + 1))}($fp)")
+
+        for index, block in enumerate(fn.blocks):
+            next_label = (
+                fn.blocks[index + 1].label
+                if index + 1 < len(fn.blocks) else None
+            )
+            if index > 0:
+                self._emit_label(block.label)
+            for instr in block.instrs:
+                self._emit_instr(instr)
+            term = block.terminator
+            if isinstance(term, Jump):
+                if term.target != next_label:
+                    self._emit(f"b {term.target}")
+            elif isinstance(term, Branch):
+                self._emit_branch(term, next_label)
+            elif isinstance(term, Ret):
+                if term.value is not None:
+                    if isinstance(term.value, int):
+                        self._emit(f"li $v0,{term.value}")
+                    else:
+                        reg = self._read(term.value, 0)
+                        if reg != "$v0":
+                            self._emit(f"move $v0,{reg}")
+                if next_label is not None:
+                    self._emit(f"b {epilogue}")
+            else:  # unterminated trailing block
+                if next_label is not None:
+                    raise CompileError(
+                        f"internal: unterminated block {block.label!r}"
+                    )
+
+        self._emit_label(epilogue)
+        for i, reg in enumerate(layout.used_sregs):
+            self._emit(f"lw {reg},{-(layout.locals_size + 4 * (i + 1))}($fp)")
+        self._emit("move $sp,$fp")
+        self._emit("lw $fp,0($sp)")
+        self._emit_label(self._new_label(f"pac_auth_{func_name}_"))
+        self._emit("lw $ra,4($sp)")
+        self._emit("addiu $sp,$sp,8")
+        self._emit("jr $ra")

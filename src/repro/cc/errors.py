@@ -11,5 +11,8 @@ class CompileError(Exception):
         if line and column:
             location += f", column {column}"
         super().__init__(message + location)
+        #: The diagnostic text without the rendered " at line N" suffix,
+        #: so wrappers can re-contextualize without duplicating it.
+        self.raw_message = message
         self.line = line
         self.column = column

@@ -1,0 +1,302 @@
+"""Shared MiniC front-end analyses: variable slots, frame layout, data.
+
+Both backends -- the legacy single-pass accumulator code generator
+(:mod:`repro.cc.codegen`, the ``-O0`` differential oracle) and the IR
+pipeline (:mod:`repro.cc.lower` -> :mod:`repro.cc.passes` ->
+:mod:`repro.cc.regalloc` -> :mod:`repro.cc.emit`, ``-O1``) -- must agree
+exactly on *where variables live*:
+
+* the frame geometry is part of the attack surface (a local buffer sits
+  below the saved ``$fp``/``$ra`` words, giving the Figure 2 stack-smash
+  shape), so locals keep identical ``$fp``-relative offsets at every
+  optimization level;
+* the ``$s``-register promotion set feeds the paper's compare-untaint
+  fidelity rule (comparisons are emitted on the variable's *home*
+  register), so both backends must promote the same names to the same
+  registers.
+
+This module is the single source of truth for both, plus the static-data
+emission (globals and interned string literals) the two backends share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from .ast_nodes import (
+    ArrayType,
+    Assign,
+    Binary,
+    Block,
+    CType,
+    Call,
+    Conditional,
+    Expr,
+    ExprStmt,
+    For,
+    FuncDef,
+    GlobalDecl,
+    If,
+    Index,
+    LocalDecl,
+    Return,
+    Stmt,
+    Unary,
+    VarRef,
+    While,
+)
+from .errors import CompileError
+
+#: Callee-saved registers available for scalar promotion, in pick order.
+SREGS: Tuple[str, ...] = (
+    "$s0", "$s1", "$s2", "$s3", "$s4", "$s5", "$s6", "$s7",
+)
+
+
+@dataclass
+class Slot:
+    """Where a variable lives."""
+
+    kind: str            # "frame" | "param" | "sreg" | "global"
+    ctype: CType
+    offset: int = 0      # frame/param: offset from $fp
+    reg: str = ""        # sreg: home register
+    label: str = ""      # global: data label
+
+
+class FrameLayout:
+    """Pre-pass results for one function: slots, frame size, s-reg usage."""
+
+    def __init__(self) -> None:
+        self.slots_by_node: Dict[int, Slot] = {}
+        self.param_slots: Dict[str, Slot] = {}
+        self.locals_size = 0
+        self.used_sregs: List[str] = []
+
+
+def align4(size: int) -> int:
+    return (size + 3) & ~3
+
+
+def collect_address_taken(func: FuncDef) -> Set[str]:
+    """Names whose address is taken anywhere in the function."""
+    taken: Set[str] = set()
+
+    def walk_expr(expr: Optional[Expr]) -> None:
+        if expr is None:
+            return
+        if isinstance(expr, Unary):
+            if expr.op == "&" and isinstance(expr.operand, VarRef):
+                taken.add(expr.operand.name)
+            walk_expr(expr.operand)
+        elif isinstance(expr, Binary):
+            walk_expr(expr.left)
+            walk_expr(expr.right)
+        elif isinstance(expr, Assign):
+            walk_expr(expr.target)
+            walk_expr(expr.value)
+        elif isinstance(expr, Conditional):
+            walk_expr(expr.condition)
+            walk_expr(expr.then_value)
+            walk_expr(expr.else_value)
+        elif isinstance(expr, Call):
+            for arg in expr.args:
+                walk_expr(arg)
+        elif isinstance(expr, Index):
+            walk_expr(expr.base)
+            walk_expr(expr.index)
+
+    def walk_stmt(stmt: Optional[Stmt]) -> None:
+        if stmt is None:
+            return
+        if isinstance(stmt, Block):
+            for inner in stmt.statements:
+                walk_stmt(inner)
+        elif isinstance(stmt, ExprStmt):
+            walk_expr(stmt.expr)
+        elif isinstance(stmt, LocalDecl):
+            walk_expr(stmt.init)
+        elif isinstance(stmt, If):
+            walk_expr(stmt.condition)
+            walk_stmt(stmt.then_branch)
+            walk_stmt(stmt.else_branch)
+        elif isinstance(stmt, While):
+            walk_expr(stmt.condition)
+            walk_stmt(stmt.body)
+        elif isinstance(stmt, For):
+            walk_stmt(stmt.init)
+            walk_expr(stmt.condition)
+            walk_expr(stmt.step)
+            walk_stmt(stmt.body)
+        elif isinstance(stmt, Return):
+            walk_expr(stmt.value)
+
+    walk_stmt(func.body)
+    return taken
+
+
+def layout_function(func: FuncDef) -> FrameLayout:
+    """Assign every local a slot and pick register promotions."""
+    layout = FrameLayout()
+    address_taken = collect_address_taken(func)
+
+    # Count declarations per name; shadowed names are not promoted.
+    decl_counts: Dict[str, int] = {}
+    decls_in_order: List[Tuple[LocalDecl, bool]] = []  # (node, top_level)
+
+    def scan(stmt: Stmt, top_level: bool) -> None:
+        if isinstance(stmt, Block):
+            for inner in stmt.statements:
+                scan(inner, top_level)
+        elif isinstance(stmt, LocalDecl):
+            decl_counts[stmt.name] = decl_counts.get(stmt.name, 0) + 1
+            decls_in_order.append((stmt, top_level))
+        elif isinstance(stmt, If):
+            if stmt.then_branch is not None:
+                scan(stmt.then_branch, False)
+            if stmt.else_branch is not None:
+                scan(stmt.else_branch, False)
+        elif isinstance(stmt, While):
+            if stmt.body is not None:
+                scan(stmt.body, False)
+        elif isinstance(stmt, For):
+            if stmt.init is not None:
+                scan(stmt.init, False)
+            if stmt.body is not None:
+                scan(stmt.body, False)
+
+    for stmt in func.body.statements:
+        scan(stmt, True)
+    for param in func.params:
+        decl_counts[param.name] = decl_counts.get(param.name, 0) + 1
+
+    available = list(SREGS)
+
+    def promotable(name: str, ctype: CType, is_param: bool) -> bool:
+        if not available:
+            return False
+        if isinstance(ctype, ArrayType):
+            return False
+        if name in address_taken:
+            return False
+        if decl_counts.get(name, 0) != 1:
+            return False
+        if is_param and func.varargs:
+            return False  # varargs walk the parameter area in memory
+        return True
+
+    # Parameters first: validated-input indices are usually parameters.
+    for i, param in enumerate(func.params):
+        if promotable(param.name, param.ctype, is_param=True):
+            reg = available.pop(0)
+            layout.used_sregs.append(reg)
+            layout.param_slots[param.name] = Slot(
+                kind="sreg", ctype=param.ctype, reg=reg, offset=8 + 4 * i
+            )
+        else:
+            layout.param_slots[param.name] = Slot(
+                kind="param", ctype=param.ctype, offset=8 + 4 * i
+            )
+
+    cursor = 0
+    for node, top_level in decls_in_order:
+        ctype = node.ctype
+        assert ctype is not None
+        if top_level and promotable(node.name, ctype, is_param=False):
+            reg = available.pop(0)
+            layout.used_sregs.append(reg)
+            layout.slots_by_node[id(node)] = Slot(
+                kind="sreg", ctype=ctype, reg=reg
+            )
+        else:
+            cursor += align4(ctype.size)
+            layout.slots_by_node[id(node)] = Slot(
+                kind="frame", ctype=ctype, offset=-cursor
+            )
+    layout.locals_size = cursor
+    return layout
+
+
+# ---------------------------------------------------------------------------
+# static data: globals and string literals (shared emission)
+# ---------------------------------------------------------------------------
+
+def global_label(name: str) -> str:
+    return f"_g_{name}"
+
+
+def escape_ascii(data: bytes) -> str:
+    """Escape bytes for a ``.ascii`` directive (latin-1 payloads)."""
+    return "".join(
+        ch if 32 <= ord(ch) < 127 and ch not in '"\\'
+        else f"\\x{ord(ch):02x}"
+        for ch in data.decode("latin-1")
+    )
+
+
+def global_data_lines(decl: GlobalDecl, label: str) -> List[str]:
+    """Data-section lines for one global declaration."""
+    ctype = decl.ctype
+    init = decl.init
+    lines: List[str] = []
+    if isinstance(ctype, ArrayType):
+        if init is None:
+            lines.append(f"{label}: .space {ctype.size}")
+        elif isinstance(init, bytes):
+            if len(init) > ctype.size:
+                raise CompileError(
+                    f"initializer too long for {decl.name}", decl.line
+                )
+            escaped = "".join(f"\\x{b:02x}" for b in init)
+            lines.append(f'{label}: .ascii "{escaped}"')
+            if ctype.size > len(init):
+                lines.append(f".space {ctype.size - len(init)}")
+        elif isinstance(init, list):
+            if ctype.base.size == 1:
+                values = ",".join(str(v & 0xFF) for v in init)
+                lines.append(f"{label}: .byte {values}")
+                pad = ctype.size - len(init)
+            else:
+                values = ",".join(str(v) for v in init)
+                lines.append(f"{label}: .word {values}")
+                pad = ctype.size - 4 * len(init)
+            if pad > 0:
+                lines.append(f".space {pad}")
+        else:
+            raise CompileError(
+                f"bad array initializer for {decl.name}", decl.line
+            )
+    elif ctype.size == 1:
+        value = init if isinstance(init, int) else 0
+        lines.append(f"{label}: .byte {value & 0xFF}")
+    else:
+        value = init if isinstance(init, int) else 0
+        lines.append(f"{label}: .word {value}")
+    return lines
+
+
+class StringPool:
+    """Interns string literals into labeled ``.ascii`` data lines.
+
+    Both backends intern per translation unit with the same
+    ``_str{prefix}{n}`` label scheme, so the ``-O0`` and ``-O1`` data
+    sections carry the same string bytes under the same names.
+    """
+
+    def __init__(self, prefix: str = "") -> None:
+        self.prefix = prefix
+        self._strings: Dict[bytes, str] = {}
+        self.data_lines: List[str] = []
+
+    def label(self, data: bytes) -> str:
+        label = self._strings.get(data)
+        if label is None:
+            label = f"_str{self.prefix}{len(self._strings)}"
+            self._strings[data] = label
+            # Data is emitted NUL-terminated already (parser appends \0),
+            # so use .ascii to avoid a second terminator.
+            self.data_lines.append(
+                f"{label}: .ascii \"{escape_ascii(data)}\""
+            )
+        return label

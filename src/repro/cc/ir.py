@@ -1,0 +1,254 @@
+"""Typed three-address IR with explicit basic blocks for the MiniC pipeline.
+
+The ``-O1`` backend lowers the parsed AST into this IR
+(:mod:`repro.cc.lower`), runs CFG-local optimization passes over it
+(:mod:`repro.cc.passes`), assigns physical registers by linear scan
+(:mod:`repro.cc.regalloc`) and only then emits assembly text
+(:mod:`repro.cc.emit`).  The legacy single-pass generator
+(:mod:`repro.cc.codegen`) stays byte-stable as the ``-O0`` oracle.
+
+Design constraints that are *semantic*, not stylistic:
+
+* Values are :class:`Temp` or plain Python ``int`` constants.  A temp may
+  be **pinned** to a physical register: promoted scalars live in their
+  callee-saved ``$s`` home register for their whole lifetime (the paper's
+  compare-untaint rule untaints *that* register), and the frame pointer
+  is a pinned ``$fp`` temp.  Pinned temps are never renamed, never
+  coalesced and never spilled.
+* Instruction side effects the optimizer must respect:
+
+  - ``Load`` can raise a tainted-dereference alert -> never dead-code
+    eliminated;
+  - ``BinOp`` with a compare op (``slt``/``sltu``) untaints its register
+    operands under the paper's Table-1 rule -> never eliminated either;
+  - ``Store``/``Call`` are obviously effectful;
+  - every other op (``Copy``, arithmetic ``BinOp``, ``LoadAddr``) is pure.
+* Branch untaint semantics: ``beq``/``bne`` untaint both register
+  operands, so conditional lowering keeps the same branch shapes the
+  legacy backend emits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from .ast_nodes import FuncDef
+from .frame import FrameLayout
+
+# Abstract BinOp operators and the mnemonic families they map to.
+#   "+"  addu / addiu      "-"   subu           "*" mult+mflo
+#   "/"  div+mflo          "%"   div+mfhi
+#   "&"  and / andi        "|"   or / ori       "^" xor / xori
+#   "<<" sllv / sll        ">>"  srav / sra (arithmetic, C semantics)
+#   "slt" slt / slti       "sltu" sltu / sltiu  "nor" nor
+BINOPS = frozenset(
+    {"+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>", "slt", "sltu", "nor"}
+)
+
+#: Compare-class ops: executing them untaints register operands (Table 1),
+#: so they carry a side effect and must survive dead-code elimination.
+COMPARE_OPS = frozenset({"slt", "sltu"})
+
+#: Ops whose taint rule collapses byte taint to a whole-word class in the
+#: simulator (``mult``/``div``).  Strength-reducing them into shifts would
+#: change taint classes, so passes must not rewrite across this boundary.
+MULDIV_OPS = frozenset({"*", "/", "%"})
+
+
+class Temp:
+    """An IR temporary (virtual register)."""
+
+    __slots__ = ("id", "hint", "pin")
+
+    def __init__(self, id: int, hint: str = "", pin: Optional[str] = None):
+        self.id = id
+        self.hint = hint
+        #: Physical register this temp is pinned to ("$s0".."$s7", "$fp"),
+        #: or None for an allocatable temp.
+        self.pin = pin
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tag = self.pin or f"%{self.id}"
+        return f"{tag}({self.hint})" if self.hint else tag
+
+
+#: An IR operand: a temp or an immediate integer constant.
+Value = Union[Temp, int]
+
+
+@dataclass
+class Copy:
+    dst: Temp
+    src: Value
+
+
+@dataclass
+class BinOp:
+    dst: Temp
+    op: str
+    a: Value
+    b: Value
+
+
+@dataclass
+class Load:
+    """``dst = mem[base + offset]`` (size 1 => lbu, 4 => lw).
+
+    Loads are effectful under pointer-taintedness detection (a tainted
+    address raises the alert) and are never removed by passes.
+    """
+
+    dst: Temp
+    base: Temp
+    offset: int
+    size: int
+
+
+@dataclass
+class Store:
+    """``mem[base + offset] = src`` (size 1 => sb, 4 => sw)."""
+
+    src: Value
+    base: Temp
+    offset: int
+    size: int
+
+
+@dataclass
+class LoadAddr:
+    """``dst = &label`` (la)."""
+
+    dst: Temp
+    label: str
+
+
+@dataclass
+class CallOp:
+    """``dst = name(args...)``; ``dst`` may be None when unused."""
+
+    dst: Optional[Temp]
+    name: str
+    args: List[Value]
+
+
+Instr = Union[Copy, BinOp, Load, Store, LoadAddr, CallOp]
+
+
+@dataclass
+class Jump:
+    target: str
+
+
+@dataclass
+class Branch:
+    """Conditional branch: ``op`` is "beq" or "bne" (both untaint)."""
+
+    op: str
+    a: Value
+    b: Value
+    if_true: str
+    if_false: str
+
+
+@dataclass
+class Ret:
+    value: Optional[Value]
+
+
+Terminator = Union[Jump, Branch, Ret]
+
+
+@dataclass
+class BasicBlock:
+    label: str
+    instrs: List[Instr] = field(default_factory=list)
+    terminator: Optional[Terminator] = None
+
+    def successors(self) -> Tuple[str, ...]:
+        t = self.terminator
+        if isinstance(t, Jump):
+            return (t.target,)
+        if isinstance(t, Branch):
+            if t.if_true == t.if_false:
+                return (t.if_true,)
+            return (t.if_true, t.if_false)
+        return ()
+
+
+class IRFunction:
+    """One lowered function: CFG + frame layout + temp pool."""
+
+    def __init__(self, func: FuncDef, layout: FrameLayout) -> None:
+        self.func = func
+        self.name = func.name
+        self.layout = layout
+        self.blocks: List[BasicBlock] = []
+        self.blocks_by_label: Dict[str, BasicBlock] = {}
+        self._next_temp = 0
+        #: Pinned frame-pointer temp shared by all slot accesses.
+        self.fp = Temp(-1, "fp", pin="$fp")
+        #: Spill slot assignment filled in by regalloc: temp id -> $fp offset.
+        self.spill_offsets: Dict[int, int] = {}
+        self.spill_size = 0
+
+    def new_temp(self, hint: str = "", pin: Optional[str] = None) -> Temp:
+        t = Temp(self._next_temp, hint, pin)
+        self._next_temp += 1
+        return t
+
+    def add_block(self, label: str) -> BasicBlock:
+        block = BasicBlock(label)
+        self.blocks.append(block)
+        self.blocks_by_label[label] = block
+        return block
+
+    def remove_blocks(self, labels: set) -> None:
+        self.blocks = [b for b in self.blocks if b.label not in labels]
+        for label in labels:
+            self.blocks_by_label.pop(label, None)
+
+
+def instr_uses(instr: Instr) -> List[Value]:
+    """Operand values read by an instruction."""
+    if isinstance(instr, Copy):
+        return [instr.src]
+    if isinstance(instr, BinOp):
+        return [instr.a, instr.b]
+    if isinstance(instr, Load):
+        return [instr.base]
+    if isinstance(instr, Store):
+        return [instr.src, instr.base]
+    if isinstance(instr, CallOp):
+        return list(instr.args)
+    return []  # LoadAddr
+
+
+def instr_def(instr: Instr) -> Optional[Temp]:
+    """Temp written by an instruction, if any."""
+    if isinstance(instr, (Copy, BinOp, Load, LoadAddr)):
+        return instr.dst
+    if isinstance(instr, CallOp):
+        return instr.dst
+    return None
+
+
+def term_uses(term: Terminator) -> List[Value]:
+    if isinstance(term, Branch):
+        return [term.a, term.b]
+    if isinstance(term, Ret) and term.value is not None:
+        return [term.value]
+    return []
+
+
+def is_pure(instr: Instr) -> bool:
+    """True when removing the instruction cannot change observable state.
+
+    ``Load`` can alert on a tainted address; compare BinOps untaint their
+    operands; stores and calls mutate state.  Everything else is pure.
+    """
+    if isinstance(instr, (Copy, LoadAddr)):
+        return True
+    if isinstance(instr, BinOp):
+        return instr.op not in COMPARE_OPS
+    return False

@@ -1,0 +1,778 @@
+"""AST -> IR lowering for the MiniC ``-O1`` pipeline.
+
+The lowering mirrors the legacy backend's *code shapes* (not its register
+discipline) so that detection verdicts stay identical across ``-O0`` and
+``-O1``:
+
+* comparisons are lowered onto the variable's home value — a promoted
+  scalar is a pinned ``$s`` temp used directly as the compare operand, so
+  the hardware compare-untaint rule validates the variable itself;
+* ``==``/``!=`` in branch position become ``beq``/``bne`` (untaint both
+  operands); relational ops become ``slt``/``sltu`` + ``bnez``/``beqz``
+  exactly like the legacy generator;
+* call arguments are evaluated right-to-left (the legacy push order), and
+  every observable side effect sequence (compound assigns, ++/--, short
+  circuits) keeps the legacy evaluation order;
+* char assignment semantics match: a register char truncates through
+  ``andi .. 0xff`` on store, a memory char truncates through ``sb``, and
+  the *expression value* of a memory char assignment stays untruncated.
+
+Frame geometry comes from :mod:`repro.cc.frame`, shared with ``-O0``, so
+local buffers keep the exact Figure 2 stack-smash offsets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from .ast_nodes import (
+    ArrayType,
+    Assign,
+    Binary,
+    Block,
+    Break,
+    CHAR,
+    CType,
+    Call,
+    Conditional,
+    Continue,
+    Expr,
+    ExprStmt,
+    For,
+    FuncDef,
+    If,
+    INT,
+    Index,
+    IntLiteral,
+    LocalDecl,
+    PointerType,
+    Return,
+    SizeOf,
+    Stmt,
+    StringLiteral,
+    TranslationUnit,
+    Unary,
+    VarRef,
+    While,
+)
+from .errors import CompileError
+from .frame import Slot, StringPool, layout_function
+from .ir import (
+    BasicBlock,
+    BinOp,
+    Branch,
+    CallOp,
+    Copy,
+    IRFunction,
+    Jump,
+    Load,
+    LoadAddr,
+    Ret,
+    Store,
+    Temp,
+    Value,
+)
+
+_COMPARISON_OPS = frozenset({"<", ">", "<=", ">=", "==", "!="})
+
+_COMPOUND_BASE = {
+    "+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%",
+    "&=": "&", "|=": "|", "^=": "^", "<<=": "<<", ">>=": ">>",
+}
+
+
+class _Binding:
+    """Where a name lives inside the function being lowered."""
+
+    __slots__ = ("kind", "ctype", "temp", "offset", "label")
+
+    def __init__(
+        self,
+        kind: str,                      # "sreg" | "frame" | "global"
+        ctype: CType,
+        temp: Optional[Temp] = None,    # sreg: pinned home temp
+        offset: int = 0,                # frame: $fp offset
+        label: str = "",                # global: data label
+    ) -> None:
+        self.kind = kind
+        self.ctype = ctype
+        self.temp = temp
+        self.offset = offset
+        self.label = label
+
+
+class FunctionLowerer:
+    """Lowers one function to an :class:`IRFunction` CFG."""
+
+    def __init__(
+        self,
+        func: FuncDef,
+        functions: Dict[str, FuncDef],
+        globals_: Dict[str, Slot],
+        strings: StringPool,
+        prefix: str = "",
+    ) -> None:
+        self.func = func
+        self.functions = functions
+        self.globals = globals_
+        self.strings = strings
+        self.prefix = prefix
+        self.layout = layout_function(func)
+        self.ir = IRFunction(func, self.layout)
+        self._label_counter = 0
+        self._scopes: List[Dict[str, _Binding]] = []
+        self._loop_stack: List[Tuple[str, str]] = []  # (break, continue)
+        self._block: BasicBlock = self.ir.add_block(self._new_label("entry"))
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+
+    def _new_label(self, hint: str) -> str:
+        self._label_counter += 1
+        return f".L{self.prefix}{self.func.name}_{hint}{self._label_counter}"
+
+    def _emit(self, instr) -> None:
+        self._block.instrs.append(instr)
+
+    def _terminate(self, term) -> None:
+        if self._block.terminator is None:
+            self._block.terminator = term
+
+    def _start_block(self, label: str) -> None:
+        """Begin a new block; the previous one falls through if open."""
+        if self._block.terminator is None:
+            self._block.terminator = Jump(label)
+        self._block = self.ir.add_block(label)
+
+    def _lookup(self, name: str, line: int) -> _Binding:
+        for scope in reversed(self._scopes):
+            if name in scope:
+                return scope[name]
+        slot = self.globals.get(name)
+        if slot is not None:
+            return _Binding("global", slot.ctype, label=slot.label)
+        raise CompileError(f"undefined variable {name!r}", line)
+
+    def _binding_for_slot(self, slot: Slot, name: str) -> _Binding:
+        if slot.kind == "sreg":
+            temp = self.ir.new_temp(name, pin=slot.reg)
+            return _Binding("sreg", slot.ctype, temp=temp)
+        if slot.kind in ("frame", "param"):
+            return _Binding("frame", slot.ctype, offset=slot.offset)
+        return _Binding("global", slot.ctype, label=slot.label)
+
+    # ------------------------------------------------------------------
+    # entry point
+    # ------------------------------------------------------------------
+
+    def lower(self) -> IRFunction:
+        func = self.func
+        scope: Dict[str, _Binding] = {}
+        for name, slot in self.layout.param_slots.items():
+            binding = self._binding_for_slot(slot, name)
+            scope[name] = binding
+            if binding.kind == "sreg":
+                # Promoted parameters start life as a load from the
+                # caller-pushed argument slot into the home register.
+                assert binding.temp is not None
+                self._emit(Load(binding.temp, self.ir.fp, slot.offset, 4))
+        self._scopes = [scope]
+        self._lower_block(func.body, new_scope=False)
+        self._terminate(Ret(None))
+        return self.ir
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+
+    def _lower_block(self, block: Block, new_scope: bool = True) -> None:
+        if new_scope:
+            self._scopes.append({})
+        for stmt in block.statements:
+            self._lower_stmt(stmt)
+        if new_scope:
+            self._scopes.pop()
+
+    def _lower_stmt(self, stmt: Stmt) -> None:
+        if isinstance(stmt, Block):
+            self._lower_block(stmt)
+        elif isinstance(stmt, ExprStmt):
+            if stmt.expr is not None:
+                self._lower_expr(stmt.expr)
+        elif isinstance(stmt, LocalDecl):
+            self._lower_local_decl(stmt)
+        elif isinstance(stmt, If):
+            self._lower_if(stmt)
+        elif isinstance(stmt, While):
+            self._lower_while(stmt)
+        elif isinstance(stmt, For):
+            self._lower_for(stmt)
+        elif isinstance(stmt, Return):
+            value: Optional[Value] = None
+            if stmt.value is not None:
+                value, _ = self._lower_expr(stmt.value)
+            self._terminate(Ret(value))
+            self._block = self.ir.add_block(self._new_label("dead"))
+        elif isinstance(stmt, Break):
+            if not self._loop_stack:
+                raise CompileError("break outside loop", stmt.line)
+            self._terminate(Jump(self._loop_stack[-1][0]))
+            self._block = self.ir.add_block(self._new_label("dead"))
+        elif isinstance(stmt, Continue):
+            if not self._loop_stack:
+                raise CompileError("continue outside loop", stmt.line)
+            self._terminate(Jump(self._loop_stack[-1][1]))
+            self._block = self.ir.add_block(self._new_label("dead"))
+        else:  # pragma: no cover
+            raise CompileError(f"unhandled statement {type(stmt).__name__}")
+
+    def _lower_local_decl(self, stmt: LocalDecl) -> None:
+        slot = self.layout.slots_by_node.get(id(stmt))
+        if slot is None:
+            raise CompileError(
+                f"internal: no slot for local {stmt.name!r}", stmt.line
+            )
+        binding = self._binding_for_slot(slot, stmt.name)
+        self._scopes[-1][stmt.name] = binding
+        if stmt.init is None:
+            return
+        if isinstance(slot.ctype, ArrayType):
+            raise CompileError(
+                "array local initializers are not supported", stmt.line
+            )
+        value, _ = self._lower_expr(stmt.init)
+        self._store_binding(binding, value)
+
+    def _store_binding(self, binding: _Binding, value: Value) -> None:
+        """Store ``value`` into a scalar variable (legacy truncation rules)."""
+        if binding.kind == "sreg":
+            assert binding.temp is not None
+            if binding.ctype.size == 1:
+                # char variables truncate on assignment even in registers.
+                self._emit(BinOp(binding.temp, "&", value, 0xFF))
+            else:
+                self._emit(Copy(binding.temp, value))
+        elif binding.kind == "frame":
+            size = 1 if binding.ctype.size == 1 else 4
+            self._emit(Store(value, self.ir.fp, binding.offset, size))
+        else:  # global
+            addr = self.ir.new_temp("gaddr")
+            self._emit(LoadAddr(addr, binding.label))
+            size = 1 if binding.ctype.size == 1 else 4
+            self._emit(Store(value, addr, 0, size))
+
+    def _lower_if(self, stmt: If) -> None:
+        then_label = self._new_label("then")
+        end_label = self._new_label("endif")
+        else_label = (
+            self._new_label("else") if stmt.else_branch is not None
+            else end_label
+        )
+        self._lower_cond(stmt.condition, then_label, else_label)
+        self._block = self.ir.add_block(then_label)
+        if stmt.then_branch is not None:
+            self._lower_stmt(stmt.then_branch)
+        self._terminate(Jump(end_label))
+        if stmt.else_branch is not None:
+            self._block = self.ir.add_block(else_label)
+            self._lower_stmt(stmt.else_branch)
+            self._terminate(Jump(end_label))
+        self._block = self.ir.add_block(end_label)
+
+    def _lower_while(self, stmt: While) -> None:
+        head = self._new_label("while")
+        body = self._new_label("whilebody")
+        end = self._new_label("endwhile")
+        self._start_block(head)
+        self._lower_cond(stmt.condition, body, end)
+        self._block = self.ir.add_block(body)
+        self._loop_stack.append((end, head))
+        if stmt.body is not None:
+            self._lower_stmt(stmt.body)
+        self._loop_stack.pop()
+        self._terminate(Jump(head))
+        self._block = self.ir.add_block(end)
+
+    def _lower_for(self, stmt: For) -> None:
+        head = self._new_label("for")
+        body = self._new_label("forbody")
+        step_label = self._new_label("forstep")
+        end = self._new_label("endfor")
+        self._scopes.append({})
+        if stmt.init is not None:
+            self._lower_stmt(stmt.init)
+        self._start_block(head)
+        if stmt.condition is not None:
+            self._lower_cond(stmt.condition, body, end)
+        else:
+            self._terminate(Jump(body))
+        self._block = self.ir.add_block(body)
+        self._loop_stack.append((end, step_label))
+        if stmt.body is not None:
+            self._lower_stmt(stmt.body)
+        self._loop_stack.pop()
+        self._terminate(Jump(step_label))
+        self._block = self.ir.add_block(step_label)
+        if stmt.step is not None:
+            self._lower_expr(stmt.step)
+        self._terminate(Jump(head))
+        self._block = self.ir.add_block(end)
+        self._scopes.pop()
+
+    # ------------------------------------------------------------------
+    # conditions (branch form; compare on home values)
+    # ------------------------------------------------------------------
+
+    def _lower_cond(
+        self, expr: Expr, true_label: str, false_label: str
+    ) -> None:
+        if isinstance(expr, Unary) and expr.op == "!" and not expr.postfix:
+            assert expr.operand is not None
+            self._lower_cond(expr.operand, false_label, true_label)
+            return
+        if isinstance(expr, Binary) and expr.op == "&&":
+            assert expr.left is not None and expr.right is not None
+            mid = self._new_label("and")
+            self._lower_cond(expr.left, mid, false_label)
+            self._block = self.ir.add_block(mid)
+            self._lower_cond(expr.right, true_label, false_label)
+            return
+        if isinstance(expr, Binary) and expr.op == "||":
+            assert expr.left is not None and expr.right is not None
+            mid = self._new_label("or")
+            self._lower_cond(expr.left, true_label, mid)
+            self._block = self.ir.add_block(mid)
+            self._lower_cond(expr.right, true_label, false_label)
+            return
+        if isinstance(expr, Binary) and expr.op in _COMPARISON_OPS:
+            assert expr.left is not None and expr.right is not None
+            left, lt = self._lower_expr(expr.left)
+            right, rt = self._lower_expr(expr.right)
+            op = expr.op
+            if op in ("==", "!="):
+                # beq/bne untaint both operands -- same shape as legacy.
+                branch = "beq" if op == "==" else "bne"
+                self._terminate(
+                    Branch(branch, left, right, true_label, false_label)
+                )
+                return
+            unsigned = lt.decayed().is_pointer() or rt.decayed().is_pointer()
+            slt = "sltu" if unsigned else "slt"
+            t = self.ir.new_temp("cmp")
+            if op == "<":
+                self._emit(BinOp(t, slt, left, right))
+                true_when_set = True
+            elif op == ">":
+                self._emit(BinOp(t, slt, right, left))
+                true_when_set = True
+            elif op == "<=":
+                self._emit(BinOp(t, slt, right, left))
+                true_when_set = False
+            else:  # ">="
+                self._emit(BinOp(t, slt, left, right))
+                true_when_set = False
+            if true_when_set:
+                self._terminate(Branch("bne", t, 0, true_label, false_label))
+            else:
+                self._terminate(Branch("beq", t, 0, true_label, false_label))
+            return
+        # Fallback: nonzero test on the value (home temp for promoted vars).
+        value, _ = self._lower_expr(expr)
+        self._terminate(Branch("bne", value, 0, true_label, false_label))
+
+    # ------------------------------------------------------------------
+    # expression types (same best-effort rules as the legacy backend)
+    # ------------------------------------------------------------------
+
+    def _expr_type(self, expr: Expr) -> CType:
+        if isinstance(expr, IntLiteral):
+            return INT
+        if isinstance(expr, SizeOf):
+            return INT
+        if isinstance(expr, StringLiteral):
+            return PointerType(CHAR)
+        if isinstance(expr, VarRef):
+            try:
+                return self._lookup(expr.name, expr.line).ctype.decayed()
+            except CompileError:
+                return INT
+        if isinstance(expr, Unary):
+            assert expr.operand is not None
+            if expr.op == "*":
+                base = self._expr_type(expr.operand)
+                if isinstance(base, PointerType):
+                    return base.base if base.base.size else INT
+                return INT
+            if expr.op == "&":
+                return PointerType(self._expr_type(expr.operand))
+            if expr.op in ("++", "--"):
+                return self._expr_type(expr.operand)
+            return INT
+        if isinstance(expr, Binary):
+            if expr.op in ("+", "-"):
+                assert expr.left is not None and expr.right is not None
+                lt = self._expr_type(expr.left)
+                rt = self._expr_type(expr.right)
+                if lt.is_pointer() and rt.is_pointer():
+                    return INT
+                if lt.is_pointer():
+                    return lt
+                if rt.is_pointer():
+                    return rt
+                return INT
+            if expr.op == ",":
+                assert expr.right is not None
+                return self._expr_type(expr.right)
+            return INT
+        if isinstance(expr, Assign):
+            assert expr.target is not None
+            return self._expr_type(expr.target)
+        if isinstance(expr, Conditional):
+            assert expr.then_value is not None
+            return self._expr_type(expr.then_value)
+        if isinstance(expr, Call):
+            func = self.functions.get(expr.name)
+            return func.return_type if func is not None else INT
+        if isinstance(expr, Index):
+            assert expr.base is not None
+            base = self._expr_type(expr.base)
+            if isinstance(base, PointerType):
+                return base.base
+            return INT
+        return INT
+
+    def _pointer_scale(self, ctype: CType) -> int:
+        decayed = ctype.decayed()
+        if isinstance(decayed, PointerType) and decayed.base.size > 1:
+            return decayed.base.size
+        return 1
+
+    def _scale_value(self, value: Value, scale: int) -> Value:
+        shift = {4: 2, 2: 1}.get(scale)
+        if shift is None:
+            raise CompileError(f"unsupported pointer element size {scale}")
+        t = self.ir.new_temp("scaled")
+        self._emit(BinOp(t, "<<", value, shift))
+        return t
+
+    # ------------------------------------------------------------------
+    # lvalues
+    # ------------------------------------------------------------------
+
+    def _lower_addr(self, expr: Expr) -> Tuple[Temp, CType]:
+        """Compute the address of an lvalue; returns (addr temp, elem type)."""
+        if isinstance(expr, VarRef):
+            binding = self._lookup(expr.name, expr.line)
+            if binding.kind == "sreg":
+                raise CompileError(
+                    f"cannot take the address of register variable "
+                    f"{expr.name!r}",
+                    expr.line,
+                )
+            if binding.kind == "global":
+                t = self.ir.new_temp("gaddr")
+                self._emit(LoadAddr(t, binding.label))
+                return t, binding.ctype
+            t = self.ir.new_temp("laddr")
+            self._emit(BinOp(t, "+", self.ir.fp, binding.offset))
+            return t, binding.ctype
+        if isinstance(expr, Unary) and expr.op == "*":
+            assert expr.operand is not None
+            value, ptype = self._lower_expr(expr.operand)
+            addr = self._as_temp(value, "paddr")
+            if isinstance(ptype, PointerType) and ptype.base.size:
+                return addr, ptype.base
+            return addr, INT
+        if isinstance(expr, Index):
+            assert expr.base is not None and expr.index is not None
+            base_value, base_type = self._lower_expr(expr.base)
+            if not isinstance(base_type, PointerType):
+                base_type = PointerType(INT)
+            elem = base_type.base if base_type.base.size else INT
+            index_value, _ = self._lower_expr(expr.index)
+            if elem.size in (2, 4):
+                index_value = self._scale_value(index_value, elem.size)
+            addr = self.ir.new_temp("eaddr")
+            self._emit(BinOp(addr, "+", base_value, index_value))
+            return addr, elem
+        raise CompileError(
+            f"expression is not an lvalue ({type(expr).__name__})", expr.line
+        )
+
+    def _as_temp(self, value: Value, hint: str) -> Temp:
+        if isinstance(value, Temp):
+            return value
+        t = self.ir.new_temp(hint)
+        self._emit(Copy(t, value))
+        return t
+
+    def _load_from(self, addr: Temp, elem: CType) -> Tuple[Value, CType]:
+        if isinstance(elem, ArrayType):
+            # Arrays decay: the address itself is the value.
+            return addr, PointerType(elem.base)
+        size = 1 if elem.size == 1 else 4
+        t = self.ir.new_temp("load")
+        self._emit(Load(t, addr, 0, size))
+        return t, (elem if elem.size == 4 else INT)
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+
+    def _lower_expr(self, expr: Expr) -> Tuple[Value, CType]:
+        if isinstance(expr, IntLiteral):
+            return expr.value, INT
+        if isinstance(expr, SizeOf):
+            assert expr.ctype is not None
+            return expr.ctype.size, INT
+        if isinstance(expr, StringLiteral):
+            label = self.strings.label(expr.value)
+            t = self.ir.new_temp("str")
+            self._emit(LoadAddr(t, label))
+            return t, PointerType(CHAR)
+        if isinstance(expr, VarRef):
+            binding = self._lookup(expr.name, expr.line)
+            if binding.kind == "sreg":
+                assert binding.temp is not None
+                return binding.temp, binding.ctype.decayed()
+            addr, elem = self._lower_addr(expr)
+            return self._load_from(addr, elem)
+        if isinstance(expr, Unary):
+            return self._lower_unary(expr)
+        if isinstance(expr, Binary):
+            return self._lower_binary(expr)
+        if isinstance(expr, Assign):
+            return self._lower_assign(expr)
+        if isinstance(expr, Conditional):
+            return self._lower_conditional(expr)
+        if isinstance(expr, Call):
+            return self._lower_call(expr)
+        if isinstance(expr, Index):
+            addr, elem = self._lower_addr(expr)
+            return self._load_from(addr, elem)
+        raise CompileError(
+            f"unhandled expression {type(expr).__name__}", expr.line
+        )
+
+    def _lower_unary(self, expr: Unary) -> Tuple[Value, CType]:
+        assert expr.operand is not None
+        op = expr.op
+        if op in ("++", "--"):
+            return self._lower_incdec(expr)
+        if op == "&":
+            addr, elem = self._lower_addr(expr.operand)
+            return addr, PointerType(elem)
+        if op == "*":
+            addr, elem = self._lower_addr(expr)
+            return self._load_from(addr, elem)
+        value, _ = self._lower_expr(expr.operand)
+        t = self.ir.new_temp("un")
+        if op == "-":
+            self._emit(BinOp(t, "-", 0, value))
+            return t, INT
+        if op == "~":
+            self._emit(BinOp(t, "nor", value, 0))
+            return t, INT
+        if op == "!":
+            self._emit(BinOp(t, "sltu", value, 1))
+            return t, INT
+        raise CompileError(f"unhandled unary {op!r}", expr.line)
+
+    def _lower_incdec(self, expr: Unary) -> Tuple[Value, CType]:
+        assert expr.operand is not None
+        target = expr.operand
+        ctype = self._expr_type(target)
+        step = self._pointer_scale(ctype)
+        delta = step if expr.op == "++" else -step
+        if isinstance(target, VarRef):
+            binding = self._lookup(target.name, target.line)
+            if binding.kind == "sreg":
+                assert binding.temp is not None
+                home = binding.temp
+                if expr.postfix:
+                    old = self.ir.new_temp("post")
+                    self._emit(Copy(old, home))
+                    self._emit(BinOp(home, "+", home, delta))
+                    return old, ctype
+                self._emit(BinOp(home, "+", home, delta))
+                return home, ctype
+        addr, elem = self._lower_addr(target)
+        size = 1 if elem.size == 1 else 4
+        old = self.ir.new_temp("old")
+        self._emit(Load(old, addr, 0, size))
+        new = self.ir.new_temp("new")
+        self._emit(BinOp(new, "+", old, delta))
+        self._emit(Store(new, addr, 0, size))
+        return (old if expr.postfix else new), ctype
+
+    def _lower_binary(self, expr: Binary) -> Tuple[Value, CType]:
+        assert expr.left is not None and expr.right is not None
+        op = expr.op
+        if op == ",":
+            self._lower_expr(expr.left)
+            return self._lower_expr(expr.right)
+        if op in ("&&", "||"):
+            # Value form: materialize 0/1 through the branch skeleton.
+            true_label = self._new_label("btrue")
+            false_label = self._new_label("bfalse")
+            end_label = self._new_label("bend")
+            result = self.ir.new_temp("bool")
+            self._lower_cond(expr, true_label, false_label)
+            self._block = self.ir.add_block(false_label)
+            self._emit(Copy(result, 0))
+            self._terminate(Jump(end_label))
+            self._block = self.ir.add_block(true_label)
+            self._emit(Copy(result, 1))
+            self._terminate(Jump(end_label))
+            self._block = self.ir.add_block(end_label)
+            return result, INT
+        if op in _COMPARISON_OPS:
+            left, lt = self._lower_expr(expr.left)
+            right, rt = self._lower_expr(expr.right)
+            unsigned = lt.decayed().is_pointer() or rt.decayed().is_pointer()
+            slt = "sltu" if unsigned else "slt"
+            t = self.ir.new_temp("cmp")
+            if op == "<":
+                self._emit(BinOp(t, slt, left, right))
+            elif op == ">":
+                self._emit(BinOp(t, slt, right, left))
+            elif op == "<=":
+                inner = self.ir.new_temp("cmp")
+                self._emit(BinOp(inner, slt, right, left))
+                self._emit(BinOp(t, "^", inner, 1))
+            elif op == ">=":
+                inner = self.ir.new_temp("cmp")
+                self._emit(BinOp(inner, slt, left, right))
+                self._emit(BinOp(t, "^", inner, 1))
+            elif op == "==":
+                diff = self.ir.new_temp("diff")
+                self._emit(BinOp(diff, "^", left, right))
+                self._emit(BinOp(t, "sltu", diff, 1))
+            else:  # "!="
+                diff = self.ir.new_temp("diff")
+                self._emit(BinOp(diff, "^", left, right))
+                self._emit(BinOp(t, "sltu", 0, diff))
+            return t, INT
+
+        left, lt = self._lower_expr(expr.left)
+        right, rt = self._lower_expr(expr.right)
+        t = self.ir.new_temp("bin")
+        if op == "+":
+            lscale = self._pointer_scale(lt)
+            rscale = self._pointer_scale(rt)
+            if lscale > 1 and rscale == 1:
+                right = self._scale_value(right, lscale)
+            elif rscale > 1 and lscale == 1:
+                left = self._scale_value(left, rscale)
+            self._emit(BinOp(t, "+", left, right))
+            return t, (lt if lscale > 1 else (rt if rscale > 1 else INT))
+        if op == "-":
+            lscale = self._pointer_scale(lt)
+            rscale = self._pointer_scale(rt)
+            if lscale > 1 and rscale > 1:
+                diff = self.ir.new_temp("pdiff")
+                self._emit(BinOp(diff, "-", left, right))
+                shift = {4: 2, 2: 1}.get(lscale)
+                if shift:
+                    self._emit(BinOp(t, ">>", diff, shift))
+                    return t, INT
+                return diff, INT
+            if lscale > 1:
+                right = self._scale_value(right, lscale)
+            self._emit(BinOp(t, "-", left, right))
+            return t, (lt if lscale > 1 else INT)
+        if op in ("*", "/", "%", "&", "|", "^", "<<", ">>"):
+            self._emit(BinOp(t, op, left, right))
+            return t, INT
+        raise CompileError(f"unhandled binary {op!r}", expr.line)
+
+    def _apply_compound(
+        self, op: str, current: Value, value: Value, ctype: CType
+    ) -> Value:
+        """``current (op) value`` with pointer scaling, as a new temp."""
+        scale = self._pointer_scale(ctype)
+        if op in ("+", "-") and scale > 1:
+            value = self._scale_value(value, scale)
+        t = self.ir.new_temp("compound")
+        self._emit(BinOp(t, op, current, value))
+        return t
+
+    def _lower_assign(self, expr: Assign) -> Tuple[Value, CType]:
+        assert expr.target is not None and expr.value is not None
+        target = expr.target
+        if isinstance(target, VarRef):
+            binding = self._lookup(target.name, target.line)
+            if binding.kind == "sreg":
+                assert binding.temp is not None
+                value, _ = self._lower_expr(expr.value)
+                if expr.op != "=":
+                    value = self._apply_compound(
+                        _COMPOUND_BASE[expr.op], binding.temp, value,
+                        binding.ctype,
+                    )
+                self._store_binding(binding, value)
+                # The expression value is the (possibly truncated) register.
+                return binding.temp, binding.ctype.decayed()
+        addr, elem = self._lower_addr(target)
+        value, _ = self._lower_expr(expr.value)
+        size = 1 if elem.size == 1 else 4
+        if expr.op != "=":
+            current = self.ir.new_temp("cur")
+            self._emit(Load(current, addr, 0, size))
+            value = self._apply_compound(
+                _COMPOUND_BASE[expr.op], current, value, elem
+            )
+        self._emit(Store(value, addr, 0, size))
+        # Legacy semantics: a memory char assignment's *value* is the
+        # untruncated right-hand side.
+        if isinstance(elem, ArrayType):
+            return value, INT
+        return value, elem.decayed()
+
+    def _lower_conditional(self, expr: Conditional) -> Tuple[Value, CType]:
+        assert expr.condition is not None
+        assert expr.then_value is not None and expr.else_value is not None
+        then_label = self._new_label("cthen")
+        else_label = self._new_label("celse")
+        end_label = self._new_label("cend")
+        result = self.ir.new_temp("cond")
+        self._lower_cond(expr.condition, then_label, else_label)
+        self._block = self.ir.add_block(then_label)
+        then_value, ctype = self._lower_expr(expr.then_value)
+        self._emit(Copy(result, then_value))
+        self._terminate(Jump(end_label))
+        self._block = self.ir.add_block(else_label)
+        else_value, _ = self._lower_expr(expr.else_value)
+        self._emit(Copy(result, else_value))
+        self._terminate(Jump(end_label))
+        self._block = self.ir.add_block(end_label)
+        return result, ctype
+
+    def _lower_call(self, expr: Call) -> Tuple[Value, CType]:
+        # Arguments evaluate right-to-left (the legacy push order); each
+        # value is captured at its evaluation point so later side effects
+        # cannot retroactively change an earlier argument.
+        values: List[Value] = [0] * len(expr.args)
+        for i in range(len(expr.args) - 1, -1, -1):
+            value, _ = self._lower_expr(expr.args[i])
+            if isinstance(value, Temp) and value.pin is not None:
+                captured = self.ir.new_temp("arg")
+                self._emit(Copy(captured, value))
+                value = captured
+            values[i] = value
+        dst = self.ir.new_temp("ret")
+        self._emit(CallOp(dst, expr.name, values))
+        func = self.functions.get(expr.name)
+        return dst, (func.return_type if func is not None else INT)
+
+
+def lower_function(
+    func: FuncDef,
+    functions: Dict[str, FuncDef],
+    globals_: Dict[str, Slot],
+    strings: StringPool,
+    prefix: str = "",
+) -> IRFunction:
+    """Lower one function definition into an IR CFG."""
+    return FunctionLowerer(func, functions, globals_, strings, prefix).lower()

@@ -1,0 +1,332 @@
+"""CFG-local optimization passes over the MiniC IR.
+
+Every pass must be **verdict-preserving** under pointer-taintedness
+detection, which is stricter than value-preserving:
+
+* loads may raise tainted-dereference alerts -> never removed or reordered
+  past stores/calls (passes here never move loads at all);
+* compare BinOps (``slt``/``sltu``) untaint their register operands ->
+  never dead-code eliminated even when the result is unused;
+* ``mult``/``div`` collapse byte-granular taint to a whole-word class,
+  so ``x*1``/``x/1`` are *not* rewritten to copies and multiplications
+  are never strength-reduced into shifts (shift taint spreads one byte,
+  a different Table-1 rule);
+* ``x & 0`` / ``x * 0`` are *not* folded to the constant 0: the legacy
+  instruction produces a value whose taint depends on the policy's
+  and-rule, while ``li 0`` is always clean;
+* identity folds are limited to ops whose taint transfer is exactly that
+  of a register move (``addu dst,src,$0``): ``+0``, ``-0``, ``|0``,
+  ``^0``, ``<<0``, ``>>0``;
+* copies *into* pinned home registers are variable assignments and uses
+  *of* pinned temps must stay on the home register (the compare-untaint
+  rule validates the variable itself), so copy propagation never records
+  a mapping whose key is pinned — substituting a pinned temp as the
+  *source* into more uses is fine and desirable.
+
+All passes are CFG-local (no cross-block value motion); cross-block
+effects are limited to branch folding and unreachable-block removal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from .ir import (
+    BasicBlock,
+    BinOp,
+    Branch,
+    CallOp,
+    Copy,
+    IRFunction,
+    Instr,
+    Jump,
+    Load,
+    LoadAddr,
+    Ret,
+    Store,
+    Temp,
+    Value,
+    instr_def,
+    instr_uses,
+    is_pure,
+    term_uses,
+)
+
+_MASK32 = 0xFFFFFFFF
+
+
+def _signed(value: int) -> int:
+    value &= _MASK32
+    return value - 0x100000000 if value >= 0x80000000 else value
+
+
+def _eval_binop(op: str, a: int, b: int) -> Optional[int]:
+    """Constant-fold ``a op b`` with the simulator's 32-bit semantics.
+
+    Returns None when folding is unsafe (division by zero keeps the
+    simulator's runtime behavior instead of baking in a guess).
+    """
+    sa, sb = _signed(a), _signed(b)
+    if op == "+":
+        return (a + b) & _MASK32
+    if op == "-":
+        return (a - b) & _MASK32
+    if op == "*":
+        return (sa * sb) & _MASK32
+    if op == "/":
+        if sb == 0:
+            return None
+        return int(sa / sb) & _MASK32  # C truncation toward zero
+    if op == "%":
+        if sb == 0:
+            return None
+        return (sa - int(sa / sb) * sb) & _MASK32
+    if op == "&":
+        return (a & b) & _MASK32
+    if op == "|":
+        return (a | b) & _MASK32
+    if op == "^":
+        return (a ^ b) & _MASK32
+    if op == "<<":
+        return ((a & _MASK32) << (b & 31)) & _MASK32
+    if op == ">>":
+        return (sa >> (b & 31)) & _MASK32
+    if op == "slt":
+        return 1 if sa < sb else 0
+    if op == "sltu":
+        return 1 if (a & _MASK32) < (b & _MASK32) else 0
+    if op == "nor":
+        return ~(a | b) & _MASK32
+    return None
+
+
+#: Identity folds whose taint transfer equals a plain register move.
+_MOVE_SAFE_RIGHT_ZERO = frozenset({"+", "-", "|", "^", "<<", ">>"})
+_MOVE_SAFE_LEFT_ZERO = frozenset({"+", "|", "^"})
+
+
+def fold_constants(fn: IRFunction) -> bool:
+    """Fold const-const BinOps and taint-safe identities into copies."""
+    changed = False
+    for block in fn.blocks:
+        for i, instr in enumerate(block.instrs):
+            if not isinstance(instr, BinOp):
+                continue
+            a, b = instr.a, instr.b
+            if isinstance(a, int) and isinstance(b, int):
+                value = _eval_binop(instr.op, a, b)
+                if value is not None:
+                    block.instrs[i] = Copy(instr.dst, _signed(value))
+                    changed = True
+                continue
+            if isinstance(b, int) and b == 0 and isinstance(a, Temp):
+                if instr.op in _MOVE_SAFE_RIGHT_ZERO:
+                    block.instrs[i] = Copy(instr.dst, a)
+                    changed = True
+                continue
+            if isinstance(a, int) and a == 0 and isinstance(b, Temp):
+                if instr.op in _MOVE_SAFE_LEFT_ZERO:
+                    block.instrs[i] = Copy(instr.dst, b)
+                    changed = True
+    return changed
+
+
+def propagate_copies(fn: IRFunction) -> bool:
+    """Block-local copy/constant propagation with pinned-temp discipline."""
+    changed = False
+    for block in fn.blocks:
+        available: Dict[int, Value] = {}  # temp id -> replacement value
+
+        def subst(value: Value, need_temp: bool = False) -> Value:
+            if isinstance(value, Temp) and value.pin is None:
+                repl = available.get(value.id)
+                if repl is not None and not (
+                    need_temp and not isinstance(repl, Temp)
+                ):
+                    return repl
+            return value
+
+        def kill(temp: Temp) -> None:
+            available.pop(temp.id, None)
+            dead = [
+                key for key, val in available.items()
+                if isinstance(val, Temp) and val.id == temp.id
+            ]
+            for key in dead:
+                del available[key]
+
+        for instr in block.instrs:
+            before = instr_uses(instr)
+            if isinstance(instr, Copy):
+                new_src = subst(instr.src)
+                if new_src is not instr.src:
+                    instr.src = new_src
+                    changed = True
+            elif isinstance(instr, BinOp):
+                na, nb = subst(instr.a), subst(instr.b)
+                if na is not instr.a or nb is not instr.b:
+                    instr.a, instr.b = na, nb
+                    changed = True
+            elif isinstance(instr, Load):
+                nb = subst(instr.base, need_temp=True)
+                if nb is not instr.base:
+                    instr.base = nb  # type: ignore[assignment]
+                    changed = True
+            elif isinstance(instr, Store):
+                ns = subst(instr.src)
+                nb = subst(instr.base, need_temp=True)
+                if ns is not instr.src or nb is not instr.base:
+                    instr.src = ns
+                    instr.base = nb  # type: ignore[assignment]
+                    changed = True
+            elif isinstance(instr, CallOp):
+                new_args = [subst(arg) for arg in instr.args]
+                if any(n is not o for n, o in zip(new_args, instr.args)):
+                    instr.args = new_args
+                    changed = True
+            dst = instr_def(instr)
+            if dst is not None:
+                kill(dst)
+                if (
+                    isinstance(instr, Copy)
+                    and dst.pin is None
+                    and (
+                        isinstance(instr.src, int)
+                        or isinstance(instr.src, Temp)
+                    )
+                ):
+                    available[dst.id] = instr.src
+        term = block.terminator
+        if isinstance(term, Branch):
+            na, nb = subst(term.a), subst(term.b)
+            if na is not term.a or nb is not term.b:
+                term.a, term.b = na, nb
+                changed = True
+        elif isinstance(term, Ret) and term.value is not None:
+            nv = subst(term.value)
+            if nv is not term.value:
+                term.value = nv
+                changed = True
+    return changed
+
+
+def eliminate_dead_code(fn: IRFunction) -> bool:
+    """Remove pure instructions whose results are never used.
+
+    Loads, stores, calls and compare BinOps always survive (alert and
+    untaint side effects); a call whose result is unused keeps the call
+    but drops the destination.
+    """
+    changed = False
+    while True:
+        use_counts: Dict[int, int] = {}
+        for block in fn.blocks:
+            for instr in block.instrs:
+                for value in instr_uses(instr):
+                    if isinstance(value, Temp):
+                        use_counts[value.id] = use_counts.get(value.id, 0) + 1
+            if block.terminator is not None:
+                for value in term_uses(block.terminator):
+                    if isinstance(value, Temp):
+                        use_counts[value.id] = use_counts.get(value.id, 0) + 1
+        removed = False
+        for block in fn.blocks:
+            kept: List[Instr] = []
+            for instr in block.instrs:
+                dst = instr_def(instr)
+                dead = (
+                    dst is not None
+                    and dst.pin is None
+                    and use_counts.get(dst.id, 0) == 0
+                )
+                if dead and is_pure(instr):
+                    removed = True
+                    changed = True
+                    continue
+                if dead and isinstance(instr, CallOp):
+                    instr.dst = None
+                    changed = True
+                kept.append(instr)
+            block.instrs = kept
+        if not removed:
+            return changed
+
+
+def simplify_cfg(fn: IRFunction) -> bool:
+    """Fold constant branches, thread empty blocks, drop unreachable code.
+
+    Branches with any non-constant operand are kept verbatim: executing
+    ``beq``/``bne`` untaints the operand registers, so a branch may only
+    disappear when both operands are compile-time constants (constant
+    registers are never tainted).
+    """
+    changed = False
+    for block in fn.blocks:
+        term = block.terminator
+        if isinstance(term, Branch):
+            if isinstance(term.a, int) and isinstance(term.b, int):
+                taken = (term.a == term.b) == (term.op == "beq")
+                block.terminator = Jump(
+                    term.if_true if taken else term.if_false
+                )
+                changed = True
+            elif term.if_true == term.if_false:
+                # Both edges land in the same place; keep the compare
+                # shape only if an operand could carry taint.
+                pass
+
+    # Thread jumps through empty blocks (entry block stays put).
+    redirect: Dict[str, str] = {}
+    for block in fn.blocks[1:]:
+        if not block.instrs and isinstance(block.terminator, Jump):
+            redirect[block.label] = block.terminator.target
+
+    def resolve(label: str) -> str:
+        seen: Set[str] = set()
+        while label in redirect and label not in seen:
+            seen.add(label)
+            label = redirect[label]
+        return label
+
+    for block in fn.blocks:
+        term = block.terminator
+        if isinstance(term, Jump):
+            target = resolve(term.target)
+            if target != term.target and target != block.label:
+                term.target = target
+                changed = True
+        elif isinstance(term, Branch):
+            t, f = resolve(term.if_true), resolve(term.if_false)
+            if t != term.if_true or f != term.if_false:
+                term.if_true, term.if_false = t, f
+                changed = True
+
+    # Unreachable-block removal (DFS from the entry block).
+    if fn.blocks:
+        reachable: Set[str] = set()
+        stack = [fn.blocks[0].label]
+        while stack:
+            label = stack.pop()
+            if label in reachable:
+                continue
+            reachable.add(label)
+            block = fn.blocks_by_label.get(label)
+            if block is not None:
+                stack.extend(block.successors())
+        dead = {b.label for b in fn.blocks} - reachable
+        if dead:
+            fn.remove_blocks(dead)
+            changed = True
+    return changed
+
+
+def run_passes(fn: IRFunction) -> IRFunction:
+    """The -O1 pass schedule; iterates to a small fixpoint."""
+    for _ in range(4):
+        changed = propagate_copies(fn)
+        changed |= fold_constants(fn)
+        changed |= simplify_cfg(fn)
+        changed |= eliminate_dead_code(fn)
+        if not changed:
+            break
+    return fn

@@ -1,0 +1,77 @@
+"""The -O1 MiniC backend: AST -> IR -> passes -> regalloc -> emit.
+
+Drives the full pipeline for one translation unit and produces assembly
+text with the same data-section layout, label prefixing and PAC dot-label
+contract as the legacy ``-O0`` generator (:mod:`repro.cc.codegen`), which
+stays available as the differential oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .ast_nodes import TranslationUnit
+from .emit import FunctionEmitter
+from .frame import Slot, StringPool, global_data_lines, global_label
+from .lower import lower_function
+from .passes import run_passes
+from .regalloc import allocate
+
+
+class PipelineGenerator:
+    """Generates optimized assembly for a MiniC translation unit."""
+
+    def __init__(self, unit: TranslationUnit, prefix: str = "") -> None:
+        self.unit = unit
+        self.prefix = prefix
+        self._text: List[str] = []
+        self._data: List[str] = []
+        self._strings = StringPool(prefix)
+        self._label_counter = 0
+
+    def _new_label(self, hint: str) -> str:
+        self._label_counter += 1
+        return f".L{self.prefix}{hint}{self._label_counter}"
+
+    def _emit(self, line: str) -> None:
+        self._text.append("    " + line)
+
+    def _emit_label(self, label: str) -> None:
+        self._text.append(f"{label}:")
+
+    def generate(self) -> str:
+        globals_: Dict[str, Slot] = {}
+        for decl in self.unit.globals:
+            label = global_label(decl.name)
+            globals_[decl.name] = Slot(
+                kind="global", ctype=decl.ctype, label=label
+            )
+            self._data.extend(global_data_lines(decl, label))
+
+        functions = {f.name: f for f in self.unit.functions}
+        for func in self.unit.functions:
+            ir = lower_function(
+                func, functions, globals_, self._strings, self.prefix
+            )
+            run_passes(ir)
+            locations = allocate(ir)
+            FunctionEmitter(
+                ir,
+                locations,
+                self._new_label,
+                self._emit_label,
+                self._emit,
+            ).emit_function()
+
+        data_lines = self._data + self._strings.data_lines
+        lines = [".text"]
+        lines.extend(self._text)
+        if data_lines:
+            lines.append(".data")
+            lines.extend(data_lines)
+        return "\n".join(lines) + "\n"
+
+
+def generate_optimized(unit: TranslationUnit, prefix: str = "") -> str:
+    """Generate -O1 assembly for a parsed translation unit."""
+    return PipelineGenerator(unit, prefix).generate()

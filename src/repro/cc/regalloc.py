@@ -1,0 +1,194 @@
+"""Linear-scan register allocation over MiniC IR temporaries.
+
+Replaces the legacy always-spill accumulator discipline ($t0/$t1/$t2 with
+push/pop traffic for every binary operand) with Poletto-style linear scan
+over live intervals:
+
+* pinned temps (promoted ``$s`` scalars and ``$fp``) keep their physical
+  register and never enter allocation — the compare-untaint fidelity
+  contract depends on promoted variables staying in their home register;
+* the allocatable pool is the caller-saved set the generated code owns:
+  ``$t0-$t7``, ``$a0-$a3`` (arguments travel on the stack in this ABI, so
+  the ``$a`` registers are free) and ``$v1``;
+* ``$t8``/``$t9`` are reserved as spill-reload scratch and ``$at`` as the
+  emitter's immediate-materialization scratch (the emitter never uses
+  ``$at``-consuming branch pseudo-ops, so this is sound);
+* any temp live **across a call** is force-spilled to a frame slot, which
+  makes every call site trivially safe without caller-save bookkeeping
+  (callees may clobber the whole pool; promoted ``$s`` registers are
+  callee-saved by the standard prologue);
+* spill slots sit *below* the locals and the ``$s``-register save area,
+  so variable offsets — and with them the Figure 2 stack-smash frame
+  geometry — are identical at every optimization level.
+
+Liveness is a standard backward dataflow fixpoint; intervals use the
+conservative whole-block extension for temps that live across block
+boundaries (loops extend an interval around the whole loop body).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from .ir import (
+    BasicBlock,
+    CallOp,
+    IRFunction,
+    Temp,
+    instr_def,
+    instr_uses,
+    term_uses,
+)
+
+#: Allocatable pool, in preference order.
+POOL: Tuple[str, ...] = (
+    "$t0", "$t1", "$t2", "$t3", "$t4", "$t5", "$t6", "$t7",
+    "$a0", "$a1", "$a2", "$a3", "$v1",
+)
+
+#: Reserved scratch registers (spill reloads; never allocated).
+SPILL_SCRATCH: Tuple[str, str] = ("$t8", "$t9")
+
+
+class Location:
+    """Physical home of a temp after allocation."""
+
+    __slots__ = ("reg", "offset")
+
+    def __init__(self, reg: str = "", offset: int = 0) -> None:
+        self.reg = reg          # physical register, "" when spilled
+        self.offset = offset    # $fp offset when spilled
+
+    @property
+    def spilled(self) -> bool:
+        return not self.reg
+
+
+def _block_liveness(
+    fn: IRFunction,
+) -> Tuple[Dict[str, Set[int]], Dict[str, Set[int]]]:
+    """Backward dataflow: per-block live-in/live-out sets of temp ids."""
+    gen: Dict[str, Set[int]] = {}
+    kill: Dict[str, Set[int]] = {}
+    for block in fn.blocks:
+        g: Set[int] = set()
+        k: Set[int] = set()
+        for instr in block.instrs:
+            for value in instr_uses(instr):
+                if isinstance(value, Temp) and value.pin is None:
+                    if value.id not in k:
+                        g.add(value.id)
+            dst = instr_def(instr)
+            if dst is not None and dst.pin is None:
+                k.add(dst.id)
+        if block.terminator is not None:
+            for value in term_uses(block.terminator):
+                if isinstance(value, Temp) and value.pin is None:
+                    if value.id not in k:
+                        g.add(value.id)
+        gen[block.label] = g
+        kill[block.label] = k
+
+    live_in: Dict[str, Set[int]] = {b.label: set() for b in fn.blocks}
+    live_out: Dict[str, Set[int]] = {b.label: set() for b in fn.blocks}
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(fn.blocks):
+            out: Set[int] = set()
+            for succ in block.successors():
+                out |= live_in.get(succ, set())
+            new_in = gen[block.label] | (out - kill[block.label])
+            if out != live_out[block.label] or new_in != live_in[block.label]:
+                live_out[block.label] = out
+                live_in[block.label] = new_in
+                changed = True
+    return live_in, live_out
+
+
+def allocate(fn: IRFunction) -> Dict[int, Location]:
+    """Assign every non-pinned temp a register or a frame spill slot."""
+    live_in, live_out = _block_liveness(fn)
+
+    # Linearize and build conservative live intervals.
+    starts: Dict[int, int] = {}
+    ends: Dict[int, int] = {}
+    call_positions: List[int] = []
+    pos = 0
+    for block in fn.blocks:
+        block_start = pos
+        for instr in block.instrs:
+            for value in instr_uses(instr):
+                if isinstance(value, Temp) and value.pin is None:
+                    starts.setdefault(value.id, pos)
+                    ends[value.id] = max(ends.get(value.id, pos), pos)
+            dst = instr_def(instr)
+            if dst is not None and dst.pin is None:
+                starts.setdefault(dst.id, pos)
+                ends[dst.id] = max(ends.get(dst.id, pos), pos)
+            if isinstance(instr, CallOp):
+                call_positions.append(pos)
+            pos += 1
+        if block.terminator is not None:
+            for value in term_uses(block.terminator):
+                if isinstance(value, Temp) and value.pin is None:
+                    starts.setdefault(value.id, pos)
+                    ends[value.id] = max(ends.get(value.id, pos), pos)
+            pos += 1
+        block_end = pos - 1
+        for tid in live_in[block.label]:
+            starts[tid] = min(starts.get(tid, block_start), block_start)
+            ends[tid] = max(ends.get(tid, block_start), block_start)
+        for tid in live_out[block.label]:
+            starts.setdefault(tid, block_start)
+            ends[tid] = max(ends.get(tid, block_end), block_end)
+
+    # Temps live across a call lose their register unconditionally.
+    crossers: Set[int] = set()
+    for tid in starts:
+        s, e = starts[tid], ends[tid]
+        for cp in call_positions:
+            if s < cp < e:
+                crossers.add(tid)
+                break
+
+    locations: Dict[int, Location] = {}
+    spill_slots = 0
+    base = fn.layout.locals_size + 4 * len(fn.layout.used_sregs)
+
+    def new_spill() -> Location:
+        nonlocal spill_slots
+        spill_slots += 1
+        return Location(offset=-(base + 4 * spill_slots))
+
+    for tid in crossers:
+        locations[tid] = new_spill()
+
+    # Poletto linear scan over the remaining intervals.
+    intervals = sorted(
+        (tid for tid in starts if tid not in crossers),
+        key=lambda tid: (starts[tid], ends[tid], tid),
+    )
+    free = list(POOL)
+    active: List[Tuple[int, int, str]] = []  # (end, tid, reg), sorted by end
+    for tid in intervals:
+        start = starts[tid]
+        while active and active[0][0] < start:
+            _, _, reg = active.pop(0)
+            free.append(reg)
+        if free:
+            reg = free.pop(0)
+            locations[tid] = Location(reg=reg)
+            entry = (ends[tid], tid, reg)
+            lo = 0
+            while lo < len(active) and active[lo][0] <= entry[0]:
+                lo += 1
+            active.insert(lo, entry)
+        else:
+            locations[tid] = new_spill()
+
+    fn.spill_offsets = {
+        tid: loc.offset for tid, loc in locations.items() if loc.spilled
+    }
+    fn.spill_size = 4 * spill_slots
+    return locations

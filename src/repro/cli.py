@@ -103,6 +103,10 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--arg", action="append", default=[],
                        help="argv entry (repeatable); argv[0] is the file name")
         p.add_argument("--max-instructions", type=int, default=20_000_000)
+        p.add_argument("-O", dest="opt_level", type=int, choices=(0, 1),
+                       default=0,
+                       help="MiniC optimization level: 0 = legacy oracle "
+                            "codegen, 1 = IR pipeline (default 0)")
         p.add_argument("--pipeline", action="store_true",
                        help="use the 5-stage pipeline engine")
         p.add_argument("--caches", action="store_true",
@@ -141,6 +145,10 @@ def _build_parser() -> argparse.ArgumentParser:
     disasm_parser.add_argument(
         "--raw-asm", action="store_true",
         help="treat the input as assembly instead of MiniC",
+    )
+    disasm_parser.add_argument(
+        "-O", dest="opt_level", type=int, choices=(0, 1), default=0,
+        help="MiniC optimization level (ignored with --raw-asm)",
     )
 
     report_parser = sub.add_parser(
@@ -302,12 +310,12 @@ def _read_stdin(args: argparse.Namespace) -> bytes:
     return b""
 
 
-def _build(path: str, raw_asm: bool):
+def _build(path: str, raw_asm: bool, opt_level: int = 0):
     with open(path, "r", encoding="latin-1") as handle:
         source = handle.read()
     if raw_asm:
         return assemble(source)
-    return build_program(source)
+    return build_program(source, opt_level=opt_level)
 
 
 def _make_session(args: argparse.Namespace, engine: str) -> Session:
@@ -335,7 +343,7 @@ def _write_json(path: str, payload: dict) -> None:
 
 def _command_run(args: argparse.Namespace, raw_asm: bool,
                  out=sys.stdout) -> int:
-    exe = _build(args.file, raw_asm)
+    exe = _build(args.file, raw_asm, getattr(args, "opt_level", 0))
     argv = [args.file] + list(args.arg)
     subscribers = []
     if args.trace:
@@ -377,7 +385,8 @@ def _command_run(args: argparse.Namespace, raw_asm: bool,
 def _command_forensics(args: argparse.Namespace, out=sys.stdout) -> int:
     from .evalx.forensics import provenance_report
 
-    exe = _build(args.file, raw_asm=False)
+    exe = _build(args.file, raw_asm=False,
+                 opt_level=getattr(args, "opt_level", 0))
     argv = [args.file] + list(args.arg)
     # Forensics always runs in label mode with a registry: provenance and
     # the taint.labels.* gauges ARE the report.
@@ -414,7 +423,7 @@ def _command_forensics(args: argparse.Namespace, out=sys.stdout) -> int:
 
 
 def _command_disasm(args: argparse.Namespace, out=sys.stdout) -> int:
-    exe = _build(args.file, args.raw_asm)
+    exe = _build(args.file, args.raw_asm, getattr(args, "opt_level", 0))
     out.write(exe.disassembly() + "\n")
     return 0
 

@@ -30,17 +30,19 @@ LIBC_UNITS: Tuple[Tuple[str, str], ...] = (
 
 
 @lru_cache(maxsize=None)
-def _libc_assembly() -> str:
-    """Assembly text of the whole standard library (compiled once)."""
-    return compile_units(LIBC_UNITS)
+def _libc_assembly(opt_level: int = 0) -> str:
+    """Assembly text of the whole standard library (compiled once per level)."""
+    return compile_units(LIBC_UNITS, opt_level=opt_level)
 
 
 @lru_cache(maxsize=64)
-def _build_cached(app_source: str, with_libc: bool, extra_asm: str) -> Executable:
+def _build_cached(
+    app_source: str, with_libc: bool, extra_asm: str, opt_level: int
+) -> Executable:
     parts = [CRT0]
     if with_libc:
-        parts.append(_libc_assembly())
-    parts.append(compile_units((("app", app_source),)))
+        parts.append(_libc_assembly(opt_level))
+    parts.append(compile_units((("app", app_source),), opt_level=opt_level))
     if extra_asm:
         parts.append(extra_asm)
     parts.append(SYSCALL_VENEERS)
@@ -51,14 +53,18 @@ def build_program(
     app_source: str,
     with_libc: bool = True,
     extra_asm: str = "",
+    opt_level: int = 0,
 ) -> Executable:
     """Compile and link a MiniC program against the runtime and libc.
+
+    ``opt_level`` selects the MiniC backend (0 = legacy oracle, 1 = IR
+    pipeline) for both the application and the libc units.
 
     The returned :class:`Executable` is cached and therefore shared; callers
     must not mutate it (the simulator never does -- it copies the image into
     its own memory).
     """
-    return _build_cached(app_source, with_libc, extra_asm)
+    return _build_cached(app_source, with_libc, extra_asm, opt_level)
 
 
 def build_assembly(asm_source: str, with_crt0: bool = False) -> Executable:

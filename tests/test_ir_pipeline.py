@@ -1,0 +1,355 @@
+"""Unit tests for the -O1 IR pipeline: passes, regalloc, emission.
+
+The optimizer's contract is *verdict preservation* under pointer
+taintedness (stricter than value preservation), so these tests pin both
+what the passes do (fold, propagate, eliminate) and -- just as
+importantly -- what they must refuse to do (fold ``x*1``, remove loads,
+remove compares).
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.cc.compiler import compile_minic, compile_units
+from repro.cc.errors import CompileError
+from repro.cc.frame import FrameLayout
+from repro.cc.ir import (
+    BinOp,
+    CallOp,
+    Copy,
+    IRFunction,
+    Jump,
+    Load,
+    Ret,
+)
+from repro.cc.passes import (
+    eliminate_dead_code,
+    fold_constants,
+    propagate_copies,
+    simplify_cfg,
+)
+from repro.cc.regalloc import POOL, SPILL_SCRATCH, allocate
+from repro.attacks.replay import run_minic
+
+
+def make_fn(name="f"):
+    return IRFunction(SimpleNamespace(name=name), FrameLayout())
+
+
+class TestConstantFolding:
+    def test_const_const_folds_to_copy(self):
+        fn = make_fn()
+        block = fn.add_block("entry")
+        t = fn.new_temp()
+        block.instrs.append(BinOp(t, "+", 3, 4))
+        block.terminator = Ret(t)
+        assert fold_constants(fn)
+        assert block.instrs == [Copy(t, 7)]
+
+    def test_division_truncates_toward_zero(self):
+        fn = make_fn()
+        block = fn.add_block("entry")
+        t = fn.new_temp()
+        block.instrs.append(BinOp(t, "/", -7, 2))
+        block.terminator = Ret(t)
+        fold_constants(fn)
+        assert block.instrs == [Copy(t, -3)]  # C semantics, not floor
+
+    def test_division_by_zero_not_folded(self):
+        fn = make_fn()
+        block = fn.add_block("entry")
+        t = fn.new_temp()
+        instr = BinOp(t, "/", 5, 0)
+        block.instrs.append(instr)
+        block.terminator = Ret(t)
+        assert not fold_constants(fn)
+        assert block.instrs == [instr]  # keep the runtime div behaviour
+
+    def test_add_zero_identity_becomes_move(self):
+        fn = make_fn()
+        block = fn.add_block("entry")
+        x, t = fn.new_temp("x"), fn.new_temp()
+        block.instrs.append(BinOp(t, "+", x, 0))
+        block.terminator = Ret(t)
+        assert fold_constants(fn)
+        assert block.instrs == [Copy(t, x)]
+
+    @pytest.mark.parametrize("op,b", [("*", 1), ("/", 1), ("&", 0), ("*", 0)])
+    def test_taint_class_changing_identities_survive(self, op, b):
+        """mult/div collapse taint to word class and `& 0` depends on the
+        policy's and-rule -- rewriting them would change verdicts."""
+        fn = make_fn()
+        block = fn.add_block("entry")
+        x, t = fn.new_temp("x"), fn.new_temp()
+        instr = BinOp(t, op, x, b)
+        block.instrs.append(instr)
+        block.terminator = Ret(t)
+        assert not fold_constants(fn)
+        assert block.instrs == [instr]
+
+
+class TestDeadCodeElimination:
+    def test_dead_pure_binop_removed(self):
+        fn = make_fn()
+        block = fn.add_block("entry")
+        dead, live = fn.new_temp(), fn.new_temp()
+        block.instrs = [BinOp(dead, "+", 1, 2), Copy(live, 9)]
+        block.terminator = Ret(live)
+        assert eliminate_dead_code(fn)
+        assert block.instrs == [Copy(live, 9)]
+
+    def test_dead_load_survives(self):
+        """A load from a tainted address raises the paper's alert; removing
+        it would flip a detection into a clean exit."""
+        fn = make_fn()
+        block = fn.add_block("entry")
+        base, dead = fn.new_temp("p"), fn.new_temp()
+        load = Load(dead, base, 0, 4)
+        block.instrs = [load]
+        block.terminator = Ret(None)
+        eliminate_dead_code(fn)
+        assert load in block.instrs
+
+    def test_dead_compare_survives(self):
+        """slt/sltu untaint their operands even when the result is unused."""
+        fn = make_fn()
+        block = fn.add_block("entry")
+        x, dead = fn.new_temp("x"), fn.new_temp()
+        cmp_instr = BinOp(dead, "slt", x, 10)
+        block.instrs = [cmp_instr]
+        block.terminator = Ret(None)
+        eliminate_dead_code(fn)
+        assert cmp_instr in block.instrs
+
+    def test_unused_call_result_dropped_but_call_kept(self):
+        fn = make_fn()
+        block = fn.add_block("entry")
+        dead = fn.new_temp()
+        call = CallOp(dead, "g", [])
+        block.instrs = [call]
+        block.terminator = Ret(None)
+        eliminate_dead_code(fn)
+        assert block.instrs == [call]
+        assert call.dst is None
+
+    def test_transitively_dead_chain_removed(self):
+        fn = make_fn()
+        block = fn.add_block("entry")
+        a, b = fn.new_temp(), fn.new_temp()
+        block.instrs = [Copy(a, 1), BinOp(b, "+", a, 2)]
+        block.terminator = Ret(None)
+        eliminate_dead_code(fn)
+        assert block.instrs == []
+
+
+class TestCopyPropagation:
+    def test_constant_propagates_then_folds(self):
+        fn = make_fn()
+        block = fn.add_block("entry")
+        a, b = fn.new_temp(), fn.new_temp()
+        block.instrs = [Copy(a, 5), BinOp(b, "+", a, 1)]
+        block.terminator = Ret(b)
+        assert propagate_copies(fn)
+        assert block.instrs[1] == BinOp(b, "+", 5, 1)
+        fold_constants(fn)
+        assert block.instrs[1] == Copy(b, 6)
+
+    def test_pinned_destination_never_recorded(self):
+        """Writes into a home register are variable assignments; later uses
+        must keep reading the home register so compare-untaint validates
+        the variable itself, not a stale copy."""
+        fn = make_fn()
+        block = fn.add_block("entry")
+        home = fn.new_temp("x", pin="$s0")
+        src, use = fn.new_temp(), fn.new_temp()
+        binop = BinOp(use, "+", home, 1)
+        block.instrs = [Copy(home, src), binop]
+        block.terminator = Ret(use)
+        propagate_copies(fn)
+        assert binop.a is home  # not rewritten to `src`
+
+    def test_pinned_source_propagates(self):
+        fn = make_fn()
+        block = fn.add_block("entry")
+        home = fn.new_temp("x", pin="$s0")
+        alias, use = fn.new_temp(), fn.new_temp()
+        binop = BinOp(use, "+", alias, 1)
+        block.instrs = [Copy(alias, home), binop]
+        block.terminator = Ret(use)
+        assert propagate_copies(fn)
+        assert binop.a is home
+
+    def test_mapping_killed_on_redefinition(self):
+        fn = make_fn()
+        block = fn.add_block("entry")
+        a, b, use = fn.new_temp(), fn.new_temp(), fn.new_temp()
+        binop = BinOp(use, "+", b, 0)
+        block.instrs = [Copy(b, a), Copy(a, 99), binop]
+        block.terminator = Ret(use)
+        propagate_copies(fn)
+        assert binop.a is b  # b->a died when a was overwritten
+
+
+class TestCfgSimplification:
+    def test_constant_branch_folds_and_dead_block_removed(self):
+        fn = make_fn()
+        entry = fn.add_block("entry")
+        then = fn.add_block("then")
+        other = fn.add_block("other")
+        from repro.cc.ir import Branch
+
+        entry.terminator = Branch("beq", 3, 3, "then", "other")
+        then.terminator = Ret(1)
+        other.terminator = Ret(0)
+        assert simplify_cfg(fn)
+        assert entry.terminator == Jump("then")
+        assert [b.label for b in fn.blocks] == ["entry", "then"]
+
+    def test_register_branch_kept(self):
+        """beq/bne untaint operands: a branch may only disappear when both
+        operands are compile-time constants."""
+        fn = make_fn()
+        entry = fn.add_block("entry")
+        then = fn.add_block("then")
+        other = fn.add_block("other")
+        from repro.cc.ir import Branch
+
+        x = fn.new_temp("x")
+        entry.terminator = Branch("beq", x, 0, "then", "other")
+        then.terminator = Ret(1)
+        other.terminator = Ret(0)
+        simplify_cfg(fn)
+        assert isinstance(entry.terminator, Branch)
+
+    def test_empty_block_threaded(self):
+        fn = make_fn()
+        entry = fn.add_block("entry")
+        hop = fn.add_block("hop")
+        end = fn.add_block("end")
+        entry.terminator = Jump("hop")
+        hop.terminator = Jump("end")
+        end.terminator = Ret(None)
+        assert simplify_cfg(fn)
+        assert entry.terminator == Jump("end")
+        assert "hop" not in fn.blocks_by_label
+
+
+class TestRegisterAllocation:
+    def test_pool_excludes_spill_scratch(self):
+        assert not set(SPILL_SCRATCH) & set(POOL)
+
+    def test_fits_in_registers_when_pressure_is_low(self):
+        fn = make_fn()
+        block = fn.add_block("entry")
+        a, b, c = fn.new_temp(), fn.new_temp(), fn.new_temp()
+        block.instrs = [Copy(a, 1), Copy(b, 2), BinOp(c, "+", a, b)]
+        block.terminator = Ret(c)
+        locations = allocate(fn)
+        assert all(not loc.spilled for loc in locations.values())
+        assert fn.spill_size == 0
+
+    def test_high_pressure_spills(self):
+        fn = make_fn()
+        block = fn.add_block("entry")
+        temps = [fn.new_temp() for _ in range(len(POOL) + 3)]
+        block.instrs = [Copy(t, i) for i, t in enumerate(temps)]
+        acc = fn.new_temp()
+        block.instrs.append(BinOp(acc, "+", temps[0], temps[1]))
+        for t in temps[2:]:
+            nxt = fn.new_temp()
+            block.instrs.append(BinOp(nxt, "+", acc, t))
+            acc = nxt
+        block.terminator = Ret(acc)
+        locations = allocate(fn)
+        spilled = [loc for loc in locations.values() if loc.spilled]
+        assert spilled
+        assert fn.spill_size >= 4 * len(spilled)
+        assert all(loc.offset < 0 for loc in spilled)  # below the frame
+
+    def test_call_crossing_temp_spilled(self):
+        """Allocatable registers are caller-saved here; a value live across
+        a call must live in the frame, not in a clobberable register."""
+        fn = make_fn()
+        block = fn.add_block("entry")
+        kept, ret, out = fn.new_temp(), fn.new_temp(), fn.new_temp()
+        block.instrs = [
+            Copy(kept, 5),
+            CallOp(ret, "g", []),
+            BinOp(out, "+", kept, ret),
+        ]
+        block.terminator = Ret(out)
+        locations = allocate(fn)
+        assert locations[kept.id].spilled
+
+    def test_pinned_temps_keep_their_register(self):
+        fn = make_fn()
+        block = fn.add_block("entry")
+        home = fn.new_temp("x", pin="$s0")
+        out = fn.new_temp()
+        block.instrs = [Copy(home, 1), BinOp(out, "+", home, 2)]
+        block.terminator = Ret(out)
+        locations = allocate(fn)
+        assert home.id not in locations or locations[home.id].reg == "$s0"
+
+
+class TestOptimizedExecution:
+    """End-to-end: the -O1 backend produces runnable, correct programs."""
+
+    def test_constant_expression_folds_into_return(self):
+        asm = compile_minic("int main() { return 2 + 3 * 4; }", opt_level=1)
+        assert "li $v0,14" in asm
+
+    def test_opt_level_zero_is_the_default(self):
+        src = "int main() { return 2 + 3 * 4; }"
+        assert compile_minic(src) == compile_minic(src, opt_level=0)
+        assert compile_minic(src) != compile_minic(src, opt_level=1)
+
+    @pytest.mark.parametrize("opt_level", [0, 1])
+    def test_recursion_and_loops(self, opt_level):
+        src = (
+            "int fib(int n) { if (n < 2) return n;"
+            " return fib(n - 1) + fib(n - 2); }\n"
+            "int main() { int i; int acc; acc = 0;"
+            " for (i = 0; i < 10; i++) acc += fib(i); return acc; }"
+        )
+        result = run_minic(src, opt_level=opt_level)
+        assert result.outcome == "exit"
+        assert result.exit_status == 88
+
+    def test_optimizer_reduces_dynamic_instructions(self):
+        src = (
+            "int main() { int i; int acc; acc = 0;"
+            " for (i = 0; i < 200; i++) acc = acc + (i ^ 0) + (0 | 3);"
+            " return acc & 255; }"
+        )
+        r0 = run_minic(src, opt_level=0)
+        r1 = run_minic(src, opt_level=1)
+        assert r0.exit_status == r1.exit_status
+        assert r1.sim.stats.instructions < r0.sim.stats.instructions
+
+
+class TestCompileUnitLocations:
+    """Regression: unit-wrapped errors kept ``line=0`` and re-rendered the
+    " at line N" suffix twice (once from the inner error's message, once
+    from the wrapper)."""
+
+    def test_line_and_column_preserved(self):
+        bad = "int main() {\n  int x = 1;\n  x = ;\n}\n"
+        with pytest.raises(CompileError) as info:
+            compile_units([("app", bad)])
+        err = info.value
+        assert err.line == 3
+        assert "in unit 'app'" in str(err)
+
+    def test_no_double_location_suffix(self):
+        bad = "int main() {\n  x = ;\n}\n"
+        with pytest.raises(CompileError) as info:
+            compile_units([("app", bad)])
+        assert str(info.value).count(" at line ") == 1
+
+    def test_raw_message_has_no_rendered_location(self):
+        bad = "int main() {\n  x = ;\n}\n"
+        with pytest.raises(CompileError) as info:
+            compile_units([("app", bad)])
+        assert " at line " not in info.value.raw_message

@@ -1,4 +1,4 @@
-"""Table 3 substrate: the six benign SPEC-like workloads run alert-free."""
+"""Table 3 substrate: the benign SPEC-like workloads run alert-free."""
 
 import pytest
 
@@ -64,6 +64,24 @@ class TestWorkloadCorrectness:
         assert "220 iterations" in stdout
         accepted = int(stdout.split("accepted")[0].split(",")[-1])
         assert accepted > 0
+
+    def test_crafty_searches_deep(self, workload_results):
+        stdout = workload_results["CRAFTY"].stdout
+        assert "6 games" in stdout
+        nodes = int(stdout.split("nodes")[0].split(",")[-1])
+        assert nodes > 1000  # depth-5 negamax must expand a real tree
+
+    def test_gap_reaches_whole_graph(self, workload_results):
+        stdout = workload_results["GAP"].stdout
+        assert "90 nodes" in stdout
+        reached = int(stdout.split("reached")[0].split(",")[-1])
+        assert reached == 90  # the backbone makes the graph connected
+
+    def test_vortex_transaction_mix(self, workload_results):
+        stdout = workload_results["VORTEX"].stdout
+        for marker in ("inserts", "hits", "deletes"):
+            count = int(stdout.split(marker)[0].split(",")[-1].split(":")[-1])
+            assert count > 0, f"no {marker} executed"
 
 
 class TestTable3Runner:
