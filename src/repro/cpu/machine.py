@@ -103,6 +103,35 @@ class MachineSnapshot:
     watchpoints: Tuple
 
 
+@dataclass(frozen=True)
+class MachineCowSnapshot:
+    """A delta checkpoint: eager scalars plus a live COW page capture.
+
+    Produced by :meth:`MachineState.snapshot_cow`.  The scalar machine
+    state (registers, PC, stats, caches...) is small and copied eagerly
+    exactly like :class:`MachineSnapshot`; the page-sized state (memory
+    data, shadow taint, label sidecar) lives in the shared
+    :class:`~repro.mem.cow.CowCapture`, which the memory hot paths fill
+    copy-on-write so :meth:`MachineState.restore_cow` only rewrites
+    dirtied pages.  Valid for delta restore only while its capture is
+    still the machine's active one; once displaced the capture degrades
+    to a completed full snapshot and restore falls back to the legacy
+    path (see :mod:`repro.mem.cow`).
+    """
+
+    pc: int
+    halted: bool
+    exit_status: Optional[int]
+    regs: Tuple
+    caches: Optional[Tuple]
+    stats: ExecutionStats
+    recent_pcs: Tuple[int, ...]
+    alerts: Tuple
+    watchpoints: Tuple
+    #: Shared delta capture holding baselines + dirty/fresh sets.
+    cow: object = None
+
+
 class MachineState:
     """Architectural state of one simulated process.
 
@@ -336,6 +365,82 @@ class MachineState:
         self.regs.restore(snapshot.regs)
         self.plane.restore(snapshot.taint)
         self.memory.restore(snapshot.memory)
+        if self.caches is not None and snapshot.caches is not None:
+            self.caches.restore(snapshot.caches)
+        self.stats.restore(snapshot.stats)
+        self.recent_pcs.clear()
+        self.recent_pcs.extend(snapshot.recent_pcs)
+        self.detector.alerts[:] = snapshot.alerts
+        self.watchpoints.restore(snapshot.watchpoints)
+
+    def snapshot_cow(self) -> "MachineCowSnapshot":
+        """Capture a delta checkpoint (O(mapped pages) scan, no copies).
+
+        Scalars are copied eagerly as in :meth:`snapshot`; page-sized
+        state is tracked copy-on-write by the new
+        :class:`~repro.mem.cow.CowCapture` this installs as the
+        machine's active capture (displacing -- and completing -- any
+        previous one).  Restore via :meth:`restore_cow`.
+        """
+        cow = self.memory.begin_cow()
+        self.plane.begin_cow(cow)
+        return MachineCowSnapshot(
+            pc=self.pc,
+            halted=self.halted,
+            exit_status=self.exit_status,
+            regs=self.regs.snapshot(),
+            caches=self.caches.snapshot() if self.caches is not None else None,
+            stats=self.stats.clone(),
+            recent_pcs=tuple(self.recent_pcs),
+            alerts=tuple(self.detector.alerts),
+            watchpoints=tuple(self.watchpoints),
+            cow=cow,
+        )
+
+    def restore_cow(self, snapshot: "MachineCowSnapshot") -> None:
+        """Roll back to a delta checkpoint.
+
+        Fast path (the snapshot's capture is still this machine's active
+        one): drop pages materialized since capture, rewrite only dirtied
+        pages from their baselines, reinstall the captured summaries, and
+        reset the dirty tracking -- the capture stays armed for the next
+        trial.  Displaced captures were completed into full snapshots at
+        displacement time and restore through the legacy path (same
+        observable state, full-copy cost).
+        """
+        cow = snapshot.cow
+        if self.memory._cow is not cow:
+            if not cow.completed:
+                raise ValueError(
+                    "displaced delta checkpoint was never completed"
+                )
+            self.restore(
+                MachineSnapshot(
+                    pc=snapshot.pc,
+                    halted=snapshot.halted,
+                    exit_status=snapshot.exit_status,
+                    regs=snapshot.regs,
+                    memory=cow.full_memory,
+                    taint=cow.full_taint,
+                    caches=snapshot.caches,
+                    stats=snapshot.stats,
+                    recent_pcs=snapshot.recent_pcs,
+                    alerts=snapshot.alerts,
+                    watchpoints=snapshot.watchpoints,
+                )
+            )
+            return
+        if (snapshot.caches is None) != (self.caches is None):
+            raise ValueError(
+                "snapshot/machine cache configuration mismatch"
+            )
+        self.pc = snapshot.pc
+        self.halted = snapshot.halted
+        self.exit_status = snapshot.exit_status
+        self.regs.restore(snapshot.regs)
+        self.memory.restore_cow(cow)
+        self.plane.restore_cow(cow)
+        cow.clear_dirty()
         if self.caches is not None and snapshot.caches is not None:
             self.caches.restore(snapshot.caches)
         self.stats.restore(snapshot.stats)

@@ -60,7 +60,14 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..builder import build_machine
 from ..defenses.alerts import SecurityException
-from ..core.events import InstructionRetired, SyscallEnter, TrialCompleted
+from ..core.events import (
+    FaultInjected,
+    InstructionRetired,
+    SyscallEnter,
+    SyscallExit,
+    TaintPropagated,
+    TrialCompleted,
+)
 from ..defenses.policy import PointerTaintPolicy
 from ..cpu.machine import ExecutionLimit, SimulatorFault
 from ..cpu.pipeline import Pipeline
@@ -77,6 +84,7 @@ from .faults import (
     STATE_FAULT_KINDS,
     SYSCALL_FAULT_KINDS,
     SYSCALL_FAULT_MODES,
+    apply_state_fault,
 )
 from .triggers import Trigger
 from .workloads import Workload
@@ -117,6 +125,45 @@ RECOVERY_POLICIES = ("halt", "kill-process", "rollback-retry")
 #: Instruction budget for the golden run (a broken workload must not hang
 #: the campaign either).
 _GOLDEN_BUDGET = 20_000_000
+
+#: Epoch-ladder tuning: initial capture stride (instructions), the target
+#: ladder depth (thinning kicks in at twice this), and a hard byte budget
+#: on frozen epoch pages so pathological workloads (huge dirty footprints)
+#: simply stop laddering instead of exhausting memory.
+_EPOCH_STRIDE = 64
+_EPOCH_MAX = 16
+_EPOCH_BYTE_BUDGET = 32 << 20
+
+
+@dataclass(frozen=True)
+class _Epoch:
+    """One intermediate golden-run state, delta-encoded against the
+    pre-run checkpoint.
+
+    Captured for free while the golden run executes (the run pauses at
+    stride boundaries; no extra execution happens), keyed by the absolute
+    retired-instruction count.  ``data_delta``/``shadow_delta`` hold
+    frozen copies of exactly the pages the golden prefix dirtied or
+    materialized -- the pre-run checkpoint's live dirty sets at capture
+    time -- so fast-forwarding a freshly rolled-back machine to this
+    epoch is one slice-copy per delta page.
+    """
+
+    instructions: int
+    pc: int
+    regs: Tuple
+    reg_taints: Tuple[int, ...]
+    caches: Optional[Tuple]
+    stats: object
+    recent_pcs: Tuple[int, ...]
+    alerts: Tuple
+    watchpoints: Tuple
+    data_delta: Dict[int, bytes]
+    shadow_delta: Dict[int, bytes]
+    tainted_pages: frozenset
+    tainted_bytes_written: int
+    kernel: object
+    nbytes: int
 
 
 @dataclass(frozen=True)
@@ -172,6 +219,20 @@ class CampaignConfig:
     instruction_slack: float = 4.0
     max_seconds: float = 30.0
     reuse_snapshots: bool = True
+    #: Capture the pre-run checkpoint as a copy-on-write delta snapshot
+    #: (restore rewrites only the pages a trial dirtied).  ``False``
+    #: forces the legacy eager full copy.  Orthogonal to trial outcomes:
+    #: the campaign digest is identical either way (asserted in CI).
+    delta_restore: bool = True
+    #: Resolve insn/pc triggers to exact retirement indices against the
+    #: golden run and execute the pre-fire prefix as one fused
+    #: ``run(max_instructions=fire_at)`` burst instead of single-stepping
+    #: under an InstructionRetired subscriber.  Sound because the prefix
+    #: is deterministic and identical to the golden run until the fault
+    #: lands; automatically bypassed when event subscribers, the pipeline
+    #: engine, or deeper-than-recorded pc occurrences need the legacy
+    #: injector.  Digest-identical either way (asserted in CI).
+    fast_triggers: bool = True
     #: Process-pool width: ``1`` = serial (the default, legacy loop
     #: untouched), ``N > 1`` = that many pool workers, ``0`` = one per
     #: available core.  The campaign digest is identical for every value.
@@ -198,6 +259,13 @@ class CampaignConfig:
         return self.workers
 
 
+#: How many retirement indices the golden run records per PC.  Matches
+#: the plan's occurrence cap (``min(pc_count, 16)``), so every seeded pc
+#: trigger resolves to an exact fire index; explicit schedules asking
+#: for deeper occurrences fall back to the legacy event injector.
+_PC_VISIT_DEPTH = 16
+
+
 @dataclass(frozen=True)
 class GoldenRun:
     """Observable baseline of the fault-free run."""
@@ -208,6 +276,10 @@ class GoldenRun:
     data_pages: Tuple[int, ...]
     pc_counts: Tuple[Tuple[int, int], ...]
     syscall_counts: Tuple[Tuple[int, int], ...]
+    #: Per PC, the 1-based retirement indices of its first
+    #: ``_PC_VISIT_DEPTH`` visits -- what lets the fast-trigger path turn
+    #: a ``pc@occurrence`` trigger into an exact instruction budget.
+    pc_visit_indices: Tuple[Tuple[int, Tuple[int, ...]], ...] = ()
 
     @property
     def observable(self) -> Tuple[int, str]:
@@ -362,6 +434,13 @@ class FaultCampaign:
         self._kernel: Optional[Kernel] = None
         self._checkpoint: Optional[Checkpoint] = None
         self._golden: Optional[GoldenRun] = None
+        # Lazy lookup maps for the fast-trigger path (built per process
+        # from the golden run on first use).
+        self._pc_visit_map: Optional[Dict[int, Tuple[int, ...]]] = None
+        self._pc_count_map: Optional[Dict[int, int]] = None
+        #: Intermediate golden-run states for prefix fast-forward (empty
+        #: when epochs are disabled or inapplicable; see _epochs_enabled).
+        self._epoch_list: List[_Epoch] = []
 
     # ------------------------------------------------------------------
     # machine lifecycle
@@ -395,10 +474,16 @@ class FaultCampaign:
         self, sim: Simulator, kernel: Kernel
     ) -> GoldenRun:
         pc_counts: Dict[int, int] = {}
+        pc_visits: Dict[int, List[int]] = {}
         syscall_counts: Dict[int, int] = {}
 
         def count_pc(event: InstructionRetired) -> None:
             pc_counts[event.pc] = pc_counts.get(event.pc, 0) + 1
+            visits = pc_visits.get(event.pc)
+            if visits is None:
+                pc_visits[event.pc] = [event.index]
+            elif len(visits) < _PC_VISIT_DEPTH:
+                visits.append(event.index)
 
         def count_syscall(event: SyscallEnter) -> None:
             syscall_counts[event.number] = (
@@ -412,7 +497,10 @@ class FaultCampaign:
             max_seconds=self.config.max_seconds,
         )
         try:
-            exit_status = self._run_engine(sim)
+            if self._epochs_enabled():
+                exit_status = self._golden_run_with_epochs(sim, kernel)
+            else:
+                exit_status = self._run_engine(sim)
         except Exception as exc:
             raise ValueError(
                 f"workload {self.workload.name!r} golden run must exit "
@@ -439,7 +527,180 @@ class FaultCampaign:
             data_pages=data_pages,
             pc_counts=tuple(sorted(pc_counts.items())),
             syscall_counts=tuple(sorted(syscall_counts.items())),
+            pc_visit_indices=tuple(
+                sorted((pc, tuple(v)) for pc, v in pc_visits.items())
+            ),
         )
+
+    # ------------------------------------------------------------------
+    # the epoch ladder (golden-prefix fast-forward for fast triggers)
+    # ------------------------------------------------------------------
+
+    def _epochs_enabled(self) -> bool:
+        """May this campaign build and use the epoch ladder?
+
+        The ladder fast-forwards trials *past* the deterministic golden
+        prefix, so it needs both delta-restore plumbing (the deltas are
+        keyed by the checkpoint's live dirty sets) and the fast-trigger
+        path (legacy event injectors count occurrences from run start).
+        Label mode is excluded: an epoch would also have to carry a
+        label-table segment to replay; those campaigns keep the plain
+        fast-trigger path, whose digests are pinned identical anyway.
+        """
+        config = self.config
+        return (
+            config.fast_triggers
+            and config.delta_restore
+            and config.reuse_snapshots
+            and config.engine == "functional"
+            and not config.taint_labels
+        )
+
+    def _golden_run_with_epochs(self, sim: Simulator, kernel: Kernel) -> int:
+        """Run the golden workload, pausing at stride boundaries to
+        capture intermediate states (no instruction executes twice).
+
+        The ladder is geometrically thinned: when it reaches twice the
+        target depth, every other epoch is dropped and the stride
+        doubles, bounding the ladder at ``2 * _EPOCH_MAX`` entries for a
+        golden run of any length.  Capture stops (the run continues
+        plain) once the frozen-page byte budget is spent.
+        """
+        stride = _EPOCH_STRIDE
+        epochs: List[_Epoch] = []
+        spent = 0
+        while True:
+            try:
+                exit_status = sim.run(max_instructions=stride)
+                break
+            except ExecutionLimit as exc:
+                limit = sim.instruction_limit
+                if exc.reason != "instructions" or (
+                    limit is not None and sim.stats.instructions >= limit
+                ):
+                    raise  # a genuine watchdog trip, not a stride pause
+                epoch = self._capture_epoch(sim, kernel)
+                if epoch is None or spent + epoch.nbytes > _EPOCH_BYTE_BUDGET:
+                    stride = _GOLDEN_BUDGET
+                    continue
+                epochs.append(epoch)
+                spent += epoch.nbytes
+                if len(epochs) >= 2 * _EPOCH_MAX:
+                    epochs = epochs[1::2]
+                    stride *= 2
+        self._epoch_list = epochs
+        return exit_status
+
+    def _capture_epoch(self, sim: Simulator, kernel: Kernel) -> Optional[_Epoch]:
+        """Freeze the current mid-golden state as a delta against the
+        pre-run checkpoint (None when no delta capture is active)."""
+        cow = sim.memory._cow
+        if cow is None:
+            return None
+        pages = sim.memory._pages
+        taints = sim.memory._taint_pages
+        data_delta: Dict[int, bytes] = {}
+        for base in cow.data_dirty | cow.fresh:
+            page = pages.get(base)
+            if page is not None:
+                data_delta[base] = bytes(page)
+        shadow_delta: Dict[int, bytes] = {}
+        for base in cow.shadow_dirty:
+            taint = taints.get(base)
+            if taint is not None:
+                shadow_delta[base] = bytes(taint)
+        nbytes = sum(map(len, data_delta.values()))
+        nbytes += sum(map(len, shadow_delta.values()))
+        return _Epoch(
+            instructions=sim.stats.instructions,
+            pc=sim.pc,
+            regs=sim.regs.snapshot(),
+            reg_taints=tuple(sim.plane.reg_taints),
+            caches=sim.caches.snapshot() if sim.caches is not None else None,
+            stats=sim.stats.clone(),
+            recent_pcs=tuple(sim.recent_pcs),
+            alerts=tuple(sim.detector.alerts),
+            watchpoints=tuple(sim.watchpoints),
+            data_delta=data_delta,
+            shadow_delta=shadow_delta,
+            tainted_pages=frozenset(sim.plane.tainted_pages),
+            tainted_bytes_written=sim.memory.tainted_bytes_written,
+            kernel=kernel.snapshot(),
+            nbytes=nbytes,
+        )
+
+    def _apply_epoch(self, sim: Simulator, kernel: Kernel, epoch: _Epoch) -> None:
+        """Fast-forward a freshly rolled-back machine to an epoch.
+
+        Every page written here is marked dirty (or fresh) in the active
+        delta capture exactly as a trial's own writes would be, so the
+        next rollback reverts the fast-forward along with the trial.
+        Sound by determinism: the state installed is byte-identical to
+        what re-executing the golden prefix would produce.
+        """
+        memory = sim.memory
+        plane = sim.plane
+        cow = memory._cow
+        pages = memory._pages
+        taints = memory._taint_pages
+        for base, content in epoch.data_delta.items():
+            page = pages.get(base)
+            if page is None:
+                pages[base] = bytearray(content)
+                taints[base] = bytearray(PAGE_SIZE)
+                if cow is not None:
+                    cow.fresh.add(base)
+                continue
+            if cow is not None and base not in cow.data_dirty:
+                cow.data_dirty.add(base)
+                if base not in cow.fresh:
+                    cow.data_baseline[base] = bytes(page)
+            page[:] = content
+        for base, content in epoch.shadow_delta.items():
+            taint = taints.get(base)
+            if taint is None:
+                continue
+            if cow is not None and base not in cow.shadow_dirty:
+                cow.shadow_dirty.add(base)
+                if base not in cow.fresh:
+                    cow.shadow_baseline[base] = bytes(taint)
+            taint[:] = content
+        tainted = plane.tainted_pages
+        tainted.clear()
+        tainted.update(epoch.tainted_pages)
+        plane.reg_taints[:] = epoch.reg_taints
+        memory.tainted_bytes_written = epoch.tainted_bytes_written
+        sim.pc = epoch.pc
+        sim.halted = False
+        sim.exit_status = None
+        sim.regs.restore(epoch.regs)
+        if sim.caches is not None and epoch.caches is not None:
+            sim.caches.restore(epoch.caches)
+        sim.stats.restore(epoch.stats)
+        sim.recent_pcs.clear()
+        sim.recent_pcs.extend(epoch.recent_pcs)
+        sim.detector.alerts[:] = epoch.alerts
+        sim.watchpoints.restore(epoch.watchpoints)
+        kernel.restore(epoch.kernel)
+
+    def _restore_to_fire_point(
+        self,
+        sim: Simulator,
+        kernel: Kernel,
+        checkpoint: Checkpoint,
+        fire_at: int,
+    ) -> None:
+        """Roll back and fast-forward to the deepest epoch at or below
+        ``fire_at`` (plain rollback when no epoch qualifies)."""
+        best: Optional[_Epoch] = None
+        for epoch in self._epoch_list:
+            if epoch.instructions <= fire_at:
+                best = epoch
+            else:
+                break
+        checkpoint.restore(sim, kernel)
+        if best is not None:
+            self._apply_epoch(sim, kernel, best)
 
     # ------------------------------------------------------------------
     # phase 2: the seeded plan
@@ -519,6 +780,42 @@ class FaultCampaign:
     def _trial_budget(self, golden: GoldenRun) -> int:
         return int(self.config.instruction_slack * golden.instructions) + 10_000
 
+    def _fire_index(
+        self, golden: GoldenRun, trigger: Trigger
+    ) -> Optional[int]:
+        """Resolve an insn/pc trigger to its exact retirement index.
+
+        Sound because the pre-fire prefix of a trial is deterministic and
+        identical to the golden run (same checkpoint, fault not yet
+        applied), so the N-th visit of a PC retires at the same index it
+        did in the golden run.  Returns:
+
+        * the 1-based retirement index the fault fires *after*;
+        * ``golden.instructions + 1`` when the trigger never fires in the
+          golden prefix (pc absent, or occurrence beyond its golden
+          count) -- the trial then runs to a clean halt uninjected,
+          exactly like a never-firing legacy injector;
+        * ``None`` when the occurrence is beyond the recorded visit depth
+          but within the golden count (explicit schedules only) -- the
+          caller falls back to the legacy event injector.
+        """
+        if trigger.kind == "insn":
+            return trigger.value
+        visits = self._pc_visit_map
+        if visits is None:
+            visits = dict(golden.pc_visit_indices)
+            self._pc_visit_map = visits
+            self._pc_count_map = dict(golden.pc_counts)
+        indices = visits.get(trigger.value)
+        occurrence = trigger.occurrence
+        if indices is None or occurrence > self._pc_count_map.get(
+            trigger.value, 0
+        ):
+            return golden.instructions + 1
+        if occurrence <= len(indices):
+            return indices[occurrence - 1]
+        return None
+
     def _run_trial(
         self,
         sim: Simulator,
@@ -526,45 +823,120 @@ class FaultCampaign:
         golden: GoldenRun,
         trigger: Trigger,
         spec: FaultSpec,
+        checkpoint: Optional[Checkpoint] = None,
     ) -> Tuple[str, str, bool]:
-        """One faulted execution; returns (outcome, detail, injected)."""
+        """One faulted execution; returns (outcome, detail, injected).
+
+        When ``checkpoint`` is given the trial performs its own rollback,
+        which lets it fast-forward through the epoch ladder instead of
+        re-executing the golden prefix; ``None`` means the caller already
+        put the machine in the pre-run state (fresh-rebuild benchmarking).
+        """
         injector: Optional[FaultInjector] = None
+        fire_at: Optional[int] = None
+        fast_fired = False
+        if (
+            trigger.kind != "syscall"
+            and self.config.fast_triggers
+            and self.config.engine == "functional"
+            and not sim.events.subscribers(InstructionRetired)
+            and not sim.events.subscribers(FaultInjected)
+        ):
+            fire_at = self._fire_index(golden, trigger)
+        if checkpoint is not None:
+            # Epoch fast-forward is only sound when the prefix skip is
+            # unobservable: exact fire index known, the ladder belongs to
+            # this machine's checkpoint, and nobody is subscribed to the
+            # events the skipped prefix would emit.  Syscall triggers
+            # (occurrence counting starts at run start) resolve no
+            # fire_at and therefore always roll back to the base.
+            if (
+                fire_at is not None
+                and self._epoch_list
+                and checkpoint is self._checkpoint
+                and not sim.events.subscribers(SyscallEnter)
+                and not sim.events.subscribers(SyscallExit)
+                and not sim.events.subscribers(TaintPropagated)
+            ):
+                self._restore_to_fire_point(sim, kernel, checkpoint, fire_at)
+            else:
+                checkpoint.restore(sim, kernel)
         if trigger.kind == "syscall":
             kernel.syscall_fault = SyscallFault(
                 mode=SYSCALL_FAULT_MODES[spec.kind],
                 number=trigger.value,
                 occurrence=trigger.occurrence,
             )
-        else:
+        elif fire_at is None:
             injector = FaultInjector(sim, trigger, spec)
+
+        def injected_flag() -> bool:
+            if fire_at is not None:
+                return fast_fired
+            return self._fired(injector, kernel)
+
+        # Relative budget: after an epoch fast-forward the machine already
+        # stands at ``stats.instructions > 0``, and the watchdog must trip
+        # at the same *absolute* retirement index a from-scratch replay
+        # would (timeout classification stays deterministic either way).
         sim.arm_watchdog(
-            max_instructions=self._trial_budget(golden),
+            max_instructions=self._trial_budget(golden)
+            - sim.stats.instructions,
             max_seconds=self.config.max_seconds,
         )
         try:
-            exit_status = self._run_engine(sim)
+            if fire_at is not None:
+                # Fast-trigger path: run the deterministic pre-fire prefix
+                # as one fused burst (no retirement subscriber, so the
+                # superblock tier stays engaged), pause exactly after the
+                # fire_at-th retirement, apply the same state mutation the
+                # event injector would, and resume under the still-armed
+                # watchdog.  A clean halt before fire_at means the trigger
+                # never fires (matches a never-firing legacy injector); a
+                # halt exactly *at* fire_at still takes the fault, like
+                # the retirement event of a halting instruction does.
+                paused = False
+                try:
+                    # fire_at is an absolute retirement index; trials
+                    # start from the pre-run checkpoint (instructions=0),
+                    # but stay relative for robustness.
+                    exit_status = sim.run(
+                        max_instructions=fire_at - sim.stats.instructions
+                    )
+                except ExecutionLimit as exc:
+                    if (
+                        exc.reason != "instructions"
+                        or sim.stats.instructions != fire_at
+                    ):
+                        raise
+                    paused = True
+                if sim.stats.instructions >= fire_at:
+                    apply_state_fault(spec, sim)
+                    fast_fired = True
+                if paused:
+                    exit_status = self._run_engine(sim)
+            else:
+                exit_status = self._run_engine(sim)
         except SecurityException as exc:
-            return OUTCOME_DETECTED, f"alert: {exc.alert}", self._fired(
-                injector, kernel
-            )
+            return OUTCOME_DETECTED, f"alert: {exc.alert}", injected_flag()
         except (SimulatorFault, MemoryFault) as exc:
             return (
                 OUTCOME_CRASH,
                 f"{type(exc).__name__}: {exc}",
-                self._fired(injector, kernel),
+                injected_flag(),
             )
         except ExecutionLimit as exc:
             return (
                 OUTCOME_TIMEOUT,
                 f"watchdog[{exc.reason}] after {exc.instructions} "
                 f"instructions",
-                self._fired(injector, kernel),
+                injected_flag(),
             )
         finally:
             sim.disarm_watchdog()
             if injector is not None:
                 injector.detach()
-        injected = self._fired(injector, kernel)
+        injected = injected_flag()
         observable = (exit_status, kernel.process.stdout_text)
         if observable == golden.observable:
             return OUTCOME_MASKED, "output identical to golden", injected
@@ -645,7 +1017,9 @@ class FaultCampaign:
         if self._golden is not None:
             return
         self._sim, self._kernel = self._make_machine()
-        self._checkpoint = Checkpoint(self._sim, self._kernel)
+        self._checkpoint = Checkpoint(
+            self._sim, self._kernel, cow=self.config.delta_restore
+        )
         self._golden = self._golden_run(self._sim, self._kernel)
 
     @property
@@ -673,9 +1047,9 @@ class FaultCampaign:
         process in any order."""
         self.prepare()
         sim, kernel = self._sim, self._kernel
-        self._checkpoint.restore(sim, kernel)
         outcome, detail, injected = self._run_trial(
-            sim, kernel, self._golden, trigger, spec
+            sim, kernel, self._golden, trigger, spec,
+            checkpoint=self._checkpoint,
         )
         instructions = sim.stats.instructions
         detail, recovered = self._recover(
@@ -739,15 +1113,21 @@ class FaultCampaign:
         start = time.perf_counter()
         for index, (trigger, spec) in enumerate(plan):
             if self.config.reuse_snapshots:
-                checkpoint.restore(sim, kernel)
+                trial_checkpoint = checkpoint
             else:
                 # Benchmark mode: pay the full rebuild (re-decode, re-bind,
-                # fresh kernel) every trial instead of one rollback.
+                # fresh kernel) every trial instead of one rollback.  The
+                # fresh machine already stands at the pre-run state, so
+                # the trial performs no rollback of its own.
                 sim, kernel = self._make_machine()
-                checkpoint = Checkpoint(sim, kernel)
+                checkpoint = Checkpoint(
+                    sim, kernel, cow=self.config.delta_restore
+                )
                 trial_subs = sim.events.subscribers(TrialCompleted)
+                trial_checkpoint = None
             outcome, detail, injected = self._run_trial(
-                sim, kernel, golden, trigger, spec
+                sim, kernel, golden, trigger, spec,
+                checkpoint=trial_checkpoint,
             )
             instructions = sim.stats.instructions
             detail, recovered = self._recover(

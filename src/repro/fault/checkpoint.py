@@ -1,12 +1,23 @@
 """Whole-trial checkpointing: machine + kernel + campaign RNG.
 
 A :class:`Checkpoint` bundles the three state domains a fault trial can
-touch -- the architectural machine state
-(:meth:`~repro.cpu.machine.MachineState.snapshot`), the OS-side process
-state (:meth:`~repro.kernel.syscalls.Kernel.snapshot`), and optionally a
+touch -- the architectural machine state, the OS-side process state
+(:meth:`~repro.kernel.syscalls.Kernel.snapshot`), and optionally a
 ``random.Random`` stream -- so a campaign captures *one* pre-run
 checkpoint and rolls all of it back before every trial.  Restores are
 reusable: the same checkpoint restores any number of times.
+
+By default the machine is captured as a *delta* checkpoint
+(:meth:`~repro.cpu.machine.MachineState.snapshot_cow`): page-sized state
+is tracked copy-on-write and restore rewrites only the pages a trial
+dirtied, which is what makes rollback cost proportional to the trial's
+footprint instead of the mapped address space.  ``cow=False`` captures
+the legacy eager full copy.  A delta checkpoint that gets *displaced*
+(a newer checkpoint is captured on the same machine, or a legacy
+full-copy restore runs) is completed into a full snapshot at
+displacement time and keeps restoring correctly through the legacy
+path -- older checkpoints never go stale, they just lose the delta
+speedup (see :mod:`repro.mem.cow`).
 
 Shadow-taint state is *not* captured here separately: the machine
 snapshot serializes the whole :class:`~repro.taint.plane.TaintPlane`
@@ -25,6 +36,8 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..cpu.machine import MachineCowSnapshot
+
 __all__ = ["Checkpoint"]
 
 
@@ -38,19 +51,24 @@ class Checkpoint:
             (omit for bare-metal machines with no syscall handler).
         rng: a ``random.Random`` whose stream position should roll back
             together with the machine.
+        cow: capture the machine as a delta (copy-on-write) checkpoint;
+            ``False`` forces the legacy eager full copy.
     """
 
     __slots__ = ("machine", "kernel", "rng_state")
 
-    def __init__(self, sim, kernel=None, rng=None) -> None:
-        self.machine = sim.snapshot()
+    def __init__(self, sim, kernel=None, rng=None, cow: bool = True) -> None:
+        self.machine = sim.snapshot_cow() if cow else sim.snapshot()
         self.kernel = kernel.snapshot() if kernel is not None else None
         self.rng_state = rng.getstate() if rng is not None else None
 
     def restore(self, sim, kernel=None, rng=None) -> None:
         """Roll every captured domain back (in place; see the machine and
         kernel ``restore`` docstrings for the identity guarantees)."""
-        sim.restore(self.machine)
+        if isinstance(self.machine, MachineCowSnapshot):
+            sim.restore_cow(self.machine)
+        else:
+            sim.restore(self.machine)
         if kernel is not None:
             if self.kernel is None:
                 raise ValueError("checkpoint captured no kernel state")

@@ -1,0 +1,169 @@
+"""Copy-on-write capture state shared by memory, taint plane, and labels.
+
+A :class:`CowCapture` is the mutable heart of a delta checkpoint
+(:meth:`~repro.cpu.machine.MachineState.snapshot_cow`).  Instead of
+copying every materialized page at capture time, the capture starts
+*empty* and the memory hot paths fill it lazily:
+
+* the first mutation of a page after capture copies that page's
+  pre-mutation content into the baseline as an immutable ``bytes``
+  object (copy-on-write) and records the page in the dirty set;
+* pages materialized after capture land in :attr:`fresh` and are simply
+  dropped on restore;
+* everything page-sized that did *not* change is never copied at all.
+
+Restore is then O(dirty + fresh): rewrite the dirty pages from their
+baselines, drop the fresh ones, and reinstall the eagerly captured
+summaries (clean-page set, register taints, label sidecar, label-table
+high-water marks).  The baseline ``bytes`` objects are shared by
+reference across any number of restores -- nobody ever mutates them, the
+restore path only copies *out* of them into the live ``bytearray`` pages.
+
+Ownership rules (also documented in DESIGN.md section 4c):
+
+* exactly one capture is *active* per :class:`TaintedMemory` at a time
+  (``memory._cow``); the memory/plane mutation paths feed only the
+  active capture;
+* displacing a capture -- a second ``snapshot_cow()``, or any legacy
+  full-copy ``restore()`` -- first *completes* it: every page it has not
+  yet COW'd still holds its capture-time content (nothing dirtied it),
+  so completion snapshots the remainder and the capture degrades to an
+  ordinary full snapshot that restores through the legacy path forever;
+* a completed capture's label-table state is rebuilt by truncating the
+  live append-only table at the captured high-water marks.  Memoization
+  caches rebuilt this way may contain entries that were only *observed*
+  after capture; they cache a pure function, so semantics are identical.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Set, Tuple
+
+__all__ = ["CowCapture"]
+
+_PAGE_SHIFT = 12  # PAGE_SIZE == 4096 (repro.mem.layout)
+_PAGE_MASK = (1 << _PAGE_SHIFT) - 1
+
+
+class CowCapture:
+    """Delta-checkpoint state for one (memory, plane) pair.
+
+    The lazily filled parts (:attr:`data_baseline`,
+    :attr:`shadow_baseline`, the dirty/fresh sets) are written by the
+    :class:`~repro.mem.tainted_memory.TaintedMemory` hot paths; the
+    eager parts (clean-page summary, register taints, label sidecar
+    baseline, label-table high-water marks) are filled once at capture
+    by :meth:`~repro.taint.plane.TaintPlane.begin_cow`.
+    """
+
+    __slots__ = (
+        "data_baseline",
+        "shadow_baseline",
+        "data_dirty",
+        "shadow_dirty",
+        "fresh",
+        "label_dirty",
+        "tainted_bytes_written",
+        "tainted_summary",
+        "reg_taints",
+        "labels_by_page",
+        "reg_labels",
+        "hilo_label",
+        "labels_hwm",
+        "sets_hwm",
+        "full_memory",
+        "full_taint",
+    )
+
+    def __init__(self) -> None:
+        #: page base -> immutable capture-time content, COW-filled on the
+        #: first post-capture mutation of that page.
+        self.data_baseline: Dict[int, bytes] = {}
+        self.shadow_baseline: Dict[int, bytes] = {}
+        #: page bases mutated since capture (data / shadow planes).
+        self.data_dirty: Set[int] = set()
+        self.shadow_dirty: Set[int] = set()
+        #: page bases materialized since capture (dropped on restore).
+        self.fresh: Set[int] = set()
+        #: page bases whose label sidecar entries changed since capture
+        #: (label mode only; tracked by the plane's label mutators).
+        self.label_dirty: Set[int] = set()
+        self.tainted_bytes_written: int = 0
+        #: exact clean-page summary as of capture (see TaintPlane).
+        self.tainted_summary: FrozenSet[int] = frozenset()
+        self.reg_taints: Tuple[int, ...] = ()
+        #: label mode only: capture-time ``mem_labels`` grouped by page
+        #: base as ``{base: ((addr, sid), ...)}`` so restore can rewrite
+        #: exactly the dirtied pages' entries.
+        self.labels_by_page: Optional[Dict[int, Tuple[Tuple[int, int], ...]]] = None
+        self.reg_labels: Tuple[int, ...] = ()
+        self.hilo_label: int = 0
+        #: label-table high-water marks: entries past these are post-
+        #: capture allocations, truncated away on restore.
+        self.labels_hwm: int = 0
+        self.sets_hwm: int = 0
+        #: filled by :meth:`complete` when the capture is displaced:
+        #: legacy-shape full snapshots for the memory and taint domains.
+        self.full_memory: Optional[Tuple[Dict[int, bytes], int]] = None
+        self.full_taint: Optional[Tuple] = None
+
+    @property
+    def completed(self) -> bool:
+        return self.full_memory is not None
+
+    def clear_dirty(self) -> None:
+        """Reset the delta-tracking sets after an in-place delta restore
+        (the machine is back at capture state, so nothing is dirty)."""
+        self.data_dirty.clear()
+        self.shadow_dirty.clear()
+        self.fresh.clear()
+        self.label_dirty.clear()
+
+    # ------------------------------------------------------------------
+    # completion: degrade to a full snapshot when displaced
+    # ------------------------------------------------------------------
+
+    def complete(self, memory, plane) -> None:
+        """Snapshot everything not yet COW'd (idempotent).
+
+        Valid whenever this capture is still the active one: a page
+        absent from the baseline was never dirtied, so its *current*
+        content equals its capture-time content.  After completion the
+        capture restores through the legacy full-copy path.
+        """
+        if self.full_memory is not None:
+            return
+        fresh = self.fresh
+        data: Dict[int, bytes] = {}
+        for base, page in memory._pages.items():
+            if base in fresh:
+                continue
+            frozen = self.data_baseline.get(base)
+            data[base] = _freeze(page) if frozen is None else frozen
+        shadow: Dict[int, bytes] = {}
+        for base, page in plane.mem_taint.items():
+            if base in fresh:
+                continue
+            frozen = self.shadow_baseline.get(base)
+            shadow[base] = _freeze(page) if frozen is None else frozen
+        if plane.table is None:
+            label_state = None
+        else:
+            mem_labels: Dict[int, int] = {}
+            for entries in (self.labels_by_page or {}).values():
+                for addr, sid in entries:
+                    mem_labels[addr] = sid
+            label_state = (
+                mem_labels,
+                self.reg_labels,
+                self.hilo_label,
+                plane.table.truncated_snapshot(self.labels_hwm, self.sets_hwm),
+            )
+        self.full_memory = (data, self.tainted_bytes_written)
+        self.full_taint = (plane.mode, shadow, self.reg_taints, label_state)
+
+
+def _freeze(page: bytearray) -> bytes:
+    # bytes(page) of an all-zero page is still a fresh 4 KiB object; a
+    # completed capture is cold-path, so no interning is attempted.
+    return bytes(page)

@@ -13,6 +13,15 @@ The shadow taint pages are *owned* by a :class:`repro.taint.plane.TaintPlane`
 (``self._taint_pages is plane.mem_taint``); this object manages page
 allocation and the per-access fast paths, while the plane is the single
 snapshot/restore point for all shadow state.
+
+Delta checkpointing: when a :class:`~repro.mem.cow.CowCapture` is active
+(``self._cow``), every mutation path copy-on-writes the page's baseline
+into the capture on its first post-capture write and records it in the
+capture's dirty set, and every page-allocation path records fresh pages.
+With no active capture (``_cow is None``) the hot paths pay one ``None``
+check.  The public :meth:`snapshot`/:meth:`restore` tuple API is
+unchanged -- it is the *full-copy* serialization the delta machinery
+degrades to when a capture is displaced (see :mod:`repro.mem.cow`).
 """
 
 from __future__ import annotations
@@ -21,6 +30,7 @@ from typing import Dict, Optional, Tuple, Union
 
 from ..taint.bits import TaintVector
 from ..taint.plane import TaintPlane
+from .cow import CowCapture
 from .layout import PAGE_SIZE
 
 _PAGE_MASK = PAGE_SIZE - 1
@@ -50,6 +60,11 @@ class TaintedMemory:
         self._tainted_pages = plane.tainted_pages
         #: Running count of tainted-byte writes, for statistics.
         self.tainted_bytes_written = 0
+        #: Active delta capture (None = no tracking; see module docstring).
+        self._cow: Optional[CowCapture] = None
+        # Back-reference so a direct ``plane.restore(tuple)`` can displace
+        # the active capture before it rewrites shadow pages wholesale.
+        plane._host = self
 
     # ------------------------------------------------------------------
     # page management
@@ -62,6 +77,8 @@ class TaintedMemory:
             page = bytearray(PAGE_SIZE)
             self._pages[base] = page
             self._taint_pages[base] = bytearray(PAGE_SIZE)
+            if self._cow is not None:
+                self._cow.fresh.add(base)
         return page, self._taint_pages[base], addr & _PAGE_MASK
 
     def mapped_pages(self) -> int:
@@ -72,6 +89,54 @@ class TaintedMemory:
         """Base addresses of materialized pages, ascending (fault-target
         sampling and snapshot digests need a deterministic order)."""
         return tuple(sorted(self._pages))
+
+    # ------------------------------------------------------------------
+    # delta capture lifecycle (driven by MachineState.snapshot_cow)
+    # ------------------------------------------------------------------
+
+    def begin_cow(self) -> CowCapture:
+        """Start a new delta capture (displacing -- and completing -- any
+        active one) and return it for the plane to finish filling."""
+        if self._cow is not None:
+            self.release_cow()
+        cow = CowCapture()
+        cow.tainted_bytes_written = self.tainted_bytes_written
+        self._cow = cow
+        return cow
+
+    def release_cow(self) -> Optional[CowCapture]:
+        """Displace the active capture: complete it into a full snapshot
+        (see :meth:`CowCapture.complete`) and detach it from the hot
+        paths.  Returns the completed capture (None if none was active)."""
+        cow = self._cow
+        if cow is None:
+            return None
+        cow.complete(self, self.plane)
+        self._cow = None
+        self.plane._cow = None
+        return cow
+
+    def restore_cow(self, cow: CowCapture) -> None:
+        """Delta-restore the data plane: drop pages materialized since
+        capture (from *both* page dicts -- they share one key set) and
+        rewrite only the dirtied data pages from their baselines.  The
+        shadow plane is restored by :meth:`TaintPlane.restore_cow`."""
+        pages = self._pages
+        taints = self._taint_pages
+        if cow.fresh:
+            for base in cow.fresh:
+                pages.pop(base, None)
+                taints.pop(base, None)
+        baseline = cow.data_baseline
+        for base in cow.data_dirty:
+            page = pages.get(base)
+            if page is not None:
+                page[:] = baseline[base]
+        self.tainted_bytes_written = cow.tainted_bytes_written
+
+    # ------------------------------------------------------------------
+    # full-copy snapshot / restore (the compatibility serialization)
+    # ------------------------------------------------------------------
 
     def snapshot(self) -> Tuple[Dict[int, bytes], int]:
         """Copy-out of all materialized data pages and the tainted-write
@@ -96,7 +161,14 @@ class TaintedMemory:
         (``plane.restore()``); this method only keeps the taint-page key
         set aligned with the data pages so ``_page()``'s invariant (both
         dicts share one key set) survives either restore order.
+
+        A full-copy restore rewrites pages wholesale, which invalidates
+        any active delta capture's dirty tracking -- the capture is
+        completed and displaced first (it keeps working, as a full
+        snapshot).
         """
+        if self._cow is not None:
+            self.release_cow()
         pages, tainted_bytes_written = snapshot
         self._pages.clear()
         for base, data in pages.items():
@@ -122,6 +194,8 @@ class TaintedMemory:
             page = bytearray(PAGE_SIZE)
             self._pages[base] = page
             self._taint_pages[base] = bytearray(PAGE_SIZE)
+            if self._cow is not None:
+                self._cow.fresh.add(base)
         offset = addr & _PAGE_MASK
         if offset + size <= PAGE_SIZE:
             value = int.from_bytes(page[offset : offset + size], "little")
@@ -156,20 +230,36 @@ class TaintedMemory:
             page = bytearray(PAGE_SIZE)
             self._pages[base] = page
             self._taint_pages[base] = bytearray(PAGE_SIZE)
+            if self._cow is not None:
+                self._cow.fresh.add(base)
         offset = addr & _PAGE_MASK
         if offset + size <= PAGE_SIZE:
+            cow = self._cow
+            if cow is not None and base not in cow.data_dirty:
+                cow.data_dirty.add(base)
+                if base not in cow.fresh:
+                    cow.data_baseline[base] = bytes(page)
             value &= (1 << (8 * size)) - 1
             page[offset : offset + size] = value.to_bytes(size, "little")
             if taint_mask:
-                self._tainted_pages.add(base)
                 taint = self._taint_pages[base]
+                if cow is not None and base not in cow.shadow_dirty:
+                    cow.shadow_dirty.add(base)
+                    if base not in cow.fresh:
+                        cow.shadow_baseline[base] = bytes(taint)
+                self._tainted_pages.add(base)
                 for i in range(size):
                     bit = 1 if taint_mask >> i & 1 else 0
                     taint[offset + i] = bit
                     if bit:
                         self.tainted_bytes_written += 1
             elif base in self._tainted_pages:
-                self._taint_pages[base][offset : offset + size] = bytes(size)
+                taint = self._taint_pages[base]
+                if cow is not None and base not in cow.shadow_dirty:
+                    cow.shadow_dirty.add(base)
+                    if base not in cow.fresh:
+                        cow.shadow_baseline[base] = bytes(taint)
+                taint[offset : offset + size] = bytes(size)
             # Clean write to a clean page: shadow bytes are already zero.
             return
         for i in range(size):
@@ -182,11 +272,24 @@ class TaintedMemory:
     def _write_byte(self, addr: int, value: int, tainted: bool) -> None:
         addr &= 0xFFFFFFFF
         page, taint, offset = self._page(addr)
+        base = addr & ~_PAGE_MASK
+        cow = self._cow
+        if cow is not None and base not in cow.data_dirty:
+            cow.data_dirty.add(base)
+            if base not in cow.fresh:
+                cow.data_baseline[base] = bytes(page)
         page[offset] = value & 0xFF
-        taint[offset] = 1 if tainted else 0
+        if tainted or base in self._tainted_pages:
+            # A clean-byte write to a clean page leaves the (all-zero)
+            # shadow byte untouched, so only this branch mutates shadow.
+            if cow is not None and base not in cow.shadow_dirty:
+                cow.shadow_dirty.add(base)
+                if base not in cow.fresh:
+                    cow.shadow_baseline[base] = bytes(taint)
+            taint[offset] = 1 if tainted else 0
         if tainted:
             self.tainted_bytes_written += 1
-            self._tainted_pages.add(addr & ~_PAGE_MASK)
+            self._tainted_pages.add(base)
 
     # ------------------------------------------------------------------
     # bulk accesses (loader, system calls, tests)
@@ -206,11 +309,31 @@ class TaintedMemory:
         return bytes(out)
 
     def read_taint(self, addr: int, length: int) -> TaintVector:
-        """Read the shadow taint of a byte span."""
+        """Read the shadow taint of a byte span.
+
+        Page-chunked: clean pages (per the summary set) contribute no
+        bits without being scanned, and tainted pages are scanned with
+        ``bytearray.find`` -- O(set bits) at C speed -- instead of one
+        ``_read_byte`` per byte.
+        """
         mask = 0
-        for i in range(length):
-            if self._read_byte(addr + i)[1]:
-                mask |= 1 << i
+        produced = 0
+        cursor = addr
+        remaining = length
+        tainted_pages = self._tainted_pages
+        while remaining > 0:
+            a = cursor & 0xFFFFFFFF
+            _, taint, offset = self._page(a)
+            chunk = min(remaining, PAGE_SIZE - offset)
+            if (a & ~_PAGE_MASK) in tainted_pages:
+                end = offset + chunk
+                idx = taint.find(1, offset, end)
+                while idx >= 0:
+                    mask |= 1 << (produced + idx - offset)
+                    idx = taint.find(1, idx + 1, end)
+            cursor += chunk
+            produced += chunk
+            remaining -= chunk
         return TaintVector(length, mask)
 
     def write_bytes(
@@ -223,8 +346,46 @@ class TaintedMemory:
         if isinstance(taint, TaintVector):
             if len(taint) != len(data):
                 raise MemoryFault("taint vector length mismatch")
-            for i, (byte, flag) in enumerate(zip(data, taint)):
-                self._write_byte(addr + i, byte, flag)
+            # Page-sliced like the uniform path below: the vector's mask
+            # is chunked per page, so a mixed-taint buffer costs one data
+            # slice assignment + one shadow slice per page instead of one
+            # ``_write_byte`` per byte.  Straddle semantics are identical
+            # (chunks split exactly at page boundaries).
+            vmask = taint.mask
+            cursor = addr
+            position = 0
+            remaining = len(data)
+            while remaining > 0:
+                a = cursor & 0xFFFFFFFF
+                base = a & ~_PAGE_MASK
+                page, taint_page, offset = self._page(a)
+                chunk = min(remaining, PAGE_SIZE - offset)
+                cow = self._cow
+                if cow is not None and base not in cow.data_dirty:
+                    cow.data_dirty.add(base)
+                    if base not in cow.fresh:
+                        cow.data_baseline[base] = bytes(page)
+                page[offset : offset + chunk] = data[position : position + chunk]
+                sub = (vmask >> position) & ((1 << chunk) - 1)
+                if sub:
+                    if cow is not None and base not in cow.shadow_dirty:
+                        cow.shadow_dirty.add(base)
+                        if base not in cow.fresh:
+                            cow.shadow_baseline[base] = bytes(taint_page)
+                    self._tainted_pages.add(base)
+                    taint_page[offset : offset + chunk] = bytes(
+                        sub >> i & 1 for i in range(chunk)
+                    )
+                    self.tainted_bytes_written += sub.bit_count()
+                elif base in self._tainted_pages:
+                    if cow is not None and base not in cow.shadow_dirty:
+                        cow.shadow_dirty.add(base)
+                        if base not in cow.fresh:
+                            cow.shadow_baseline[base] = bytes(taint_page)
+                    taint_page[offset : offset + chunk] = bytes(chunk)
+                cursor += chunk
+                position += chunk
+                remaining -= chunk
             return
         # Uniform taint: copy page-sized slices (fast path for loaders and
         # bulk kernel I/O).
@@ -236,11 +397,24 @@ class TaintedMemory:
             base = cursor & 0xFFFFFFFF & ~_PAGE_MASK
             page, taint_page, offset = self._page(cursor & 0xFFFFFFFF)
             chunk = min(remaining, PAGE_SIZE - offset)
+            cow = self._cow
+            if cow is not None and base not in cow.data_dirty:
+                cow.data_dirty.add(base)
+                if base not in cow.fresh:
+                    cow.data_baseline[base] = bytes(page)
             page[offset : offset + chunk] = data[position : position + chunk]
             if fill:
+                if cow is not None and base not in cow.shadow_dirty:
+                    cow.shadow_dirty.add(base)
+                    if base not in cow.fresh:
+                        cow.shadow_baseline[base] = bytes(taint_page)
                 self._tainted_pages.add(base)
                 taint_page[offset : offset + chunk] = b"\x01" * chunk
             elif base in self._tainted_pages:
+                if cow is not None and base not in cow.shadow_dirty:
+                    cow.shadow_dirty.add(base)
+                    if base not in cow.fresh:
+                        cow.shadow_baseline[base] = bytes(taint_page)
                 taint_page[offset : offset + chunk] = bytes(chunk)
             cursor += chunk
             position += chunk
@@ -249,25 +423,70 @@ class TaintedMemory:
             self.tainted_bytes_written += len(data)
 
     def read_cstring(self, addr: int, max_length: int = 4096) -> bytes:
-        """Read a NUL-terminated string (terminator excluded)."""
+        """Read a NUL-terminated string (terminator excluded).
+
+        Scans page-chunked with ``page.find(0, offset)`` instead of one
+        ``_page()`` lookup per byte; pages past the terminator are never
+        materialized (same as the byte-at-a-time implementation).
+        """
         out = bytearray()
-        for i in range(max_length):
-            byte = self._read_byte(addr + i)[0]
-            if byte == 0:
-                break
-            out.append(byte)
+        cursor = addr
+        remaining = max_length
+        while remaining > 0:
+            page, _, offset = self._page(cursor & 0xFFFFFFFF)
+            chunk = min(remaining, PAGE_SIZE - offset)
+            idx = page.find(0, offset, offset + chunk)
+            if idx >= 0:
+                out.extend(page[offset:idx])
+                return bytes(out)
+            out.extend(page[offset : offset + chunk])
+            cursor += chunk
+            remaining -= chunk
         return bytes(out)
 
     def set_taint(self, addr: int, length: int, tainted: bool) -> None:
-        """Force the taint of a byte span without touching the data."""
-        bit = 1 if tainted else 0
-        for i in range(length):
-            a = (addr + i) & 0xFFFFFFFF
+        """Force the taint of a byte span without touching the data.
+
+        Page-sliced: a taint set is one slice fill per page, a taint
+        clear is skipped entirely on pages the summary proves clean
+        (their shadow bytes are already zero).
+        """
+        cursor = addr
+        remaining = length
+        while remaining > 0:
+            a = cursor & 0xFFFFFFFF
+            base = a & ~_PAGE_MASK
             _, taint_page, offset = self._page(a)
-            taint_page[offset] = bit
-            if bit:
-                self._tainted_pages.add(a & ~_PAGE_MASK)
+            chunk = min(remaining, PAGE_SIZE - offset)
+            if tainted:
+                cow = self._cow
+                if cow is not None and base not in cow.shadow_dirty:
+                    cow.shadow_dirty.add(base)
+                    if base not in cow.fresh:
+                        cow.shadow_baseline[base] = bytes(taint_page)
+                taint_page[offset : offset + chunk] = b"\x01" * chunk
+                self._tainted_pages.add(base)
+            elif base in self._tainted_pages:
+                cow = self._cow
+                if cow is not None and base not in cow.shadow_dirty:
+                    cow.shadow_dirty.add(base)
+                    if base not in cow.fresh:
+                        cow.shadow_baseline[base] = bytes(taint_page)
+                taint_page[offset : offset + chunk] = bytes(chunk)
+            cursor += chunk
+            remaining -= chunk
 
     def count_tainted(self, addr: int, length: int) -> int:
-        """Number of tainted bytes in a span."""
-        return self.read_taint(addr, length).count()
+        """Number of tainted bytes in a span (page-chunked ``count``)."""
+        total = 0
+        cursor = addr
+        remaining = length
+        while remaining > 0:
+            a = cursor & 0xFFFFFFFF
+            _, taint, offset = self._page(a)
+            chunk = min(remaining, PAGE_SIZE - offset)
+            if (a & ~_PAGE_MASK) in self._tainted_pages:
+                total += taint.count(1, offset, offset + chunk)
+            cursor += chunk
+            remaining -= chunk
+        return total

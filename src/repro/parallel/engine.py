@@ -10,7 +10,14 @@ contiguous slices: each worker process obtains a campaign for the
 workload exactly once -- inheriting the parent's prepared machine when
 the pool forks, rebuilding it otherwise -- and then rollback-replays its
 chunk locally through :meth:`~repro.fault.campaign.FaultCampaign.run_trial`,
-reusing the existing :mod:`repro.fault.checkpoint` bundle.
+reusing the existing :mod:`repro.fault.checkpoint` bundle.  The bundle
+is a copy-on-write *delta* checkpoint by default: the fork inherits the
+parent's capture (baseline pages are immutable ``bytes``, shared
+OS-level until a worker dirties them), and every per-trial rollback in
+a worker rewrites only the pages its own trial touched.  Workers never
+share mutable capture state -- after the fork each process owns an
+independent copy of the dirty-tracking sets, so delta restores in one
+worker are invisible to every other.
 
 Determinism argument, in one paragraph: the plan is built in the parent
 from the seed and golden run only; every chunk is a contiguous slice of

@@ -26,7 +26,11 @@ Workers amortize machine construction across requests
 source digest and prepared fault campaigns -- built machine, pre-run
 checkpoint, golden baseline -- are cached by the same execution key the
 parallel engine uses, so repeat jobs for a scenario skip
-``build_machine`` entirely.  Determinism is untouched: a campaign's
+``build_machine`` entirely.  The cached checkpoint is the campaign's
+copy-on-write delta capture, so a repeat job's rollbacks stay
+O(pages the previous trial dirtied) for the whole life of the worker:
+reuse never degrades the capture, only a config change (a new execution
+key) builds a fresh machine and capture.  Determinism is untouched: a campaign's
 digest is a pure function of its plan and the checkpointed machine, so
 a served job's digest is byte-identical to the same ``Session`` call
 in-process (asserted in tests and CI).

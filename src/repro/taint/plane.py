@@ -89,6 +89,14 @@ class TaintPlane:
             self.mem_labels = {}
             self.reg_labels = [0] * 32
             self.hilo_label = 0
+        #: Active delta capture, shared with the owning TaintedMemory
+        #: (``memory._cow is plane._cow`` while a capture is live).  The
+        #: label mutators below feed its ``label_dirty`` page set.
+        self._cow = None
+        #: Back-reference to the owning TaintedMemory (set by its
+        #: constructor); lets a direct ``plane.restore()`` displace the
+        #: active capture.  None for standalone planes (unit tests).
+        self._host = None
 
     @property
     def label_mode(self) -> bool:
@@ -136,8 +144,11 @@ class TaintPlane:
         """
         sid = self.reg_labels[rt]
         labels = self.mem_labels
+        cow = self._cow
         for i in range(size):
             a = (addr + i) & _MASK32
+            if cow is not None:
+                cow.label_dirty.add(a & ~_PAGE_MASK)
             if taint_mask >> i & 1:
                 labels[a] = sid
             else:
@@ -190,10 +201,13 @@ class TaintPlane:
             return
         labels = self.mem_labels
         dirty = self.tainted_pages
+        cow = self._cow
         for i in range(length):
             a = (addr + i) & _MASK32
             labels[a] = sid
             dirty.add(a & ~_PAGE_MASK)
+            if cow is not None:
+                cow.label_dirty.add(a & ~_PAGE_MASK)
 
     def span_sid(self, addr: int, length: int, taint_mask: int) -> int:
         """Union sid over a memory span, gated by a caller-supplied mask.
@@ -238,6 +252,8 @@ class TaintPlane:
         machine.mem_write(addr, 1, value, new_taint)
         if self.table is not None:
             a = addr & _MASK32
+            if self._cow is not None:
+                self._cow.label_dirty.add(a & ~_PAGE_MASK)
             if new_taint:
                 label_id = self.table.new_label(
                     source_kind="fault-injection",
@@ -265,6 +281,73 @@ class TaintPlane:
                 )
                 self.reg_labels[number] = self.table.singleton(label_id)
         return taint, new_taint
+
+    # ------------------------------------------------------------------
+    # delta capture (driven by MachineState.snapshot_cow / restore_cow)
+    # ------------------------------------------------------------------
+
+    def begin_cow(self, cow) -> None:
+        """Fill the eager (plane-side) half of a delta capture.
+
+        The clean-page summary is made *exact* here (one ``any(page)``
+        scan per mapped page, paid once per capture instead of once per
+        restore): the live set is shrunk to the exact set, which is
+        semantically invisible -- the summary only promises that absent
+        pages are clean -- and the frozen copy is what every delta
+        restore reinstalls, matching the legacy restore's exact
+        recompute byte for byte.
+        """
+        summary = {base for base, page in self.mem_taint.items() if any(page)}
+        tainted = self.tainted_pages
+        tainted.clear()
+        tainted.update(summary)
+        cow.tainted_summary = frozenset(summary)
+        cow.reg_taints = tuple(self.reg_taints)
+        if self.table is not None:
+            by_page: Dict[int, List[Tuple[int, int]]] = {}
+            for addr, sid in self.mem_labels.items():
+                by_page.setdefault(addr & ~_PAGE_MASK, []).append((addr, sid))
+            cow.labels_by_page = {
+                base: tuple(entries) for base, entries in by_page.items()
+            }
+            cow.reg_labels = tuple(self.reg_labels)
+            cow.hilo_label = self.hilo_label
+            cow.labels_hwm = len(self.table.labels)
+            cow.sets_hwm = len(self.table.sets)
+        self._cow = cow
+
+    def restore_cow(self, cow) -> None:
+        """Delta-restore shadow state; the capture stays active.
+
+        Must run *after* ``TaintedMemory.restore_cow`` (fresh pages are
+        dropped there from both page dicts; a dirty shadow page that no
+        longer exists was fresh, so it is skipped here).  The caller
+        (:meth:`MachineState.restore_cow`) clears the dirty sets once
+        both halves are done.
+        """
+        baseline = cow.shadow_baseline
+        mem_taint = self.mem_taint
+        for base in cow.shadow_dirty:
+            page = mem_taint.get(base)
+            if page is not None:
+                page[:] = baseline[base]
+        tainted = self.tainted_pages
+        tainted.clear()
+        tainted.update(cow.tainted_summary)
+        self.reg_taints[:] = cow.reg_taints
+        if self.table is not None:
+            if cow.label_dirty:
+                dirty = cow.label_dirty
+                labels = self.mem_labels
+                for addr in [a for a in labels if (a & ~_PAGE_MASK) in dirty]:
+                    del labels[addr]
+                by_page = cow.labels_by_page or {}
+                for base in dirty:
+                    for addr, sid in by_page.get(base, ()):
+                        labels[addr] = sid
+            self.reg_labels[:] = cow.reg_labels
+            self.hilo_label = cow.hilo_label
+            self.table.truncate(cow.labels_hwm, cow.sets_hwm)
 
     # ------------------------------------------------------------------
     # snapshot / restore (the one serialization point for shadow state)
@@ -306,6 +389,11 @@ class TaintPlane:
                 f"taint plane mode mismatch: snapshot is {mode!r}, "
                 f"plane is {self.mode!r}"
             )
+        if self._host is not None and self._host._cow is not None:
+            # A wholesale rewrite invalidates delta tracking: complete
+            # and displace the active capture first (idempotent; the
+            # memory's own restore() guard does the same).
+            self._host.release_cow()
         self.mem_taint.clear()
         self.tainted_pages.clear()
         for base, data in taint_pages.items():
